@@ -1,0 +1,26 @@
+"""Shared benchmark helpers.
+
+Every benchmark prints a ``[paper]``/``[ours]`` comparison row after
+measuring, so ``pytest benchmarks/ --benchmark-only -s`` regenerates the
+paper's reported numbers next to ours (EXPERIMENTS.md records a full
+run).  Absolute values are expected to differ — the paper ran on a 2005
+Athlon 2200+ with a C Simplex library; the *shape* (single-digit-ms
+retrieval/extraction, sub-ms batched feasibility) is the target.
+"""
+
+from __future__ import annotations
+
+
+def report(experiment: str, row: str, paper: str, measured_s: float) -> None:
+    """Print one paper-vs-measured comparison row."""
+    measured_ms = measured_s * 1e3
+    print(
+        f"\n  [{experiment}] {row}\n"
+        f"    paper:    {paper}\n"
+        f"    measured: {measured_ms:.3f} ms"
+    )
+
+
+def median_seconds(benchmark) -> float:
+    """Median of a completed pytest-benchmark fixture run."""
+    return benchmark.stats.stats.median

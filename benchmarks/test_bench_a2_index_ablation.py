@@ -1,0 +1,65 @@
+"""A2 — ablation: device-indexed extraction vs linear scan.
+
+The paper's ≤ 10 ms extraction over 10,000 rules presumes the rule
+database can find same-device rules without touching every rule.  This
+sweep (1k → 50k rules) shows the indexed path staying flat while the
+scan grows linearly — the crossover argument for the index.
+"""
+
+import pytest
+
+from benchmarks.conftest import median_seconds, report
+from repro.core.conflict import ConflictChecker
+from repro.workloads.rules import build_rule_population
+
+SWEEP = (1_000, 10_000, 50_000)
+
+
+@pytest.fixture(scope="module")
+def populations():
+    return {
+        size: build_rule_population(size, min(100, size // 10),
+                                    seed=f"a2-{size}")
+        for size in SWEEP
+    }
+
+
+@pytest.mark.parametrize("size", SWEEP)
+def test_indexed_extraction(benchmark, populations, size):
+    population = populations[size]
+    checker = ConflictChecker(population.database, use_device_index=True)
+
+    extracted = benchmark(
+        checker.extract_same_device_rules, population.probe_rule
+    )
+
+    assert len(extracted) == population.same_device_rules
+    report("A2", f"indexed extraction @ {size:,} rules",
+           "10 ms or less @ 10,000 rules", median_seconds(benchmark))
+
+
+@pytest.mark.parametrize("size", SWEEP)
+def test_scan_extraction(benchmark, populations, size):
+    population = populations[size]
+    checker = ConflictChecker(population.database, use_device_index=False)
+
+    extracted = benchmark.pedantic(
+        checker.extract_same_device_rules, args=(population.probe_rule,),
+        rounds=5, iterations=1,
+    )
+
+    assert len(extracted) == population.same_device_rules
+    report("A2", f"linear-scan extraction @ {size:,} rules",
+           "n/a (ablation)", median_seconds(benchmark))
+
+
+def test_index_and_scan_agree(populations):
+    population = populations[10_000]
+    indexed = ConflictChecker(population.database, use_device_index=True)
+    scanned = ConflictChecker(population.database, use_device_index=False)
+    assert (
+        [r.name for r in indexed.extract_same_device_rules(
+            population.probe_rule)]
+        == [r.name for r in scanned.extract_same_device_rules(
+            population.probe_rule)]
+    )

@@ -1,0 +1,76 @@
+"""E1 — "Time for Retrieving Devices" (paper Sect. 5).
+
+Paper setup: 50 virtual UPnP devices; retrieval of a specified device by
+its device name took ≤ 10 ms, and by service name also ≤ 10 ms.
+
+Rows regenerated here:
+
+* retrieval by device name (control-point cache, the CyberLink
+  ``getDevice(friendlyName)`` analogue);
+* retrieval by service name;
+* a cold multicast M-SEARCH + response harvest + description fetch
+  (supplementary: the full protocol path on the simulated LAN).
+"""
+
+import pytest
+
+from benchmarks.conftest import median_seconds, report
+from repro.net.bus import NetworkBus
+from repro.sim.events import Simulator
+from repro.upnp import ssdp
+from repro.upnp.control_point import ControlPoint
+from repro.workloads.devices import build_device_population
+
+DEVICE_COUNT = 50
+TARGET_NAME = "thermo-025"
+TARGET_SERVICE = "urn:repro:service:TemperatureSensor:1"
+
+
+@pytest.fixture(scope="module")
+def population():
+    simulator = Simulator()
+    bus = NetworkBus(simulator)
+    devices = build_device_population(simulator, bus, DEVICE_COUNT)
+    control_point = ControlPoint(bus, simulator, name="bench-cp")
+    control_point.search(ssdp.ST_ALL)  # warm the registry
+    assert len(control_point.registry) == DEVICE_COUNT
+    return simulator, bus, control_point, devices
+
+
+def test_retrieve_by_device_name(benchmark, population):
+    _, _, control_point, _ = population
+
+    result = benchmark(control_point.find_by_name, TARGET_NAME)
+
+    assert result.friendly_name == TARGET_NAME
+    report("E1", f"retrieve 1 of {DEVICE_COUNT} devices by device name",
+           "10 ms or less", median_seconds(benchmark))
+    assert median_seconds(benchmark) < 0.010  # the paper's bound holds
+
+
+def test_retrieve_by_service_name(benchmark, population):
+    _, _, control_point, _ = population
+
+    result = benchmark(control_point.find_by_service, TARGET_SERVICE)
+
+    assert len(result) > 0
+    report("E1", f"retrieve devices by service name ({DEVICE_COUNT} devices)",
+           "10 ms or less", median_seconds(benchmark))
+    assert median_seconds(benchmark) < 0.010
+
+
+def test_cold_search_protocol_path(benchmark, population):
+    """Full M-SEARCH → responses → description fetch for one device."""
+    simulator, bus, control_point, devices = population
+    target_udn = next(d.udn for d in devices if d.friendly_name == TARGET_NAME)
+
+    def cold_lookup():
+        records = control_point.search(f"uuid:{target_udn}")
+        return records[0]
+
+    result = benchmark(cold_lookup)
+
+    assert result.udn == target_udn
+    report("E1", "cold M-SEARCH by UDN incl. description fetch",
+           "(not reported; subsumed by the 10 ms bound)",
+           median_seconds(benchmark))

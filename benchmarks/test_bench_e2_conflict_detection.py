@@ -1,0 +1,84 @@
+"""E2 — "Time for Detecting Conflicting Rules" (paper Sect. 5).
+
+Paper setup: 10,000 registered rules; 100 of them specify the same
+device in their action parts; each condition is a logical product of two
+inequalities, so each pairwise check evaluates a product of four
+inequalities.  Paper results: same-device extraction ≤ 10 ms; evaluating
+the 4-inequality product 100 times ≈ 0.2 ms (C Simplex library).
+
+Rows regenerated here:
+
+* step 1 — indexed extraction of the 100 same-device rules;
+* steps 2-3 — 100 joint-satisfiability checks (interval fast path, the
+  default), and the same with the Simplex backend (the paper's method);
+* the complete registration-time check (extraction + all checks).
+"""
+
+import pytest
+
+from benchmarks.conftest import median_seconds, report
+from repro.core.conflict import ConflictChecker
+from repro.core.satisfiability import conditions_jointly_satisfiable
+from repro.workloads.rules import build_rule_population
+
+TOTAL_RULES = 10_000
+SAME_DEVICE = 100
+
+
+@pytest.fixture(scope="module")
+def population():
+    return build_rule_population(TOTAL_RULES, SAME_DEVICE)
+
+
+def test_extract_same_device_rules(benchmark, population):
+    checker = ConflictChecker(population.database)
+
+    extracted = benchmark(
+        checker.extract_same_device_rules, population.probe_rule
+    )
+
+    assert len(extracted) == SAME_DEVICE
+    report("E2", f"extract {SAME_DEVICE} same-device rules out of "
+                 f"{TOTAL_RULES:,}",
+           "10 ms or less", median_seconds(benchmark))
+    assert median_seconds(benchmark) < 0.010
+
+
+@pytest.mark.parametrize("prefer_intervals,label", [
+    (True, "interval fast path"),
+    (False, "two-phase Simplex (the paper's method)"),
+])
+def test_hundred_pairwise_checks(benchmark, population, prefer_intervals,
+                                 label):
+    checker = ConflictChecker(population.database,
+                              prefer_intervals=prefer_intervals)
+    probe = population.probe_rule
+    extracted = checker.extract_same_device_rules(probe)
+    assert len(extracted) == SAME_DEVICE
+
+    def run_checks():
+        hits = 0
+        for existing in extracted:
+            if conditions_jointly_satisfiable(
+                probe.condition, existing.condition,
+                prefer_intervals=prefer_intervals,
+            ):
+                hits += 1
+        return hits
+
+    hits = benchmark(run_checks)
+
+    assert 0 <= hits <= SAME_DEVICE
+    report("E2", f"evaluate 100 products of 4 inequalities — {label}",
+           "about 0.2 ms (C library)", median_seconds(benchmark))
+
+
+def test_full_registration_check(benchmark, population):
+    checker = ConflictChecker(population.database)
+
+    reports = benchmark(checker.find_conflicts, population.probe_rule)
+
+    assert isinstance(reports, list)
+    report("E2", "full registration-time conflict check "
+                 "(extraction + satisfiability + effect comparison)",
+           "≈ extraction + 0.2 ms", median_seconds(benchmark))

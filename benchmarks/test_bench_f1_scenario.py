@@ -1,0 +1,36 @@
+"""F1 — the Fig. 1 control scenario, regenerated as a time-chart.
+
+The paper's Fig. 1 is qualitative (device ownership over the evening);
+this benchmark re-runs the full-stack scenario, prints the chart rows,
+and asserts the published ownership sequence.  The benchmark statistic
+is the wall-clock cost of simulating the whole 5pm-8pm evening —
+CADEL compilation, registration pipeline, UPnP traffic, physics and
+arbitration included.
+"""
+
+from benchmarks.conftest import median_seconds, report
+from repro.scenarios import run_fig1_scenario
+
+
+def test_fig1_scenario_time_chart(benchmark):
+    result = benchmark.pedantic(run_fig1_scenario, rounds=3, iterations=1)
+
+    print("\n  [F1] Fig. 1 control scenario — regenerated time-chart:")
+    for row in result.timeline_rows():
+        print(f"    {row}")
+
+    # The published ownership sequence must hold exactly.
+    snapshots = result.snapshots
+    assert snapshots["17:10 Tom home"].stereo_holder == "tom-s1-jazz-speakers"
+    assert snapshots["17:45 Alan home"].tv_holder == "alan-t2-baseball"
+    assert snapshots["17:45 Alan home"].stereo_holder == \
+        "tom-s1p-jazz-headphones"
+    assert snapshots["18:32 Emily home"].tv_holder == "emily-t3-movie"
+    assert snapshots["18:32 Emily home"].stereo_holder == \
+        "emily-s3-movie-sound"
+    assert snapshots["18:32 Emily home"].recorder_holder == \
+        "alan-t2-baseball"
+    assert snapshots["18:32 Emily home"].aircon_holder == "emily-a3-aircon"
+
+    report("F1", "simulate the full 3-hour evening end-to-end",
+           "(not timed in the paper)", median_seconds(benchmark))

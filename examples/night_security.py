@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Night security: the paper's example rules (2) and (3).
+
+    (2) "After evening, if someone returns home and the hall is dark,
+         turn on the light at the hall."
+    (3) "At night, if entrance door is unlocked for 1 hour, turn on
+         the alarm."
+
+Shows two condition families the quickstart doesn't: instantaneous
+events ("returns home") and duration-held conditions ("unlocked for
+1 hour") with their virtual-time timers.
+
+Run:  python examples/night_security.py
+"""
+
+from repro.cadel.binding import HomeDirectory
+from repro.core.server import HomeServer
+from repro.home import build_demo_home
+from repro.net.bus import NetworkBus
+from repro.sim.clock import hhmm
+from repro.sim.events import Simulator
+from repro.support.authoring import AuthoringSession
+
+
+def main() -> None:
+    simulator = Simulator()
+    bus = NetworkBus(simulator)
+    server = HomeServer(simulator, bus)
+    home = build_demo_home(simulator, bus, event_sink=server.post_event)
+    server.discover()
+
+    directory = HomeDirectory(
+        users=list(home.locator.residents),
+        locator_udn=home.locator.udn,
+        epg_udn=home.epg.udn,
+    )
+    session = AuthoringSession(server, "Alan", directory)
+    session.submit(
+        "After evening, if someone returns home and the hall is dark, "
+        "turn on the light at the hall.",
+        rule_name="hall-welcome-light",
+    )
+    session.submit(
+        "At night, if entrance door is unlocked for 1 hour, turn on the "
+        "alarm.",
+        rule_name="door-ajar-alarm",
+    )
+    print("registered the paper's example rules (2) and (3).\n")
+
+    # -- 19:30: Alan comes home to a dark hall -------------------------------
+    simulator.run_until(hhmm(19, 30))
+    print(f"[{simulator.clock.timestamp()}] Alan returns home; "
+          f"hall illuminance = "
+          f"{home.environment.room('hall').illuminance:.0f} lux")
+    home.household.arrive_home("Alan", "work", "hall")
+    print(f"  -> hall light on: {home.hall_light.is_on}")
+
+    # -- 22:00: the entrance door is left unlocked ----------------------------
+    simulator.run_until(hhmm(22, 0))
+    home.door.service("lock").invoke("Unlock")
+    print(f"\n[{simulator.clock.timestamp()}] entrance door unlocked "
+          "(and forgotten)")
+
+    simulator.run_until(hhmm(22, 45))
+    print(f"[{simulator.clock.timestamp()}] 45 minutes later: "
+          f"alarm on = {home.alarm.is_on} (needs a full hour)")
+
+    simulator.run_until(hhmm(23, 5))
+    print(f"[{simulator.clock.timestamp()}] one hour and five minutes "
+          f"later: alarm on = {home.alarm.is_on}")
+
+    # -- reset and show the timer cancelling ---------------------------------
+    home.alarm.service("alarm").invoke("TurnOff")
+    home.door.service("lock").invoke("Lock")
+    simulator.run_until(hhmm(23, 30))
+    home.door.service("lock").invoke("Unlock")
+    print(f"\n[{simulator.clock.timestamp()}] door unlocked again...")
+    simulator.run_until(hhmm(23, 50))
+    home.door.service("lock").invoke("Lock")
+    print(f"[{simulator.clock.timestamp()}] ...but re-locked after 20 "
+          "minutes")
+    simulator.run_until(hhmm(23, 59) + 3600.0)
+    print(f"alarm stayed off: {not home.alarm.is_on}")
+
+    print("\nengine trace:")
+    for entry in server.engine.trace:
+        print(f"  {entry.describe()}")
+
+
+if __name__ == "__main__":
+    main()

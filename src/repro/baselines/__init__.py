@@ -1,0 +1,21 @@
+"""Baseline implementations for the ablation benchmarks.
+
+Each baseline is the naive counterpart of a framework design choice, so
+the benchmarks can quantify what the design buys:
+
+* :mod:`repro.baselines.naive_conflict` — sampling-based conflict check
+  instead of exact Simplex satisfiability (A1 companion).
+* :mod:`repro.baselines.interpreter` — re-parse-and-rebind CADEL
+  evaluation instead of compiled rule objects (A3; the paper explicitly
+  notes the execution module "does not execute rules by interpreting
+  CADEL descriptions").
+
+The unindexed retrieval/extraction baselines (A2/A4) live on the indexed
+structures themselves (``DeviceRegistry.scan_by_name``,
+``RuleDatabase.rules_for_device_scan``) so both paths share storage.
+"""
+
+from repro.baselines.interpreter import InterpretedRule
+from repro.baselines.naive_conflict import sampling_conflict_check
+
+__all__ = ["InterpretedRule", "sampling_conflict_check"]

@@ -1,0 +1,54 @@
+"""Interpretive rule evaluation baseline (A3).
+
+The paper (Sect. 4.1): "The rule execution module does not execute rules
+by interpreting CADEL descriptions, but ... a CADEL description is
+expressed as equivalent a 'rule object'".  This baseline is the road not
+taken: it keeps only the CADEL *text* and, on every evaluation,
+re-parses it, re-binds names against the registry and walks the freshly
+built condition — measuring exactly what compilation avoids.
+"""
+
+from __future__ import annotations
+
+from repro.cadel.ast import RuleDef
+from repro.cadel.binding import Binder
+from repro.cadel.compiler import RuleCompiler
+from repro.cadel.parser import CadelParser
+from repro.cadel.words import WordDictionary
+from repro.core.condition import EvaluationContext
+from repro.errors import CadelError
+
+
+class InterpretedRule:
+    """A rule kept as CADEL source and interpreted on every evaluation."""
+
+    def __init__(
+        self,
+        source_text: str,
+        binder: Binder,
+        *,
+        owner: str = "user",
+        words: WordDictionary | None = None,
+    ) -> None:
+        self.source_text = source_text
+        self.owner = owner
+        self._binder = binder
+        self._words = words or WordDictionary()
+        self._parser = CadelParser(words=self._words)
+        self._compiler = RuleCompiler(binder, words=self._words)
+
+    def evaluate(self, ctx: EvaluationContext) -> bool:
+        """Parse + bind + evaluate the trigger condition, from scratch."""
+        command = self._parser.parse(self.source_text)
+        if not isinstance(command, RuleDef):
+            raise CadelError(
+                f"not a rule sentence: {self.source_text!r}"
+            )
+        conjuncts = []
+        if command.pre_time is not None:
+            conjuncts.append(self._compiler.compile_timespec(command.pre_time))
+        if command.precondition is not None:
+            conjuncts.append(
+                self._compiler.compile_condexpr(command.precondition)
+            )
+        return all(condition.evaluate(ctx) for condition in conjuncts)

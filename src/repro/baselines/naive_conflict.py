@@ -1,0 +1,100 @@
+"""Sampling-based conflict detection baseline.
+
+Instead of deciding joint satisfiability exactly (Simplex / interval
+propagation), sample random assignments over the referenced variables'
+plausible ranges and report a conflict when any sample satisfies both
+conditions.  Cheap per sample but *incomplete*: thin overlap regions are
+missed, and cost grows with the sample budget — the A1 ablation
+quantifies both effects against the exact solver.
+"""
+
+from __future__ import annotations
+
+from repro.core.condition import Condition, NumericAtom
+from repro.sim.rng import seeded_rng
+
+DEFAULT_SAMPLES = 256
+_RANGE_PADDING = 10.0
+
+
+def _bounds_of(conditions: list[Condition]) -> dict[str, list[float]]:
+    """Per-variable threshold anchors, in *variable units*.
+
+    Constraints are stored canonically (``-1*x < -83`` for ``x > 83``),
+    so the anchor is bound/coefficient for single-variable constraints;
+    multi-variable constraints contribute the raw bound as a coarse
+    anchor for each variable they touch.
+    """
+    anchors: dict[str, list[float]] = {}
+    for condition in conditions:
+        for conjunct in condition.dnf():
+            for atom in conjunct:
+                if not isinstance(atom, NumericAtom):
+                    continue
+                coefficients = atom.constraint.expr.as_dict()
+                for variable, coefficient in coefficients.items():
+                    if len(coefficients) == 1 and coefficient != 0.0:
+                        anchor = atom.constraint.bound / coefficient
+                    else:
+                        anchor = atom.constraint.bound
+                    anchors.setdefault(variable, []).append(anchor)
+    return anchors
+
+
+def _sample_value(anchors: list[float], rng) -> float:
+    """Mixture sampler: half the draws are uniform over the padded bound
+    span, half land just around a randomly chosen mentioned bound — the
+    latter is what gives thin overlap bands a fighting chance."""
+    low = min(anchors) - _RANGE_PADDING
+    high = max(anchors) + _RANGE_PADDING
+    if rng.random() < 0.5:
+        return rng.uniform(low, high)
+    anchor = rng.choice(anchors)
+    return anchor + rng.uniform(-2.0, 2.0)
+
+
+def _numeric_conjuncts(condition: Condition):
+    for conjunct in condition.dnf():
+        yield [atom.constraint for atom in conjunct
+               if isinstance(atom, NumericAtom)]
+
+
+def sampling_conflict_check(
+    first: Condition,
+    second: Condition,
+    samples: int = DEFAULT_SAMPLES,
+    seed: int | str = "naive-conflict",
+) -> bool:
+    """Monte-Carlo joint-satisfiability check over the numeric fragment.
+
+    Returns True when some sampled assignment satisfies a conjunct of
+    each condition simultaneously.  False negatives are possible; the
+    exact checker is the reference.
+    """
+    rng = seeded_rng(seed)
+    anchors = _bounds_of([first, second])
+    if not anchors:
+        return True  # no numeric constraints: nothing to separate them
+    variables = sorted(anchors)
+    first_systems = list(_numeric_conjuncts(first))
+    second_systems = list(_numeric_conjuncts(second))
+    for _ in range(samples):
+        assignment = {
+            variable: _sample_value(anchors[variable], rng)
+            for variable in variables
+        }
+        first_ok = any(
+            all(c.satisfied_by(assignment) for c in system if
+                c.variables() <= assignment.keys())
+            for system in first_systems
+        )
+        if not first_ok:
+            continue
+        second_ok = any(
+            all(c.satisfied_by(assignment) for c in system
+                if c.variables() <= assignment.keys())
+            for system in second_systems
+        )
+        if second_ok:
+            return True
+    return False

@@ -1,0 +1,70 @@
+"""CADEL — the Context-Aware rule DEfinition Language (paper Sect. 4.2).
+
+CADEL sentences read like controlled English ("If humidity is higher
+than 80 percent and temperature is higher than 28 degrees, turn on the
+air conditioner with 25 degrees of temperature setting.") and come in
+three command forms, per Table 1 of the paper:
+
+* ``<RuleDef>``  — an automation rule;
+* ``<CondDef>``  — "Let's call the condition that ... <new word>",
+  defining a named compound context such as *hot and stuffy*;
+* ``<ConfDef>``  — "Let's call the configuration that ... <new word>",
+  defining a named device configuration such as *half-lighting*.
+
+Pipeline::
+
+    text ──lexer──▶ tokens ──parser──▶ AST ──compiler──▶ core Rule object
+                                        ▲                    │ binding
+                                 WordDictionary        BindingEnvironment
+                                 (user words)          (devices & sensors)
+
+The vocabulary is pluggable (:class:`~repro.cadel.vocabulary.Vocabulary`)
+so that, as the paper notes, "different versions of CADEL based on any
+other languages can be defined".
+"""
+
+from repro.cadel.ast import (
+    CondAnd,
+    CondAtom,
+    CondDef,
+    CondOr,
+    ConfDef,
+    ConfigNode,
+    ObjectRef,
+    PeriodNode,
+    RuleDef,
+    SettingNode,
+    StateKind,
+    TimeSpecNode,
+    UserCondRef,
+)
+from repro.cadel.compiler import RuleCompiler
+from repro.cadel.lexer import Token, TokenKind, tokenize
+from repro.cadel.parser import CadelParser, parse_command
+from repro.cadel.vocabulary import Vocabulary, english_vocabulary
+from repro.cadel.words import WordDictionary
+
+__all__ = [
+    "CondAnd",
+    "CondAtom",
+    "CondDef",
+    "CondOr",
+    "ConfDef",
+    "ConfigNode",
+    "ObjectRef",
+    "PeriodNode",
+    "RuleDef",
+    "SettingNode",
+    "StateKind",
+    "TimeSpecNode",
+    "UserCondRef",
+    "RuleCompiler",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "CadelParser",
+    "parse_command",
+    "Vocabulary",
+    "english_vocabulary",
+    "WordDictionary",
+]

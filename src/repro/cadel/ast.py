@@ -1,0 +1,288 @@
+"""CADEL abstract syntax trees.
+
+Nodes mirror Table 1's productions, staying close to the surface
+sentence: subjects and device names remain word tuples until the binder
+resolves them against the discovered device population.  Every node can
+render itself back to CADEL text (:meth:`to_text`), which powers rule
+export and the paper's "import a rule ... and customize it" workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.cadel.vocabulary import StateKind
+from repro.sim.clock import format_time_of_day
+
+_WEEKDAY_NAMES = ["monday", "tuesday", "wednesday", "thursday", "friday",
+                  "saturday", "sunday"]
+
+
+def _join(words: tuple[str, ...]) -> str:
+    return " ".join(words)
+
+
+@dataclass(frozen=True)
+class TimeSpecNode:
+    """``after evening`` / ``at night`` / ``until 23:00`` / ``at every
+    sunday noon``."""
+
+    preposition: str                 # after | at | until | before
+    time_of_day: float | None = None
+    named: str | None = None         # the original word ("evening")
+    weekday: int | None = None
+
+    def to_text(self) -> str:
+        if self.named is not None:
+            time_text = self.named
+        elif self.time_of_day is not None:
+            time_text = format_time_of_day(self.time_of_day)[:5]
+        else:
+            time_text = "?"
+        if self.weekday is not None:
+            time_text = f"every {_WEEKDAY_NAMES[self.weekday]} {time_text}"
+        return f"{self.preposition} {time_text}"
+
+
+@dataclass(frozen=True)
+class PeriodNode:
+    """``for 1 hour`` — attaches a held-duration to a condition."""
+
+    seconds: float
+    source: str = ""
+
+    def to_text(self) -> str:
+        return self.source or f"for {self.seconds:g} seconds"
+
+
+@dataclass(frozen=True)
+class CondAtom:
+    """``<Sensor> [<Modifier>] <State>`` with optional value/period.
+
+    Attributes:
+        subject_words: the sensor/person/place/event words ("humidity",
+            "i", "entrance door", "baseball game").
+        place_words: location modifier words ("living room"), if any.
+        state: semantic category of the matched state phrase.
+        value: numeric payload for comparison states.
+        unit: unit name of the numeric payload ("celsius", "percent").
+        value_words: trailing words for AT_PLACE / ARRIVED_FROM states.
+        period: held-duration ("for 1 hour").
+    """
+
+    subject_words: tuple[str, ...]
+    state: StateKind
+    place_words: tuple[str, ...] = ()
+    value: float | None = None
+    unit: str | None = None
+    value_words: tuple[str, ...] = ()
+    period: PeriodNode | None = None
+
+    def to_text(self) -> str:
+        subject = _join(self.subject_words)
+        if self.place_words:
+            subject += f" at the {_join(self.place_words)}"
+        state_text = {
+            StateKind.NUMERIC_GT: "is higher than",
+            StateKind.NUMERIC_LT: "is lower than",
+            StateKind.NUMERIC_GE: "is at least",
+            StateKind.NUMERIC_LE: "is at most",
+            StateKind.NUMERIC_EQ: "is exactly",
+            StateKind.TURNED_ON: "is turned on",
+            StateKind.TURNED_OFF: "is turned off",
+            StateKind.DARK: "is dark",
+            StateKind.BRIGHT: "is bright",
+            StateKind.AT_PLACE: "is at",
+            StateKind.ON_AIR: "is on air",
+            StateKind.UNLOCKED: "is unlocked",
+            StateKind.LOCKED: "is locked",
+            StateKind.OPEN: "is open",
+            StateKind.CLOSED: "is closed",
+            StateKind.RETURNS_HOME: "returns home",
+            StateKind.ARRIVED_FROM: "got home from",
+        }[self.state]
+        parts = [subject, state_text]
+        if self.value is not None:
+            unit_text = {"celsius": "degrees", "fahrenheit": "degrees fahrenheit",
+                         "percent": "percent", "lux": "lux"}.get(
+                self.unit or "", self.unit or "")
+            parts.append(f"{self.value:g} {unit_text}".strip())
+        if self.value_words:
+            if self.state is StateKind.AT_PLACE:
+                parts.append(f"the {_join(self.value_words)}")
+            else:
+                parts.append(_join(self.value_words))
+        if self.period is not None:
+            parts.append(self.period.to_text())
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class UserCondRef:
+    """Reference to a user-defined condition word ("hot and stuffy")."""
+
+    word: str
+    subject_words: tuple[str, ...] = ()
+    place_words: tuple[str, ...] = ()
+
+    def to_text(self) -> str:
+        if self.subject_words:
+            return f"{_join(self.subject_words)} is {self.word}"
+        return self.word
+
+
+@dataclass(frozen=True)
+class CondAnd:
+    children: tuple["CondExpr", ...]
+
+    def to_text(self) -> str:
+        return " and ".join(
+            f"({c.to_text()})" if isinstance(c, CondOr) else c.to_text()
+            for c in self.children
+        )
+
+
+@dataclass(frozen=True)
+class CondOr:
+    children: tuple["CondExpr", ...]
+
+    def to_text(self) -> str:
+        return " or ".join(c.to_text() for c in self.children)
+
+
+@dataclass(frozen=True)
+class TimeCond:
+    """A TimeSpec used *inside* a condition expression (the grammar's
+    ``<Cond> <TimeSpec>`` tail, e.g. "door is unlocked after 22:00")."""
+
+    spec: TimeSpecNode
+
+    def to_text(self) -> str:
+        return self.spec.to_text()
+
+
+CondExpr = Union[CondAtom, UserCondRef, CondAnd, CondOr, TimeCond]
+
+
+@dataclass(frozen=True)
+class SettingNode:
+    """``25 degrees of temperature setting`` / ``jazz of genre setting``."""
+
+    parameter: str
+    value: float | str
+    unit: str | None = None
+
+    def to_text(self) -> str:
+        if isinstance(self.value, float):
+            value_text = f"{self.value:g}"
+            if self.unit == "celsius":
+                value_text += " degrees"
+            elif self.unit:
+                value_text += f" {self.unit}"
+        else:
+            value_text = str(self.value)
+        return f"{value_text} of {self.parameter} setting"
+
+
+@dataclass(frozen=True)
+class ConfigNode:
+    """``with <RowOfConfs>`` — explicit settings and/or config words."""
+
+    settings: tuple[SettingNode, ...] = ()
+    word_refs: tuple[str, ...] = ()
+
+    def to_text(self) -> str:
+        parts = [s.to_text() for s in self.settings] + list(self.word_refs)
+        return "with " + " and ".join(parts)
+
+
+@dataclass(frozen=True)
+class ObjectRef:
+    """``[<Article>] <DeviceName> [<Modifier>]``."""
+
+    name_words: tuple[str, ...]
+    place_words: tuple[str, ...] = ()
+
+    def to_text(self) -> str:
+        text = f"the {_join(self.name_words)}"
+        if self.place_words:
+            text += f" at the {_join(self.place_words)}"
+        return text
+
+
+@dataclass(frozen=True)
+class ActionClause:
+    """One verb + object + optional configuration."""
+
+    verb: str
+    target: ObjectRef
+    config: ConfigNode | None = None
+
+    def to_text(self) -> str:
+        text = f"{self.verb} {self.target.to_text()}"
+        if self.config is not None:
+            text += f" {self.config.to_text()}"
+        return text
+
+
+@dataclass(frozen=True)
+class RuleDef:
+    """A full ``<RuleDef>`` sentence.
+
+    ``otherwise`` is this reproduction's (documented) grammar extension
+    carrying the paper's fallback semantics ("If it is impossible to use
+    the TV, I want to record the game with the video recorder").
+    """
+
+    action: ActionClause
+    pre_time: TimeSpecNode | None = None
+    precondition: CondExpr | None = None
+    post_time: TimeSpecNode | None = None
+    postcondition: CondExpr | None = None
+    otherwise: ActionClause | None = None
+    source_text: str = ""
+
+    def to_text(self) -> str:
+        parts = []
+        if self.pre_time is not None:
+            parts.append(self.pre_time.to_text() + ",")
+        if self.precondition is not None:
+            parts.append(f"if {self.precondition.to_text()},")
+        parts.append(self.action.to_text())
+        if self.otherwise is not None:
+            parts.append(f", otherwise {self.otherwise.to_text()}")
+        if self.postcondition is not None:
+            parts.append(f"when {self.postcondition.to_text()}")
+        elif self.post_time is not None:
+            parts.append(self.post_time.to_text())
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class CondDef:
+    """``Let's call the condition that <CondExpr> <word>``."""
+
+    expr: CondExpr
+    word: str
+
+    def to_text(self) -> str:
+        return (
+            f"let us call the condition that {self.expr.to_text()} "
+            f'"{self.word}"'
+        )
+
+
+@dataclass(frozen=True)
+class ConfDef:
+    """``Let's call the configuration that <RowOfConfs> <word>``."""
+
+    settings: tuple[SettingNode, ...]
+    word: str
+
+    def to_text(self) -> str:
+        rows = " and ".join(s.to_text() for s in self.settings)
+        return f'let us call the configuration that {rows} "{self.word}"'
+
+
+Command = Union[RuleDef, CondDef, ConfDef]

@@ -1,0 +1,352 @@
+"""Binding environment: CADEL names → concrete devices and variables.
+
+The parser leaves subjects and device names as word tuples; this module
+resolves them against the discovered UPnP population, implementing the
+conventions the :mod:`repro.home` device models follow:
+
+=====================  ==========================================================
+CADEL construct        Resolution
+=====================  ==========================================================
+"the air conditioner"  device by friendly name (optionally location-scoped)
+"temperature"          sensor *kind* → service-type table → variable id
+"I" / "Tom"            person → locator variables (place, last_arrival)
+"nobody is at X"       presence sensor of place X → ``occupied`` variable
+"the hall is dark"     illuminance sensor of place → threshold comparison
+"baseball game on air" EPG guide keywords (set-valued variable)
+"turn on" + device     verb → action-name candidates scanned in the
+                       device's description
+=====================  ==========================================================
+
+All lookups raise :class:`~repro.errors.CadelBindingError` with a
+message naming what was searched, so the rule-description GUI can show
+actionable feedback (the paper's guidance function).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import CadelBindingError
+from repro.upnp.registry import DeviceRecord, DeviceRegistry
+
+# Illuminance thresholds (lux) implementing "is dark" / "is bright".
+DARK_BELOW_LUX = 50.0
+BRIGHT_ABOVE_LUX = 200.0
+
+# sensor kind -> (service_type, variable name)
+SENSOR_KIND_TABLE: dict[str, tuple[str, str]] = {
+    "temperature": ("urn:repro:service:TemperatureSensor:1", "temperature"),
+    "humidity": ("urn:repro:service:HumiditySensor:1", "humidity"),
+    "illuminance": ("urn:repro:service:LightSensor:1", "illuminance"),
+    "noise": ("urn:repro:service:NoiseSensor:1", "noise"),
+}
+
+# verb -> candidate action names, scanned in order in the device description
+VERB_ACTION_TABLE: dict[str, tuple[str, ...]] = {
+    "turn on": ("TurnOn", "On", "Start", "Play"),
+    "turn off": ("TurnOff", "Off", "Stop"),
+    "record": ("Record",),
+    "play": ("Play", "PlayMusic"),
+    "play back": ("PlayBack", "Play", "PlayMusic"),
+    "start": ("Start", "TurnOn", "Record"),
+    "stop": ("Stop", "TurnOff"),
+    "lock": ("Lock",),
+    "unlock": ("Unlock",),
+    "show": ("Show", "ShowProgram"),
+    "dim": ("Dim", "SetLevel"),
+    "set": ("Set", "Configure"),
+    "open": ("Open",),
+    "close": ("Close",),
+}
+
+# verb -> verb whose action naturally undoes it (auto stop actions)
+OPPOSITE_VERB = {
+    "turn on": "turn off",
+    "play": "stop",
+    "play back": "stop",
+    "record": "stop",
+    "start": "stop",
+    "show": "turn off",
+    "lock": "unlock",
+    "unlock": "lock",
+    "open": "close",
+    "close": "open",
+}
+
+# device discrete states: StateKind value -> (variable name, value)
+DEVICE_STATE_TABLE: dict[str, tuple[str, str]] = {
+    "on": ("on", "true"),
+    "off": ("on", "false"),
+    "unlocked": ("locked", "false"),
+    "locked": ("locked", "true"),
+    "open": ("open", "true"),
+    "closed": ("open", "false"),
+}
+
+
+def variable_id(udn: str, service_id: str, variable: str) -> str:
+    return f"{udn}:{service_id}:{variable}"
+
+
+@dataclass(frozen=True)
+class BoundCommand:
+    """A verb resolved to a concrete UPnP action on a device."""
+
+    record: DeviceRecord
+    service_id: str
+    action_name: str
+    in_args: tuple[str, ...]
+
+
+@dataclass
+class HomeDirectory:
+    """Household facts the binder needs beyond the device registry.
+
+    Attributes:
+        users: registered residents ("Tom", "Alan", "Emily").
+        current_user: who "I" refers to while authoring a rule.
+        locator_udn: UDN of the person-locator sensor device.
+        epg_udn: UDN of the EPG (program guide) feed device.
+    """
+
+    users: list[str] = field(default_factory=list)
+    current_user: str = ""
+    locator_udn: str = ""
+    epg_udn: str = ""
+
+    def is_user(self, word: str) -> bool:
+        return word.lower() in {u.lower() for u in self.users}
+
+    def canonical_user(self, word: str) -> str:
+        for user in self.users:
+            if user.lower() == word.lower():
+                return user
+        raise CadelBindingError(f"unknown person: {word!r}")
+
+
+class Binder:
+    """Resolves parsed CADEL names against a device registry."""
+
+    def __init__(self, registry: DeviceRegistry, directory: HomeDirectory):
+        self.registry = registry
+        self.directory = directory
+
+    # -- devices -------------------------------------------------------------
+
+    def resolve_device(
+        self,
+        name_words: tuple[str, ...],
+        place_words: tuple[str, ...] = (),
+        prefer_category: str | None = None,
+    ) -> DeviceRecord:
+        """Find a device by (partial) friendly name, optionally scoped to
+        a place; ambiguous and missing names raise with candidates.
+
+        ``prefer_category`` breaks ties: action targets prefer
+        ``"appliance"`` so "the light" resolves to the lamp, not the
+        light *sensor* sharing the location.
+        """
+        name = " ".join(name_words)
+        records = self.registry.by_name(name)
+        if not records:
+            # Substring fallback: "light" matches "fluorescent light".
+            lowered = name.lower()
+            records = [
+                r for r in self.registry.all()
+                if lowered in r.friendly_name.lower()
+            ]
+        if place_words:
+            place = " ".join(place_words).lower()
+            records = [r for r in records if r.location.lower() == place]
+        if len(records) > 1 and prefer_category is not None:
+            preferred = [r for r in records if r.category == prefer_category]
+            if preferred:
+                records = preferred
+        if not records:
+            raise CadelBindingError(
+                f"no device named {name!r}"
+                + (f" at {' '.join(place_words)!r}" if place_words else "")
+            )
+        if len(records) > 1:
+            names = ", ".join(
+                f"{r.friendly_name} ({r.location})" for r in records
+            )
+            raise CadelBindingError(
+                f"ambiguous device name {name!r}: candidates are {names}; "
+                "add a location ('at the ...')"
+            )
+        return records[0]
+
+    def resolve_command(self, record: DeviceRecord, verb: str) -> BoundCommand:
+        """Map a CADEL verb onto one of the device's declared actions."""
+        candidates = VERB_ACTION_TABLE.get(verb)
+        if candidates is None:
+            raise CadelBindingError(f"unknown verb: {verb!r}")
+        for service in record.description.get("services", ()):
+            actions = {a["name"]: a for a in service.get("actions", ())}
+            for candidate in candidates:
+                if candidate in actions:
+                    return BoundCommand(
+                        record=record,
+                        service_id=service["service_id"],
+                        action_name=candidate,
+                        in_args=tuple(actions[candidate].get("in_args", ())),
+                    )
+        raise CadelBindingError(
+            f"device {record.friendly_name!r} does not support {verb!r} "
+            f"(looked for actions {list(candidates)})"
+        )
+
+    def opposite_command(
+        self, record: DeviceRecord, verb: str
+    ) -> BoundCommand | None:
+        opposite = OPPOSITE_VERB.get(verb)
+        if opposite is None:
+            return None
+        try:
+            return self.resolve_command(record, opposite)
+        except CadelBindingError:
+            return None
+
+    # -- sensors -----------------------------------------------------------------
+
+    def resolve_sensor_variable(
+        self, kind: str, place_words: tuple[str, ...] = ()
+    ) -> str:
+        """Variable id of the sensor measuring ``kind``, location-scoped.
+
+        With no location and several matching sensors the reference is
+        ambiguous and raises (the guidance UI then lists candidates).
+        """
+        entry = SENSOR_KIND_TABLE.get(kind)
+        if entry is None:
+            raise CadelBindingError(f"unknown sensor kind: {kind!r}")
+        service_type, variable = entry
+        records = self.registry.by_service_type(service_type)
+        if place_words:
+            place = " ".join(place_words).lower()
+            records = [r for r in records if r.location.lower() == place]
+        if not records:
+            where = f" at {' '.join(place_words)!r}" if place_words else ""
+            raise CadelBindingError(f"no {kind} sensor found{where}")
+        if len(records) > 1:
+            places = ", ".join(sorted(r.location for r in records))
+            raise CadelBindingError(
+                f"several {kind} sensors found ({places}); "
+                "add a location ('at the ...')"
+            )
+        record = records[0]
+        service_id = self._service_id_for_type(record, service_type)
+        return variable_id(record.udn, service_id, variable)
+
+    def device_state_variable(
+        self, record: DeviceRecord, state_key: str
+    ) -> tuple[str, str]:
+        """(variable id, expected value) for a device discrete state."""
+        entry = DEVICE_STATE_TABLE.get(state_key)
+        if entry is None:
+            raise CadelBindingError(f"unsupported device state: {state_key!r}")
+        variable, value = entry
+        for service in record.description.get("services", ()):
+            for var in service.get("variables", ()):
+                if var["name"] == variable:
+                    return (
+                        variable_id(record.udn, service["service_id"], variable),
+                        value,
+                    )
+        raise CadelBindingError(
+            f"device {record.friendly_name!r} has no {variable!r} state"
+        )
+
+    def device_numeric_variable(self, record: DeviceRecord) -> str:
+        """The single numeric evented variable of a sensor device, for
+        "the thermometer is higher than 28 degrees" phrasings."""
+        numeric = []
+        for service in record.description.get("services", ()):
+            for var in service.get("variables", ()):
+                if var["data_type"] == "number" and var.get("sends_events"):
+                    numeric.append((service["service_id"], var["name"]))
+        if not numeric:
+            raise CadelBindingError(
+                f"device {record.friendly_name!r} has no numeric reading"
+            )
+        if len(numeric) > 1:
+            raise CadelBindingError(
+                f"device {record.friendly_name!r} has several numeric "
+                f"readings {sorted(n for _, n in numeric)}; name the "
+                "quantity instead ('temperature', 'humidity', ...)"
+            )
+        service_id, variable = numeric[0]
+        return variable_id(record.udn, service_id, variable)
+
+    # -- people & places ----------------------------------------------------------------
+
+    def person_from_word(self, word: str) -> str | None:
+        """Resolve "i"/user names to a canonical person; None for
+        non-person words ('someone' resolves to None-subject events and
+        is handled by the caller)."""
+        if word == "i":
+            if not self.directory.current_user:
+                raise CadelBindingError(
+                    "'I' used but no current user is set for this session"
+                )
+            return self.directory.current_user
+        if self.directory.is_user(word):
+            return self.directory.canonical_user(word)
+        return None
+
+    def person_place_variable(self, person: str) -> str:
+        self._require_locator()
+        return variable_id(self.directory.locator_udn, "locator",
+                           f"{person}_place")
+
+    def person_arrival_variable(self, person: str) -> str:
+        self._require_locator()
+        return variable_id(self.directory.locator_udn, "locator",
+                           f"{person}_last_arrival")
+
+    def occupancy_variable(self, place_words: tuple[str, ...]) -> str:
+        """The presence sensor's ``occupied`` flag for a place."""
+        place = " ".join(place_words)
+        records = [
+            r
+            for r in self.registry.by_service_type(
+                "urn:repro:service:PresenceSensor:1"
+            )
+            if r.location.lower() == place.lower()
+        ]
+        if not records:
+            raise CadelBindingError(f"no presence sensor at {place!r}")
+        record = records[0]
+        service_id = self._service_id_for_type(
+            record, "urn:repro:service:PresenceSensor:1"
+        )
+        return variable_id(record.udn, service_id, "occupied")
+
+    def epg_keywords_variable(self) -> str:
+        if not self.directory.epg_udn:
+            raise CadelBindingError(
+                "no program-guide (EPG) device registered in this home"
+            )
+        return variable_id(self.directory.epg_udn, "guide", "keywords")
+
+    def place_name(self, words: tuple[str, ...]) -> str:
+        return " ".join(words)
+
+    # -- helpers ----------------------------------------------------------------------------
+
+    @staticmethod
+    def _service_id_for_type(record: DeviceRecord, service_type: str) -> str:
+        for service in record.description.get("services", ()):
+            if service["service_type"] == service_type:
+                return service["service_id"]
+        raise CadelBindingError(
+            f"device {record.friendly_name!r} lost service {service_type!r}"
+        )
+
+    def _require_locator(self) -> None:
+        if not self.directory.locator_udn:
+            raise CadelBindingError(
+                "no person-locator device registered in this home"
+            )

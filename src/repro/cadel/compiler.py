@@ -1,0 +1,357 @@
+"""CADEL compiler: AST → core rule objects.
+
+Implements the paper's "a CADEL description is expressed as equivalent a
+'rule object'" (Sect. 4.1): the output is a fully bound
+:class:`~repro.core.rule.Rule` whose condition tree references concrete
+sensor variable ids and whose action names a concrete UPnP action —
+nothing textual remains to interpret at runtime.
+"""
+
+from __future__ import annotations
+
+from repro.cadel.ast import (
+    ActionClause,
+    CondAnd,
+    CondAtom,
+    CondExpr,
+    CondOr,
+    ConfigNode,
+    RuleDef,
+    TimeCond,
+    TimeSpecNode,
+    UserCondRef,
+)
+from repro.cadel.binding import (
+    BRIGHT_ABOVE_LUX,
+    DARK_BELOW_LUX,
+    Binder,
+)
+from repro.cadel.vocabulary import (
+    NUMERIC_KINDS,
+    StateKind,
+    Vocabulary,
+    english_vocabulary,
+)
+from repro.cadel.words import WordDictionary
+from repro.core.action import ActionSpec, Setting
+from repro.core.condition import (
+    AndCondition,
+    Condition,
+    DiscreteAtom,
+    DurationAtom,
+    EventAtom,
+    MembershipAtom,
+    NumericAtom,
+    OrCondition,
+    TimeWindowAtom,
+    conjoin,
+)
+from repro.core.rule import Rule
+from repro.errors import CadelBindingError, CadelTypeError
+from repro.sim.clock import SECONDS_PER_DAY, hhmm
+from repro.solver.linear import LinearConstraint, LinearExpr, Relation
+
+# Named time-of-day windows for "at <named time>".
+NAMED_WINDOWS: dict[str, tuple[float, float]] = {
+    "morning": (hhmm(6), hhmm(12)),
+    "noon": (hhmm(12), hhmm(13)),
+    "afternoon": (hhmm(12), hhmm(17)),
+    "evening": (hhmm(17), hhmm(21)),
+    "night": (hhmm(21), hhmm(6)),
+    "midnight": (hhmm(0), hhmm(1)),
+}
+
+_RELATION_FOR_KIND = {
+    StateKind.NUMERIC_GT: Relation.GT,
+    StateKind.NUMERIC_LT: Relation.LT,
+    StateKind.NUMERIC_GE: Relation.GE,
+    StateKind.NUMERIC_LE: Relation.LE,
+    StateKind.NUMERIC_EQ: Relation.EQ,
+}
+
+_DEVICE_STATE_KEYS = {
+    StateKind.TURNED_ON: "on",
+    StateKind.TURNED_OFF: "off",
+    StateKind.UNLOCKED: "unlocked",
+    StateKind.LOCKED: "locked",
+    StateKind.OPEN: "open",
+    StateKind.CLOSED: "closed",
+}
+
+
+class RuleCompiler:
+    """Compiles parsed CADEL commands into bound rule objects."""
+
+    def __init__(
+        self,
+        binder: Binder,
+        words: WordDictionary | None = None,
+        vocabulary: Vocabulary | None = None,
+    ) -> None:
+        self.binder = binder
+        self.words = words or WordDictionary()
+        self.vocabulary = vocabulary or english_vocabulary()
+
+    # -- rules --------------------------------------------------------------------
+
+    def compile_rule(self, ruledef: RuleDef, *, name: str, owner: str) -> Rule:
+        """Lower a parsed RuleDef into an executable Rule object."""
+        conjuncts: list[Condition] = []
+        if ruledef.pre_time is not None:
+            conjuncts.append(self.compile_timespec(ruledef.pre_time))
+        if ruledef.precondition is not None:
+            conjuncts.append(self.compile_condexpr(ruledef.precondition))
+        condition = conjoin(conjuncts)
+
+        action_spec = self.compile_action(ruledef.action)
+        fallback_spec = None
+        if ruledef.otherwise is not None:
+            fallback_spec = self.compile_action(ruledef.otherwise)
+
+        until = None
+        stop_action = None
+        if ruledef.postcondition is not None:
+            until = self.compile_condexpr(ruledef.postcondition)
+        elif ruledef.post_time is not None:
+            until = self.compile_timespec(ruledef.post_time, as_until=True)
+        if until is not None:
+            stop_action = self._derive_stop_action(ruledef.action)
+
+        return Rule(
+            name=name,
+            owner=owner,
+            condition=condition,
+            action=action_spec,
+            fallback=fallback_spec,
+            until=until,
+            stop_action=stop_action,
+            source_text=ruledef.source_text or ruledef.to_text(),
+        )
+
+    # -- conditions ---------------------------------------------------------------------
+
+    def compile_condexpr(self, expr: CondExpr) -> Condition:
+        if isinstance(expr, CondAnd):
+            return AndCondition(
+                [self.compile_condexpr(child) for child in expr.children]
+            )
+        if isinstance(expr, CondOr):
+            return OrCondition(
+                [self.compile_condexpr(child) for child in expr.children]
+            )
+        if isinstance(expr, TimeCond):
+            return self.compile_timespec(expr.spec)
+        if isinstance(expr, UserCondRef):
+            definition = self.words.condition(expr.word)
+            return self.compile_condexpr(definition)
+        if isinstance(expr, CondAtom):
+            return self._compile_atom(expr)
+        raise CadelTypeError(f"unknown condition node: {type(expr).__name__}")
+
+    def _compile_atom(self, atom: CondAtom) -> Condition:
+        inner = self._compile_atom_core(atom)
+        if atom.period is not None:
+            inner = DurationAtom(inner, atom.period.seconds)
+        return inner
+
+    def _compile_atom_core(self, atom: CondAtom) -> Condition:
+        subject = " ".join(atom.subject_words)
+        text = atom.to_text()
+
+        # Person-centric states -------------------------------------------------
+        if atom.state is StateKind.RETURNS_HOME:
+            person = self._optional_person(atom.subject_words)
+            return EventAtom("returns home", subject=person, text=text)
+        if atom.state is StateKind.ARRIVED_FROM:
+            person = self._required_person(atom.subject_words)
+            origin = " ".join(atom.value_words)
+            return DiscreteAtom(
+                self.binder.person_arrival_variable(person), origin, text=text
+            )
+        if atom.state is StateKind.AT_PLACE:
+            place = self.binder.place_name(atom.value_words)
+            if subject == "nobody":
+                return DiscreteAtom(
+                    self.binder.occupancy_variable(atom.value_words),
+                    "false",
+                    text=text,
+                )
+            if subject in ("someone", "somebody"):
+                return DiscreteAtom(
+                    self.binder.occupancy_variable(atom.value_words),
+                    "true",
+                    text=text,
+                )
+            person = self._required_person(atom.subject_words)
+            return DiscreteAtom(
+                self.binder.person_place_variable(person), place, text=text
+            )
+
+        # Broadcast events --------------------------------------------------------
+        if atom.state is StateKind.ON_AIR:
+            return MembershipAtom(
+                self.binder.epg_keywords_variable(), subject, text=text
+            )
+
+        # Ambient light -------------------------------------------------------------
+        if atom.state in (StateKind.DARK, StateKind.BRIGHT):
+            place_words = atom.place_words or atom.subject_words
+            variable = self.binder.resolve_sensor_variable(
+                "illuminance", place_words
+            )
+            if atom.state is StateKind.DARK:
+                constraint = LinearConstraint.make(
+                    LinearExpr.var(variable), Relation.LT, DARK_BELOW_LUX
+                )
+            else:
+                constraint = LinearConstraint.make(
+                    LinearExpr.var(variable), Relation.GE, BRIGHT_ABOVE_LUX
+                )
+            return NumericAtom(constraint, text=text)
+
+        # Numeric comparisons ----------------------------------------------------------
+        if atom.state in NUMERIC_KINDS:
+            variable = self._numeric_variable(atom)
+            if atom.value is None:
+                raise CadelTypeError(f"comparison without a value: {text!r}")
+            constraint = LinearConstraint.make(
+                LinearExpr.var(variable),
+                _RELATION_FOR_KIND[atom.state],
+                atom.value,
+            )
+            return NumericAtom(constraint, text=text)
+
+        # Device discrete states ----------------------------------------------------------
+        state_key = _DEVICE_STATE_KEYS.get(atom.state)
+        if state_key is not None:
+            record = self.binder.resolve_device(
+                atom.subject_words, atom.place_words
+            )
+            variable, value = self.binder.device_state_variable(record, state_key)
+            return DiscreteAtom(variable, value, text=text)
+
+        raise CadelTypeError(f"unhandled state kind {atom.state} in {text!r}")
+
+    def _numeric_variable(self, atom: CondAtom) -> str:
+        """Resolve the subject of a numeric comparison to a variable id:
+        a sensor kind word ("temperature"), else a named sensor device."""
+        kind = self.vocabulary.sensor_kinds.get(atom.subject_words)
+        if kind is not None:
+            return self.binder.resolve_sensor_variable(kind, atom.place_words)
+        record = self.binder.resolve_device(atom.subject_words, atom.place_words)
+        return self.binder.device_numeric_variable(record)
+
+    def _optional_person(self, subject_words: tuple[str, ...]) -> str | None:
+        if len(subject_words) == 1:
+            word = subject_words[0]
+            if word in ("someone", "somebody", "anybody", "anyone"):
+                return None
+            person = self.binder.person_from_word(word)
+            if person is not None:
+                return person
+        raise CadelBindingError(
+            f"expected a person, got {' '.join(subject_words)!r}"
+        )
+
+    def _required_person(self, subject_words: tuple[str, ...]) -> str:
+        if len(subject_words) == 1:
+            person = self.binder.person_from_word(subject_words[0])
+            if person is not None:
+                return person
+        raise CadelBindingError(
+            f"expected a person, got {' '.join(subject_words)!r}"
+        )
+
+    # -- time specs ------------------------------------------------------------------------
+
+    def compile_timespec(
+        self, spec: TimeSpecNode, as_until: bool = False
+    ) -> TimeWindowAtom:
+        """Lower a TimeSpec to a window atom.
+
+        ``as_until`` handles the postcondition reading of a TimeSpec
+        ("... until 23:00"): the produced window *starts* at the given
+        time so the rule's ``until`` trigger fires when it is reached.
+        """
+        label = spec.to_text()
+        if as_until:
+            if spec.time_of_day is None:
+                raise CadelTypeError(f"cannot use {label!r} as a stop time")
+            start = spec.time_of_day
+            end = (spec.time_of_day + hhmm(1)) % SECONDS_PER_DAY
+            return TimeWindowAtom(start, end, weekday=spec.weekday, label=label)
+        if spec.named is not None and spec.preposition == "at":
+            start, end = NAMED_WINDOWS[spec.named]
+            return TimeWindowAtom(start, end, weekday=spec.weekday, label=label)
+        if spec.time_of_day is None:
+            # Pure weekday spec: "at every sunday".
+            return TimeWindowAtom(0.0, SECONDS_PER_DAY, weekday=spec.weekday,
+                                  label=label)
+        if spec.preposition == "after":
+            return TimeWindowAtom(spec.time_of_day, SECONDS_PER_DAY,
+                                  weekday=spec.weekday, label=label)
+        if spec.preposition in ("until", "before"):
+            return TimeWindowAtom(0.0, spec.time_of_day, weekday=spec.weekday,
+                                  label=label)
+        # "at <clock time>": a one-minute trigger window.
+        end = min(spec.time_of_day + 60.0, SECONDS_PER_DAY)
+        return TimeWindowAtom(spec.time_of_day, end, weekday=spec.weekday,
+                              label=label)
+
+    # -- actions --------------------------------------------------------------------------------
+
+    def compile_action(self, clause: ActionClause) -> ActionSpec:
+        record = self.binder.resolve_device(
+            clause.target.name_words, clause.target.place_words,
+            prefer_category="appliance",
+        )
+        command = self.binder.resolve_command(record, clause.verb)
+        settings = self._compile_settings(clause.config, command.in_args,
+                                          record.friendly_name)
+        return ActionSpec(
+            device_udn=record.udn,
+            device_name=record.friendly_name,
+            service_id=command.service_id,
+            action_name=command.action_name,
+            settings=settings,
+            verb_text=clause.verb,
+        )
+
+    def _compile_settings(
+        self,
+        config: ConfigNode | None,
+        accepted_args: tuple[str, ...],
+        device_name: str,
+    ) -> tuple[Setting, ...]:
+        if config is None:
+            return ()
+        rows = list(config.settings)
+        for word in config.word_refs:
+            rows.extend(self.words.configuration(word))
+        settings = []
+        for row in rows:
+            if row.parameter not in accepted_args:
+                raise CadelTypeError(
+                    f"device {device_name!r} does not accept a "
+                    f"{row.parameter!r} setting (accepted: "
+                    f"{sorted(accepted_args)})"
+                )
+            settings.append(Setting(row.parameter, row.value))
+        return tuple(settings)
+
+    def _derive_stop_action(self, clause: ActionClause) -> ActionSpec | None:
+        record = self.binder.resolve_device(
+            clause.target.name_words, clause.target.place_words,
+            prefer_category="appliance",
+        )
+        command = self.binder.opposite_command(record, clause.verb)
+        if command is None:
+            return None
+        return ActionSpec(
+            device_udn=record.udn,
+            device_name=record.friendly_name,
+            service_id=command.service_id,
+            action_name=command.action_name,
+            settings=(),
+            verb_text=f"stop ({clause.verb})",
+        )

@@ -1,0 +1,123 @@
+"""CADEL tokenizer.
+
+Produces a flat stream of word / number / quoted-string / punctuation
+tokens.  All multi-word constructs ("turn on", "is higher than", device
+names like "air conditioner") are assembled by the parser against the
+vocabulary — the lexer stays dumb and language-agnostic.
+
+Normalization choices:
+
+* everything is lower-cased (CADEL is case-insensitive);
+* common English contractions expand ("I'm" → "i am", "let's" →
+  "let us") so the grammar only deals in plain words;
+* ``%`` becomes the word ``percent``; clock times ("17:30") stay single
+  tokens of kind CLOCK.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import CadelSyntaxError
+
+_CONTRACTIONS = {
+    "i'm": ("i", "am"),
+    "it's": ("it", "is"),
+    "let's": ("let", "us"),
+    "don't": ("do", "not"),
+    "doesn't": ("does", "not"),
+    "isn't": ("is", "not"),
+    "aren't": ("are", "not"),
+    "that's": ("that", "is"),
+}
+
+_PUNCTUATION = {",", ";", "(", ")", "."}
+
+
+class TokenKind(Enum):
+    WORD = "word"
+    NUMBER = "number"
+    CLOCK = "clock"      # "17:30"
+    QUOTED = "quoted"    # "hot and stuffy"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+    value: float | None = None  # numeric payload for NUMBER tokens
+
+    def is_word(self, *texts: str) -> bool:
+        return self.kind is TokenKind.WORD and self.text in texts
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}:{self.text!r}@{self.position})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize one CADEL sentence; raises CadelSyntaxError on stray
+    characters and unterminated quotes."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == '"' or ch == "“":
+            end_quote = '"' if ch == '"' else "”"
+            j = text.find(end_quote, i + 1)
+            if j < 0:
+                raise CadelSyntaxError("unterminated quote", text, i)
+            tokens.append(
+                Token(TokenKind.QUOTED, text[i + 1:j].strip().lower(), i)
+            )
+            i = j + 1
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(TokenKind.PUNCT, ch, i))
+            i += 1
+            continue
+        if ch == "%":
+            tokens.append(Token(TokenKind.WORD, "percent", i))
+            i += 1
+            continue
+        if ch.isdigit():
+            j = i
+            seen_colon = False
+            seen_dot = False
+            while j < n and (text[j].isdigit() or text[j] in ":."):
+                if text[j] == ":":
+                    seen_colon = True
+                if text[j] == ".":
+                    if seen_dot or j + 1 >= n or not text[j + 1].isdigit():
+                        break  # sentence-final period, not a decimal point
+                    seen_dot = True
+                j += 1
+            chunk = text[i:j]
+            if seen_colon:
+                tokens.append(Token(TokenKind.CLOCK, chunk, i))
+            else:
+                tokens.append(Token(TokenKind.NUMBER, chunk, i, value=float(chunk)))
+            i = j
+            continue
+        if ch.isalpha():
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "'-_"):
+                j += 1
+            raw = text[i:j].lower()
+            if raw in _CONTRACTIONS:
+                for part in _CONTRACTIONS[raw]:
+                    tokens.append(Token(TokenKind.WORD, part, i))
+            else:
+                tokens.append(Token(TokenKind.WORD, raw.rstrip("'"), i))
+            i = j
+            continue
+        raise CadelSyntaxError(f"unexpected character {ch!r}", text, i)
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens

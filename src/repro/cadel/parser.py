@@ -1,0 +1,655 @@
+"""Recursive-descent parser for CADEL (Table 1 of the paper).
+
+The grammar is word-based with multi-word terminals, so the parser works
+on the lexer's flat token stream and performs longest-match against the
+vocabulary's phrase tables ("is on air" before "is on").  Backtracking
+is explicit via save/restore of the cursor, used where the grammar is
+locally ambiguous:
+
+* "at ..." starts either a TimeSpec ("at night") or a place modifier
+  ("at the hall") — try the TimeSpec, fall back;
+* the trailing word of a ``<CondDef>`` may itself contain "and"
+  ("hot **and** stuffy"): the conjunction loop backtracks when the next
+  conjunct fails to parse and leaves the words to the definition.
+"""
+
+from __future__ import annotations
+
+from repro.cadel.ast import (
+    ActionClause,
+    Command,
+    CondAnd,
+    CondAtom,
+    CondDef,
+    CondExpr,
+    CondOr,
+    ConfDef,
+    ConfigNode,
+    ObjectRef,
+    PeriodNode,
+    RuleDef,
+    SettingNode,
+    TimeCond,
+    TimeSpecNode,
+    UserCondRef,
+)
+from repro.cadel.lexer import Token, TokenKind, tokenize
+from repro.cadel.vocabulary import (
+    NUMERIC_KINDS,
+    StateKind,
+    Vocabulary,
+    WORDED_KINDS,
+    english_vocabulary,
+)
+from repro.cadel.words import WordDictionary
+from repro.errors import CadelSyntaxError
+from repro.sim.clock import hhmm
+
+# Words that terminate a free-word run (subjects, place names, values).
+_STOP_WORDS = frozenset({
+    "and", "or", "then", "if", "when", "with", "for", "from",
+    "after", "until", "before", "otherwise",
+})
+
+
+class _Cursor:
+    """Token cursor with save/restore backtracking."""
+
+    def __init__(self, tokens: list[Token], text: str):
+        self.tokens = tokens
+        self.text = text
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def at_eof(self) -> bool:
+        return self.peek().kind is TokenKind.EOF
+
+    def save(self) -> int:
+        return self.pos
+
+    def restore(self, mark: int) -> None:
+        self.pos = mark
+
+    def skip_punct(self, *texts: str) -> bool:
+        if self.peek().kind is TokenKind.PUNCT and (
+            not texts or self.peek().text in texts
+        ):
+            self.advance()
+            return True
+        return False
+
+    def error(self, message: str) -> CadelSyntaxError:
+        return CadelSyntaxError(message, self.text, self.peek().position)
+
+
+class CadelParser:
+    """Parses CADEL commands into AST nodes.
+
+    Args:
+        vocabulary: natural-language phrase tables (default: English).
+        words: user-defined word dictionary consulted when recognizing
+            ``<UserDefinedCond>`` / ``<UserDefinedConf>`` references.
+    """
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary | None = None,
+        words: WordDictionary | None = None,
+    ) -> None:
+        self.vocabulary = vocabulary or english_vocabulary()
+        self.words = words or WordDictionary()
+
+    # -- entry points ----------------------------------------------------------
+
+    def parse_condition(self, text: str) -> CondExpr:
+        """Parse a bare condition expression ("alan got home from work"),
+        used for priority-order contexts and tests."""
+        cursor = _Cursor(tokenize(text), text)
+        expr = self._parse_condexpr(cursor)
+        cursor.skip_punct(".")
+        if not cursor.at_eof():
+            raise cursor.error(
+                f"unexpected trailing input: {cursor.peek().text!r}"
+            )
+        return expr
+
+    def parse(self, text: str) -> Command:
+        """Parse one CADEL sentence into a RuleDef, CondDef or ConfDef."""
+        cursor = _Cursor(tokenize(text), text)
+        if self._try_phrase(cursor, self.vocabulary.conddef_prefix):
+            command: Command = self._parse_conddef(cursor)
+        elif self._try_phrase(cursor, self.vocabulary.confdef_prefix):
+            command = self._parse_confdef(cursor)
+        else:
+            command = self._parse_ruledef(cursor, text)
+        cursor.skip_punct(".")
+        if not cursor.at_eof():
+            raise cursor.error(
+                f"unexpected trailing input: {cursor.peek().text!r}"
+            )
+        return command
+
+    # -- phrase matching helpers --------------------------------------------------
+
+    def _try_phrase(self, cursor: _Cursor, phrase: tuple[str, ...]) -> bool:
+        if not phrase:
+            return False
+        mark = cursor.save()
+        for word in phrase:
+            token = cursor.peek()
+            if token.kind is not TokenKind.WORD or token.text != word:
+                cursor.restore(mark)
+                return False
+            cursor.advance()
+        return True
+
+    def _match_table(self, cursor: _Cursor, table: dict) -> object | None:
+        """Longest-phrase match against a vocabulary table; consumes it."""
+        for phrase in self.vocabulary.phrases_by_length(table):
+            if self._try_phrase(cursor, phrase):
+                return table[phrase]
+        return None
+
+    def _peek_table(self, cursor: _Cursor, table: dict, offset: int = 0) -> bool:
+        mark = cursor.save()
+        for _ in range(offset):
+            cursor.advance()
+        matched = self._match_table(cursor, table) is not None
+        cursor.restore(mark)
+        return matched
+
+    # -- RuleDef --------------------------------------------------------------------
+
+    def _parse_ruledef(self, cursor: _Cursor, source_text: str) -> RuleDef:
+        pre_time = self._try_timespec(cursor)
+        cursor.skip_punct(",")
+        precondition: CondExpr | None = None
+        if cursor.peek().is_word("if", "when"):
+            cursor.advance()
+            precondition = self._parse_condexpr(cursor)
+            if cursor.peek().is_word("then"):
+                cursor.advance()
+            cursor.skip_punct(",")
+        if pre_time is None:
+            # Grammar also allows <TimeSpec> after the "if" clause's comma.
+            pre_time = self._try_timespec(cursor)
+            cursor.skip_punct(",")
+        action = self._parse_action_clause(cursor)
+        otherwise = None
+        cursor.skip_punct(",", ";")
+        if cursor.peek().is_word("otherwise"):
+            cursor.advance()
+            otherwise = self._parse_action_clause(cursor)
+            cursor.skip_punct(",", ";")
+        post_time = None
+        postcondition = None
+        if cursor.peek().is_word("if", "when"):
+            cursor.advance()
+            postcondition = self._parse_condexpr(cursor)
+        else:
+            post_time = self._try_timespec(cursor)
+        return RuleDef(
+            action=action,
+            pre_time=pre_time,
+            precondition=precondition,
+            post_time=post_time,
+            postcondition=postcondition,
+            otherwise=otherwise,
+            source_text=source_text,
+        )
+
+    def _parse_action_clause(self, cursor: _Cursor) -> ActionClause:
+        verb = self._match_table(cursor, self.vocabulary.verbs)
+        if verb is None:
+            raise cursor.error(
+                f"expected an action verb, got {cursor.peek().text!r}"
+            )
+        target = self._parse_object(cursor)
+        config = None
+        if cursor.peek().is_word("with"):
+            cursor.advance()
+            config = self._parse_configuration(cursor)
+        return ActionClause(verb=str(verb), target=target, config=config)
+
+    def _parse_object(self, cursor: _Cursor) -> ObjectRef:
+        if cursor.peek().text in self.vocabulary.articles:
+            cursor.advance()
+        name_words = self._collect_words(cursor, allow_at=False)
+        if not name_words:
+            raise cursor.error("expected a device name")
+        place_words: tuple[str, ...] = ()
+        if cursor.peek().is_word("at"):
+            mark = cursor.save()
+            if self._try_timespec_from(cursor) is None:
+                cursor.restore(mark)
+                cursor.advance()  # "at"
+                if cursor.peek().text in self.vocabulary.articles:
+                    cursor.advance()
+                place_words = self._collect_words(cursor, allow_at=False)
+                if not place_words:
+                    raise cursor.error("expected a place after 'at'")
+            else:
+                cursor.restore(mark)  # it was a TimeSpec; leave for caller
+        return ObjectRef(name_words=name_words, place_words=place_words)
+
+    def _collect_words(self, cursor: _Cursor, allow_at: bool) -> tuple[str, ...]:
+        """Consume a run of free words (device/place/subject names);
+        "at" terminates the run unless ``allow_at`` keeps it inline (for
+        subjects with location modifiers, "temperature at the hall")."""
+        collected: list[str] = []
+        while True:
+            token = cursor.peek()
+            if token.kind is not TokenKind.WORD:
+                break
+            if token.text in _STOP_WORDS:
+                break
+            if token.text == "at" and not allow_at:
+                break
+            collected.append(token.text)
+            cursor.advance()
+        return tuple(collected)
+
+    # -- configuration --------------------------------------------------------------
+
+    def _parse_configuration(self, cursor: _Cursor) -> ConfigNode:
+        settings: list[SettingNode] = []
+        word_refs: list[str] = []
+        while True:
+            parsed = self._parse_config_item(cursor, settings, word_refs)
+            if not parsed:
+                raise cursor.error("expected a setting or configuration word")
+            if cursor.peek().is_word("and"):
+                cursor.advance()
+                continue
+            break
+        return ConfigNode(settings=tuple(settings), word_refs=tuple(word_refs))
+
+    def _parse_config_item(
+        self,
+        cursor: _Cursor,
+        settings: list[SettingNode],
+        word_refs: list[str],
+    ) -> bool:
+        token = cursor.peek()
+        if token.kind is TokenKind.QUOTED:
+            cursor.advance()
+            word_refs.append(token.text)
+            return True
+        # Try an explicit "<value> of <parameter> setting" row.
+        mark = cursor.save()
+        setting = self._try_setting_row(cursor)
+        if setting is not None:
+            settings.append(setting)
+            return True
+        cursor.restore(mark)
+        # Try a defined configuration word (longest match).
+        upcoming = self._upcoming_words(cursor)
+        match = self.words.match_configuration_word(upcoming)
+        if match is not None:
+            for _ in match:
+                cursor.advance()
+            word_refs.append(" ".join(match))
+            return True
+        # Unknown bare word(s): accept a free word run as a word reference
+        # (binding will fail later with a clear error if undefined).
+        free = self._collect_words(cursor, allow_at=False)
+        if free:
+            word_refs.append(" ".join(free))
+            return True
+        return False
+
+    def _try_setting_row(self, cursor: _Cursor) -> SettingNode | None:
+        token = cursor.peek()
+        value: float | str
+        unit = None
+        if token.kind is TokenKind.NUMBER:
+            cursor.advance()
+            value = float(token.value)
+            unit_info = self._match_table(cursor, self.vocabulary.value_units)
+            if unit_info is not None:
+                unit = unit_info[0]
+        elif token.kind is TokenKind.WORD and token.text not in _STOP_WORDS:
+            # word value, possibly multi-word ("tv sound of source setting")
+            value_words = []
+            offset = 0
+            while True:
+                ahead = cursor.peek(offset)
+                if ahead.kind is not TokenKind.WORD or ahead.text in _STOP_WORDS:
+                    return None
+                if ahead.text == "of":
+                    break
+                value_words.append(ahead.text)
+                offset += 1
+                if offset > 6:
+                    return None
+            if not value_words:
+                return None
+            for _ in value_words:
+                cursor.advance()
+            value = " ".join(value_words)
+        else:
+            return None
+        if not cursor.peek().is_word("of"):
+            return None
+        cursor.advance()
+        parameter = cursor.peek()
+        if parameter.kind is not TokenKind.WORD or \
+                parameter.text not in self.vocabulary.parameters:
+            return None
+        cursor.advance()
+        if not cursor.peek().is_word("setting"):
+            return None
+        cursor.advance()
+        if unit == "fahrenheit" and isinstance(value, float):
+            value = (value - 32.0) * 5.0 / 9.0
+            unit = "celsius"
+        return SettingNode(parameter=parameter.text, value=value, unit=unit)
+
+    def _upcoming_words(self, cursor: _Cursor, limit: int = 8) -> list[str]:
+        words = []
+        for offset in range(limit):
+            token = cursor.peek(offset)
+            if token.kind is not TokenKind.WORD:
+                break
+            words.append(token.text)
+        return words
+
+    # -- conditions -------------------------------------------------------------------
+
+    def _parse_condexpr(self, cursor: _Cursor) -> CondExpr:
+        return self._parse_or(cursor)
+
+    def _parse_or(self, cursor: _Cursor) -> CondExpr:
+        children = [self._parse_and(cursor)]
+        while cursor.peek().is_word("or"):
+            mark = cursor.save()
+            cursor.advance()
+            try:
+                children.append(self._parse_and(cursor))
+            except CadelSyntaxError:
+                cursor.restore(mark)
+                break
+        if len(children) == 1:
+            return children[0]
+        return CondOr(children=tuple(children))
+
+    def _parse_and(self, cursor: _Cursor) -> CondExpr:
+        children = [self._parse_primary(cursor)]
+        while cursor.peek().is_word("and"):
+            mark = cursor.save()
+            cursor.advance()
+            try:
+                children.append(self._parse_primary(cursor))
+            except CadelSyntaxError:
+                cursor.restore(mark)
+                break
+        if len(children) == 1:
+            return children[0]
+        return CondAnd(children=tuple(children))
+
+    def _parse_primary(self, cursor: _Cursor) -> CondExpr:
+        if cursor.peek().kind is TokenKind.PUNCT and cursor.peek().text == "(":
+            cursor.advance()
+            expr = self._parse_condexpr(cursor)
+            if not cursor.skip_punct(")"):
+                raise cursor.error("expected ')'")
+            return expr
+        # A TimeSpec can stand alone inside a condition ("after 22:00").
+        spec = self._try_timespec(cursor)
+        if spec is not None:
+            return TimeCond(spec=spec)
+        token = cursor.peek()
+        if token.kind is TokenKind.QUOTED:
+            cursor.advance()
+            return self._with_tail(cursor, UserCondRef(word=token.text))
+        # Direct user-word reference ("hot and stuffy" with no subject).
+        match = self.words.match_condition_word(self._upcoming_words(cursor))
+        if match is not None:
+            for _ in match:
+                cursor.advance()
+            return self._with_tail(cursor, UserCondRef(word=" ".join(match)))
+        return self._parse_cond_atom(cursor)
+
+    def _with_tail(self, cursor: _Cursor, expr: CondExpr) -> CondExpr:
+        """Attach an optional trailing TimeSpec as a conjunction."""
+        spec = self._try_timespec(cursor)
+        if spec is None:
+            return expr
+        return CondAnd(children=(expr, TimeCond(spec=spec)))
+
+    def _parse_cond_atom(self, cursor: _Cursor) -> CondExpr:
+        subject, place = self._parse_subject(cursor)
+        # "<subject> is <user word>" — defined word used as an adjective.
+        mark = cursor.save()
+        if cursor.peek().text in self.vocabulary.be_words:
+            cursor.advance()
+            match = self.words.match_condition_word(self._upcoming_words(cursor))
+            if match is not None:
+                for _ in match:
+                    cursor.advance()
+                ref = UserCondRef(word=" ".join(match), subject_words=subject,
+                                  place_words=place)
+                return self._with_tail(cursor, ref)
+            if cursor.peek().kind is TokenKind.QUOTED:
+                token = cursor.advance()
+                ref = UserCondRef(word=token.text, subject_words=subject,
+                                  place_words=place)
+                return self._with_tail(cursor, ref)
+            cursor.restore(mark)
+        state = self._match_table(cursor, self.vocabulary.state_phrases)
+        if state is None:
+            raise cursor.error(
+                f"expected a state phrase after {' '.join(subject)!r}"
+            )
+        value: float | None = None
+        unit: str | None = None
+        value_words: tuple[str, ...] = ()
+        if state in NUMERIC_KINDS:
+            number = cursor.peek()
+            if number.kind is not TokenKind.NUMBER:
+                raise cursor.error("expected a number in the comparison")
+            cursor.advance()
+            value = float(number.value)
+            unit_info = self._match_table(cursor, self.vocabulary.value_units)
+            if unit_info is not None:
+                unit = unit_info[0]
+                if unit == "fahrenheit":
+                    value = (value - 32.0) * 5.0 / 9.0
+                    unit = "celsius"
+        elif state in WORDED_KINDS:
+            if cursor.peek().text in self.vocabulary.articles:
+                cursor.advance()
+            value_words = self._collect_words(cursor, allow_at=False)
+            if not value_words:
+                raise cursor.error("expected words after the state phrase")
+        period = self._try_period(cursor)
+        atom = CondAtom(
+            subject_words=subject,
+            state=state,  # type: ignore[arg-type]
+            place_words=place,
+            value=value,
+            unit=unit,
+            value_words=value_words,
+            period=period,
+        )
+        return self._with_tail(cursor, atom)
+
+    def _parse_subject(
+        self, cursor: _Cursor
+    ) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """Collect subject words, stopping where a state phrase (or a
+        bare be-word, for user-word adjectives) begins."""
+        if cursor.peek().text in self.vocabulary.articles:
+            cursor.advance()
+        collected: list[str] = []
+        while True:
+            token = cursor.peek()
+            if token.kind is not TokenKind.WORD:
+                break
+            if token.text in _STOP_WORDS:
+                break
+            if token.text in self.vocabulary.be_words:
+                break
+            if self._peek_table(cursor, self.vocabulary.state_phrases):
+                break
+            if token.text not in self.vocabulary.articles:
+                collected.append(token.text)
+            cursor.advance()
+        words = tuple(collected)
+        if not words:
+            raise cursor.error("expected a sensor, person, place or event")
+        if "at" in words:
+            split = words.index("at")
+            subject = tuple(words[:split])
+            place = tuple(w for w in words[split + 1:]
+                          if w not in self.vocabulary.articles)
+            if not subject or not place:
+                raise cursor.error("malformed location modifier")
+            return subject, place
+        return tuple(words), ()
+
+    def _try_period(self, cursor: _Cursor) -> PeriodNode | None:
+        if not cursor.peek().is_word("for"):
+            return None
+        mark = cursor.save()
+        cursor.advance()
+        number = cursor.peek()
+        if number.kind is not TokenKind.NUMBER:
+            cursor.restore(mark)
+            return None
+        cursor.advance()
+        unit = cursor.peek()
+        multiplier = self.vocabulary.period_units.get(unit.text)
+        if unit.kind is not TokenKind.WORD or multiplier is None:
+            cursor.restore(mark)
+            return None
+        cursor.advance()
+        seconds = float(number.value) * multiplier
+        return PeriodNode(seconds=seconds,
+                          source=f"for {number.value:g} {unit.text}")
+
+    # -- time specs ------------------------------------------------------------------------
+
+    def _try_timespec(self, cursor: _Cursor) -> TimeSpecNode | None:
+        mark = cursor.save()
+        spec = self._try_timespec_from(cursor)
+        if spec is None:
+            cursor.restore(mark)
+        return spec
+
+    def _try_timespec_from(self, cursor: _Cursor) -> TimeSpecNode | None:
+        token = cursor.peek()
+        if token.kind is not TokenKind.WORD or \
+                token.text not in self.vocabulary.time_prepositions:
+            return None
+        preposition = token.text
+        cursor.advance()
+        weekday = None
+        if cursor.peek().is_word("every"):
+            cursor.advance()
+            day = cursor.peek()
+            weekday = self.vocabulary.weekdays.get(day.text)
+            if weekday is None:
+                return None
+            cursor.advance()
+        token = cursor.peek()
+        if token.kind is TokenKind.WORD and token.text in self.vocabulary.named_times:
+            cursor.advance()
+            return TimeSpecNode(
+                preposition=preposition,
+                time_of_day=self.vocabulary.named_times[token.text],
+                named=token.text,
+                weekday=weekday,
+            )
+        if token.kind is TokenKind.CLOCK:
+            cursor.advance()
+            hour_text, _, minute_text = token.text.partition(":")
+            try:
+                tod = hhmm(int(hour_text) % 24, int(minute_text))
+            except Exception:
+                return None
+            tod = self._apply_am_pm(cursor, tod, int(hour_text))
+            return TimeSpecNode(preposition=preposition, time_of_day=tod,
+                                weekday=weekday)
+        if token.kind is TokenKind.NUMBER and token.value is not None \
+                and float(token.value).is_integer() and 0 <= token.value <= 24:
+            cursor.advance()
+            hour = int(token.value)
+            tod = hhmm(hour % 24)
+            tod = self._apply_am_pm(cursor, tod, hour)
+            return TimeSpecNode(preposition=preposition, time_of_day=tod,
+                                weekday=weekday)
+        if weekday is not None:
+            # "at every sunday" with no time-of-day: whole-day spec.
+            return TimeSpecNode(preposition=preposition, weekday=weekday)
+        return None
+
+    def _apply_am_pm(self, cursor: _Cursor, tod: float, hour: int) -> float:
+        token = cursor.peek()
+        if token.is_word("pm") and hour < 12:
+            cursor.advance()
+            return tod + hhmm(12)
+        if token.is_word("pm") or token.is_word("am"):
+            cursor.advance()
+            if token.text == "am" and hour == 12:
+                return tod - hhmm(12)
+        return tod
+
+    # -- CondDef / ConfDef --------------------------------------------------------------------
+
+    def _parse_conddef(self, cursor: _Cursor) -> CondDef:
+        expr = self._parse_condexpr(cursor)
+        word = self._trailing_word(cursor)
+        return CondDef(expr=expr, word=word)
+
+    def _parse_confdef(self, cursor: _Cursor) -> ConfDef:
+        settings: list[SettingNode] = []
+        while True:
+            setting = self._try_setting_row(cursor)
+            if setting is None:
+                raise cursor.error("expected '<value> of <parameter> setting'")
+            settings.append(setting)
+            if cursor.peek().is_word("and") and \
+                    self._peek_setting_follows(cursor):
+                cursor.advance()
+                continue
+            break
+        word = self._trailing_word(cursor)
+        return ConfDef(settings=tuple(settings), word=word)
+
+    def _peek_setting_follows(self, cursor: _Cursor) -> bool:
+        mark = cursor.save()
+        cursor.advance()  # "and"
+        ok = self._try_setting_row(cursor) is not None
+        cursor.restore(mark)
+        return ok
+
+    def _trailing_word(self, cursor: _Cursor) -> str:
+        token = cursor.peek()
+        if token.kind is TokenKind.QUOTED:
+            cursor.advance()
+            return token.text
+        words: list[str] = []
+        while cursor.peek().kind is TokenKind.WORD:
+            words.append(cursor.advance().text)
+        if not words:
+            raise cursor.error("expected the new word being defined")
+        return " ".join(words)
+
+
+def parse_command(
+    text: str,
+    vocabulary: Vocabulary | None = None,
+    words: WordDictionary | None = None,
+) -> Command:
+    """One-shot convenience wrapper around :class:`CadelParser`."""
+    return CadelParser(vocabulary=vocabulary, words=words).parse(text)

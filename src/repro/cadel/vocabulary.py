@@ -1,0 +1,204 @@
+"""CADEL vocabulary: the terminal phrase tables of Table 1.
+
+The parser consults a :class:`Vocabulary` for every multi-word terminal
+(verbs, state phrases, time words, units...), so a vocabulary instance
+*is* a concrete natural-language binding of CADEL.  The paper:
+"different versions of CADEL based on any other languages can be
+defined.  Users can use their mother language based CADEL to describe
+rules" — to localize, construct a Vocabulary with translated phrase
+tables (see ``tests/cadel/test_localization.py`` for a miniature
+Japanese-romaji example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.sim.clock import hhmm
+
+
+class StateKind(Enum):
+    """Semantic category of a ``<State>`` phrase."""
+
+    NUMERIC_GT = "gt"
+    NUMERIC_LT = "lt"
+    NUMERIC_GE = "ge"
+    NUMERIC_LE = "le"
+    NUMERIC_EQ = "eq"
+    TURNED_ON = "on"
+    TURNED_OFF = "off"
+    DARK = "dark"
+    BRIGHT = "bright"
+    AT_PLACE = "at-place"
+    ON_AIR = "on-air"
+    UNLOCKED = "unlocked"
+    LOCKED = "locked"
+    OPEN = "open"
+    CLOSED = "closed"
+    RETURNS_HOME = "returns-home"   # instantaneous event
+    ARRIVED_FROM = "arrived-from"   # sticky arrival context ("got home from work")
+    USER_WORD = "user-word"         # reference to a <CondDef> word
+
+
+# Which state kinds need a numeric value ("higher than *28 degrees*")
+NUMERIC_KINDS = frozenset({
+    StateKind.NUMERIC_GT,
+    StateKind.NUMERIC_LT,
+    StateKind.NUMERIC_GE,
+    StateKind.NUMERIC_LE,
+    StateKind.NUMERIC_EQ,
+})
+
+# Which state kinds take trailing words ("at *the living room*",
+# "got home from *work*")
+WORDED_KINDS = frozenset({StateKind.AT_PLACE, StateKind.ARRIVED_FROM})
+
+
+@dataclass
+class Vocabulary:
+    """Phrase tables for one natural-language binding of CADEL.
+
+    Phrases are stored as tuples of lower-case words; the parser always
+    tries the longest phrase first, so "is on air" shadows "is on".
+    """
+
+    verbs: dict[tuple[str, ...], str] = field(default_factory=dict)
+    articles: frozenset[str] = frozenset({"a", "an", "the"})
+    be_words: frozenset[str] = frozenset({"is", "are", "am"})
+    state_phrases: dict[tuple[str, ...], StateKind] = field(default_factory=dict)
+    # units: phrase -> (unit name, multiplier to canonical unit)
+    value_units: dict[tuple[str, ...], tuple[str, float]] = field(default_factory=dict)
+    period_units: dict[str, float] = field(default_factory=dict)
+    named_times: dict[str, float] = field(default_factory=dict)
+    weekdays: dict[str, int] = field(default_factory=dict)
+    time_prepositions: frozenset[str] = frozenset({"after", "at", "until", "before"})
+    parameters: frozenset[str] = field(default_factory=frozenset)
+    sensor_kinds: dict[tuple[str, ...], str] = field(default_factory=dict)
+    person_words: frozenset[str] = frozenset({"i", "someone", "somebody", "nobody"})
+    conddef_prefix: tuple[str, ...] = ()
+    confdef_prefix: tuple[str, ...] = ()
+
+    def phrases_by_length(
+        self, table: dict[tuple[str, ...], object]
+    ) -> list[tuple[str, ...]]:
+        return sorted(table, key=len, reverse=True)
+
+
+def english_vocabulary() -> Vocabulary:
+    """The English CADEL binding used throughout the paper's examples."""
+    verbs = {
+        ("turn", "on"): "turn on",
+        ("switch", "on"): "turn on",
+        ("turn", "off"): "turn off",
+        ("switch", "off"): "turn off",
+        ("record",): "record",
+        ("play",): "play",
+        ("play", "back"): "play back",
+        ("start",): "start",
+        ("stop",): "stop",
+        ("lock",): "lock",
+        ("unlock",): "unlock",
+        ("show",): "show",
+        ("dim",): "dim",
+        ("set",): "set",
+        ("open",): "open",
+        ("close",): "close",
+    }
+    state_phrases = {
+        ("is", "higher", "than"): StateKind.NUMERIC_GT,
+        ("is", "greater", "than"): StateKind.NUMERIC_GT,
+        ("is", "hotter", "than"): StateKind.NUMERIC_GT,
+        ("is", "more", "than"): StateKind.NUMERIC_GT,
+        ("is", "over"): StateKind.NUMERIC_GT,
+        ("is", "above"): StateKind.NUMERIC_GT,
+        ("is", "lower", "than"): StateKind.NUMERIC_LT,
+        ("is", "less", "than"): StateKind.NUMERIC_LT,
+        ("is", "colder", "than"): StateKind.NUMERIC_LT,
+        ("is", "under"): StateKind.NUMERIC_LT,
+        ("is", "below"): StateKind.NUMERIC_LT,
+        ("is", "at", "least"): StateKind.NUMERIC_GE,
+        ("is", "at", "most"): StateKind.NUMERIC_LE,
+        ("is", "exactly"): StateKind.NUMERIC_EQ,
+        ("is", "turned", "on"): StateKind.TURNED_ON,
+        ("are", "turned", "on"): StateKind.TURNED_ON,
+        ("is", "turned", "off"): StateKind.TURNED_OFF,
+        ("are", "turned", "off"): StateKind.TURNED_OFF,
+        ("is", "dark"): StateKind.DARK,
+        ("is", "bright"): StateKind.BRIGHT,
+        ("is", "at"): StateKind.AT_PLACE,
+        ("are", "at"): StateKind.AT_PLACE,
+        ("is", "in"): StateKind.AT_PLACE,
+        ("are", "in"): StateKind.AT_PLACE,
+        ("am", "at"): StateKind.AT_PLACE,
+        ("am", "in"): StateKind.AT_PLACE,
+        ("is", "on", "air"): StateKind.ON_AIR,
+        ("is", "unlocked"): StateKind.UNLOCKED,
+        ("is", "locked"): StateKind.LOCKED,
+        ("is", "open"): StateKind.OPEN,
+        ("is", "closed"): StateKind.CLOSED,
+        ("returns", "home"): StateKind.RETURNS_HOME,
+        ("return", "home"): StateKind.RETURNS_HOME,
+        ("comes", "back"): StateKind.RETURNS_HOME,
+        ("come", "back"): StateKind.RETURNS_HOME,
+        ("got", "home", "from"): StateKind.ARRIVED_FROM,
+        ("get", "home", "from"): StateKind.ARRIVED_FROM,
+    }
+    value_units = {
+        ("degrees", "celsius"): ("celsius", 1.0),
+        ("degree", "celsius"): ("celsius", 1.0),
+        ("degrees", "fahrenheit"): ("fahrenheit", 1.0),
+        ("degree", "fahrenheit"): ("fahrenheit", 1.0),
+        ("degrees", "c"): ("celsius", 1.0),
+        ("degrees", "f"): ("fahrenheit", 1.0),
+        ("degrees",): ("celsius", 1.0),
+        ("degree",): ("celsius", 1.0),
+        ("percent",): ("percent", 1.0),
+        ("lux",): ("lux", 1.0),
+        ("decibels",): ("decibel", 1.0),
+    }
+    period_units = {
+        "second": 1.0,
+        "seconds": 1.0,
+        "minute": 60.0,
+        "minutes": 60.0,
+        "hour": 3600.0,
+        "hours": 3600.0,
+    }
+    named_times = {
+        "morning": hhmm(6),
+        "noon": hhmm(12),
+        "afternoon": hhmm(12),
+        "evening": hhmm(17),
+        "night": hhmm(21),
+        "midnight": hhmm(0),
+    }
+    weekdays = {
+        "monday": 0, "tuesday": 1, "wednesday": 2, "thursday": 3,
+        "friday": 4, "saturday": 5, "sunday": 6,
+    }
+    parameters = frozenset({
+        "temperature", "humidity", "channel", "volume", "brightness",
+        "genre", "output", "mode", "level", "source", "speed", "program",
+    })
+    sensor_kinds = {
+        ("temperature",): "temperature",
+        ("room", "temperature"): "temperature",
+        ("humidity",): "humidity",
+        ("brightness",): "illuminance",
+        ("illuminance",): "illuminance",
+        ("light", "level"): "illuminance",
+        ("noise", "level"): "noise",
+    }
+    return Vocabulary(
+        verbs=verbs,
+        state_phrases=state_phrases,
+        value_units=value_units,
+        period_units=period_units,
+        named_times=named_times,
+        weekdays=weekdays,
+        parameters=parameters,
+        sensor_kinds=sensor_kinds,
+        conddef_prefix=("let", "us", "call", "the", "condition", "that"),
+        confdef_prefix=("let", "us", "call", "the", "configuration", "that"),
+    )

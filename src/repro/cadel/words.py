@@ -1,0 +1,101 @@
+"""User-defined word dictionary (the paper's CondDef / ConfDef facility).
+
+Users extend CADEL's vocabulary at runtime: "Let's call the condition
+that humidity is higher than 60 percent and temperature is higher than
+28 degrees *hot and stuffy*".  From then on, any rule (by any user —
+the paper highlights "(a) each user can easily describe rules for other
+devices with the predefined words") may simply say
+"if the living room is hot and stuffy, ...".
+
+The dictionary also backs the lookup service's reverse queries: sensors
+can be retrieved by word ("hot and stuffy" → thermometer, hygrometer)
+and words can be retrieved by sensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import CadelBindingError
+
+if TYPE_CHECKING:  # circular-import avoidance; only for annotations
+    from repro.cadel.ast import CondExpr, SettingNode
+
+
+@dataclass
+class WordDictionary:
+    """Named compound conditions and configurations.
+
+    Words are stored as lowercase word tuples; lookups do longest-match
+    against a token stream so "hot and stuffy" wins over any shorter
+    prefix word.
+    """
+
+    _conditions: dict[tuple[str, ...], "CondExpr"] = field(default_factory=dict)
+    _configurations: dict[tuple[str, ...], tuple["SettingNode", ...]] = field(
+        default_factory=dict
+    )
+
+    @staticmethod
+    def _key(word: str) -> tuple[str, ...]:
+        key = tuple(word.lower().split())
+        if not key:
+            raise CadelBindingError("a defined word cannot be empty")
+        return key
+
+    # -- definitions ---------------------------------------------------------
+
+    def define_condition(self, word: str, expr: "CondExpr") -> None:
+        self._conditions[self._key(word)] = expr
+
+    def define_configuration(
+        self, word: str, settings: tuple["SettingNode", ...]
+    ) -> None:
+        self._configurations[self._key(word)] = tuple(settings)
+
+    # -- lookups ----------------------------------------------------------------
+
+    def condition(self, word: str) -> "CondExpr":
+        expr = self._conditions.get(self._key(word))
+        if expr is None:
+            raise CadelBindingError(f"unknown condition word: {word!r}")
+        return expr
+
+    def configuration(self, word: str) -> tuple["SettingNode", ...]:
+        settings = self._configurations.get(self._key(word))
+        if settings is None:
+            raise CadelBindingError(f"unknown configuration word: {word!r}")
+        return settings
+
+    def has_condition(self, word: str) -> bool:
+        return self._key(word) in self._conditions
+
+    def has_configuration(self, word: str) -> bool:
+        return self._key(word) in self._configurations
+
+    def condition_words(self) -> list[str]:
+        return [" ".join(key) for key in sorted(self._conditions)]
+
+    def configuration_words(self) -> list[str]:
+        return [" ".join(key) for key in sorted(self._configurations)]
+
+    # -- longest-match helpers for the parser ------------------------------------
+
+    def match_condition_word(self, words: list[str]) -> tuple[str, ...] | None:
+        """Longest defined condition word that prefixes ``words``."""
+        return self._longest_match(self._conditions, words)
+
+    def match_configuration_word(self, words: list[str]) -> tuple[str, ...] | None:
+        return self._longest_match(self._configurations, words)
+
+    @staticmethod
+    def _longest_match(
+        table: dict[tuple[str, ...], object], words: list[str]
+    ) -> tuple[str, ...] | None:
+        best: tuple[str, ...] | None = None
+        for key in table:
+            if len(key) <= len(words) and tuple(words[: len(key)]) == key:
+                if best is None or len(key) > len(best):
+                    best = key
+        return best

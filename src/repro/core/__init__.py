@@ -1,0 +1,72 @@
+"""Core framework: rule IR, database, consistency/conflict checking,
+priorities and the rule-execution engine.
+
+This package is the paper's home-server brain (Fig. 3):
+
+* :mod:`repro.core.condition` / :mod:`repro.core.action` /
+  :mod:`repro.core.rule` — the *rule object* representation CADEL
+  sentences compile into ("the rule execution module does not execute
+  rules by interpreting CADEL descriptions" — Sect. 4.1).
+* :mod:`repro.core.database` — indexed rule storage.
+* :mod:`repro.core.consistency` — the inconsistency check run at
+  registration time (condition can never hold → warn the user).
+* :mod:`repro.core.conflict` — same-device extraction + joint
+  satisfiability, the paper's E2 experiment.
+* :mod:`repro.core.priority` — context-attached priority orders
+  (Sect. 3.2 "Avoidance of Device Conflict").
+* :mod:`repro.core.engine` — event-driven rule execution with runtime
+  arbitration.
+* :mod:`repro.core.server` — the :class:`HomeServer` facade wiring all
+  modules over the UPnP substrate.
+"""
+
+from repro.core.access import AccessDeniedError, AccessPolicy, Grant
+from repro.core.action import ActionSpec, Setting
+from repro.core.condition import (
+    AndCondition,
+    Condition,
+    DiscreteAtom,
+    DurationAtom,
+    EventAtom,
+    FalseAtom,
+    MembershipAtom,
+    NumericAtom,
+    OrCondition,
+    TimeWindowAtom,
+    TrueAtom,
+)
+from repro.core.conflict import ConflictChecker, ConflictReport
+from repro.core.consistency import ConsistencyChecker
+from repro.core.database import RuleDatabase
+from repro.core.engine import RuleEngine
+from repro.core.priority import PriorityManager, PriorityOrder
+from repro.core.rule import Rule
+from repro.core.server import HomeServer
+
+__all__ = [
+    "AccessDeniedError",
+    "AccessPolicy",
+    "Grant",
+    "ActionSpec",
+    "Setting",
+    "AndCondition",
+    "Condition",
+    "DiscreteAtom",
+    "DurationAtom",
+    "EventAtom",
+    "FalseAtom",
+    "MembershipAtom",
+    "NumericAtom",
+    "OrCondition",
+    "TimeWindowAtom",
+    "TrueAtom",
+    "ConflictChecker",
+    "ConflictReport",
+    "ConsistencyChecker",
+    "RuleDatabase",
+    "RuleEngine",
+    "PriorityManager",
+    "PriorityOrder",
+    "Rule",
+    "HomeServer",
+]

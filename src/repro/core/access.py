@@ -1,0 +1,122 @@
+"""Per-user device access control — the paper's stated future work.
+
+Sect. 6: "we are going to implement in our framework some security
+mechanisms, e.g., for limiting access or allowable operations to each
+device depending on users' privileges."  This module implements that
+extension:
+
+* an :class:`AccessPolicy` holds grants per (user, device) down to the
+  granularity of individual actions;
+* the home server enforces it twice — at **registration time** (a rule
+  whose action the owner may not perform is rejected with a clear
+  error, before it ever enters the database) and at **dispatch time**
+  (defence in depth: a rule that slipped in, e.g. via import, is still
+  stopped at the device boundary).
+
+The default is *open* (everything allowed) so existing deployments are
+unaffected until a policy is installed; installing a policy flips the
+default to deny-unless-granted for the devices it mentions, while
+unmentioned devices stay open — the pragmatic household middle ground.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.rule import Rule
+from repro.errors import RuleError
+
+
+class AccessDeniedError(RuleError):
+    """A user tried to register or run an action they may not perform."""
+
+    def __init__(self, user: str, device_name: str, action: str):
+        super().__init__(
+            f"user {user!r} is not allowed to perform {action!r} "
+            f"on device {device_name!r}"
+        )
+        self.user = user
+        self.device_name = device_name
+        self.action = action
+
+
+ALL_ACTIONS = "*"
+
+
+@dataclass
+class Grant:
+    """One permission: a user may run some actions on one device."""
+
+    user: str
+    device_udn: str
+    actions: frozenset[str] = frozenset({ALL_ACTIONS})
+
+    def allows(self, action: str) -> bool:
+        return ALL_ACTIONS in self.actions or action in self.actions
+
+
+class AccessPolicy:
+    """Grant table with device-scoped deny-by-default.
+
+    A device becomes *restricted* the moment any grant (or an explicit
+    :meth:`restrict`) mentions it; restricted devices deny every
+    (user, action) pair without a matching grant.  Unrestricted devices
+    allow everyone, preserving the paper's original open behaviour.
+    """
+
+    def __init__(self) -> None:
+        self._grants: dict[tuple[str, str], set[str]] = {}
+        self._restricted: set[str] = set()
+
+    # -- administration --------------------------------------------------------
+
+    def restrict(self, device_udn: str) -> None:
+        """Put a device under deny-by-default without granting anyone."""
+        self._restricted.add(device_udn)
+
+    def grant(self, user: str, device_udn: str,
+              actions: set[str] | None = None) -> None:
+        """Allow ``user`` the given actions (default: all) on a device;
+        the device becomes restricted for everyone else."""
+        allowed = set(actions) if actions else {ALL_ACTIONS}
+        self._grants.setdefault((user, device_udn), set()).update(allowed)
+        self._restricted.add(device_udn)
+
+    def revoke(self, user: str, device_udn: str) -> None:
+        """Remove every grant the user holds on a device (the device
+        stays restricted)."""
+        self._grants.pop((user, device_udn), None)
+
+    def is_restricted(self, device_udn: str) -> bool:
+        return device_udn in self._restricted
+
+    # -- decisions ----------------------------------------------------------------
+
+    def allowed(self, user: str, device_udn: str, action: str) -> bool:
+        if device_udn not in self._restricted:
+            return True
+        actions = self._grants.get((user, device_udn))
+        if actions is None:
+            return False
+        return ALL_ACTIONS in actions or action in actions
+
+    def check(self, user: str, device_udn: str, device_name: str,
+              action: str) -> None:
+        if not self.allowed(user, device_udn, action):
+            raise AccessDeniedError(user, device_name, action)
+
+    def check_rule(self, rule: Rule) -> None:
+        """Registration-time check: every action a rule could ever issue
+        (primary, fallback, stop) must be permitted to its owner."""
+        for spec in (rule.action, rule.fallback, rule.stop_action):
+            if spec is not None:
+                self.check(rule.owner, spec.device_udn, spec.device_name,
+                           spec.action_name)
+
+    def grants_for(self, user: str) -> list[Grant]:
+        """The user's current grants (for the privileges dialog)."""
+        return [
+            Grant(user=user, device_udn=device, actions=frozenset(actions))
+            for (grant_user, device), actions in sorted(self._grants.items())
+            if grant_user == user
+        ]

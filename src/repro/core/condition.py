@@ -1,0 +1,472 @@
+"""Condition intermediate representation.
+
+CADEL ``<CondExpr>`` trees compile into And/Or combinations of typed
+atoms.  The same IR serves three purposes:
+
+1. **Runtime evaluation** against the live world state
+   (:meth:`Condition.evaluate` with an :class:`EvaluationContext`).
+2. **Satisfiability analysis** for the registration-time consistency and
+   conflict checks: :meth:`Condition.dnf` normalizes to a disjunction of
+   conjunctions, whose typed parts are then handed to the numeric solver
+   (linear atoms), a contradiction check (discrete atoms) and arc
+   intersection (time windows).
+3. **Explanation**: every atom renders back to readable text for the
+   conflict dialog.
+
+Atom vocabulary and what CADEL constructs map to them:
+
+========================  =====================================================
+Atom                      CADEL source
+========================  =====================================================
+:class:`NumericAtom`      "temperature is higher than 28 degrees"
+:class:`DiscreteAtom`     "Tom is at the living room", "the stereo is turned on"
+:class:`MembershipAtom`   "a baseball game is on air" (EPG keyword sets)
+:class:`TimeWindowAtom`   "after evening", "at night", "from 9pm to 11pm"
+:class:`EventAtom`        "someone returns home", "Alan got home from work"
+:class:`DurationAtom`     "entrance door is unlocked *for 1 hour*"
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, Sequence
+
+from repro.errors import RuleError
+from repro.sim.clock import SECONDS_PER_DAY, format_time_of_day
+from repro.solver.linear import LinearConstraint
+
+
+class EvaluationContext(Protocol):
+    """What the rule engine supplies when evaluating conditions."""
+
+    def numeric(self, variable: str) -> float | None:
+        """Current value of a numeric sensor variable (None = unknown)."""
+
+    def discrete(self, variable: str) -> str | None:
+        """Current value of a discrete variable (None = unknown)."""
+
+    def set_members(self, variable: str) -> frozenset[str]:
+        """Current membership of a set-valued variable (EPG keywords)."""
+
+    def time_of_day(self) -> float:
+        """Seconds since midnight."""
+
+    def weekday(self) -> int:
+        """0 = Monday ... 6 = Sunday."""
+
+    def event_fired(self, event_type: str, subject: str | None) -> bool:
+        """Whether a matching instantaneous event fired this engine step."""
+
+    def held(self, key: str, currently_true: bool, duration: float) -> bool:
+        """Duration tracking: has the keyed condition been continuously
+        true for at least ``duration`` seconds (given its current truth)?"""
+
+
+Conjunction = tuple["Atom", ...]
+"""One conjunct of a DNF: a conjunction of atoms."""
+
+
+class Condition(ABC):
+    """Base class of the condition IR."""
+
+    @abstractmethod
+    def evaluate(self, ctx: EvaluationContext) -> bool:
+        """Truth value under the current world state."""
+
+    @abstractmethod
+    def dnf(self) -> list[Conjunction]:
+        """Disjunctive normal form as a list of atom conjunctions."""
+
+    @abstractmethod
+    def key(self) -> str:
+        """Stable, content-derived identity (used for duration tracking
+        and deduplication; equal conditions share keys)."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable rendering for dialogs and logs."""
+
+    def numeric_variables(self) -> set[str]:
+        names: set[str] = set()
+        for conjunction in self.dnf():
+            for atom in conjunction:
+                names |= atom.referenced_numeric_variables()
+        return names
+
+    def referenced_variables(self) -> set[str]:
+        """Every variable (numeric, discrete or set) the condition reads;
+        the engine uses this to know which rules to re-evaluate when a
+        sensor value changes."""
+        names: set[str] = set()
+        for conjunction in self.dnf():
+            for atom in conjunction:
+                names |= atom.referenced_variables()
+        return names
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Condition) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()!r}>"
+
+
+class Atom(Condition):
+    """A leaf condition."""
+
+    def dnf(self) -> list[Conjunction]:
+        return [(self,)]
+
+    def referenced_numeric_variables(self) -> set[str]:
+        return set()
+
+    def referenced_variables(self) -> set[str]:
+        return set()
+
+
+@dataclass(frozen=True, eq=False)
+class TrueAtom(Atom):
+    """Always true (empty precondition)."""
+
+    def evaluate(self, ctx: EvaluationContext) -> bool:
+        return True
+
+    def key(self) -> str:
+        return "true"
+
+    def describe(self) -> str:
+        return "always"
+
+
+@dataclass(frozen=True, eq=False)
+class FalseAtom(Atom):
+    """Never true (useful in tests and as an annihilator)."""
+
+    def evaluate(self, ctx: EvaluationContext) -> bool:
+        return False
+
+    def key(self) -> str:
+        return "false"
+
+    def describe(self) -> str:
+        return "never"
+
+
+@dataclass(frozen=True, eq=False)
+class NumericAtom(Atom):
+    """A linear constraint over sensor variables.
+
+    ``text`` preserves the original CADEL phrasing for explanations.
+    """
+
+    constraint: LinearConstraint
+    text: str = ""
+
+    def evaluate(self, ctx: EvaluationContext) -> bool:
+        assignment: dict[str, float] = {}
+        for name in self.constraint.variables():
+            value = ctx.numeric(name)
+            if value is None:
+                return False  # unknown sensor reading: condition not met
+            assignment[name] = value
+        return self.constraint.satisfied_by(assignment)
+
+    def key(self) -> str:
+        return f"num({self.constraint})"
+
+    def describe(self) -> str:
+        return self.text or str(self.constraint)
+
+    def referenced_numeric_variables(self) -> set[str]:
+        return self.constraint.variables()
+
+    def referenced_variables(self) -> set[str]:
+        return self.constraint.variables()
+
+
+@dataclass(frozen=True, eq=False)
+class DiscreteAtom(Atom):
+    """Equality (or negated equality) on a discrete variable.
+
+    Examples: person place (``person:Tom:place == "living room"``),
+    device power state (``dev-00001:power:on == "true"``).
+    """
+
+    variable: str
+    value: str
+    negated: bool = False
+    text: str = ""
+
+    def evaluate(self, ctx: EvaluationContext) -> bool:
+        current = ctx.discrete(self.variable)
+        if current is None:
+            return False
+        matches = current == self.value
+        return (not matches) if self.negated else matches
+
+    def key(self) -> str:
+        op = "!=" if self.negated else "=="
+        return f"disc({self.variable}{op}{self.value})"
+
+    def describe(self) -> str:
+        if self.text:
+            return self.text
+        op = "is not" if self.negated else "is"
+        return f"{self.variable} {op} {self.value}"
+
+    def referenced_variables(self) -> set[str]:
+        return {self.variable}
+
+
+@dataclass(frozen=True, eq=False)
+class MembershipAtom(Atom):
+    """Membership test on a set-valued variable (EPG keyword feeds)."""
+
+    variable: str
+    member: str
+    negated: bool = False
+    text: str = ""
+
+    def evaluate(self, ctx: EvaluationContext) -> bool:
+        members = ctx.set_members(self.variable)
+        present = self.member in members
+        return (not present) if self.negated else present
+
+    def key(self) -> str:
+        op = "not-in" if self.negated else "in"
+        return f"member({self.member} {op} {self.variable})"
+
+    def describe(self) -> str:
+        if self.text:
+            return self.text
+        op = "is not" if self.negated else "is"
+        return f"{self.member!r} {op} in {self.variable}"
+
+    def referenced_variables(self) -> set[str]:
+        return {self.variable}
+
+
+@dataclass(frozen=True, eq=False)
+class TimeWindowAtom(Atom):
+    """Active during a time-of-day window, optionally on one weekday.
+
+    ``start``/``end`` are seconds since midnight; ``end <= start`` wraps
+    through midnight ("at night" is [21:00, 06:00)).  A full-day window
+    with a weekday restriction expresses "every sunday".
+    """
+
+    start: float
+    end: float
+    weekday: int | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.start <= SECONDS_PER_DAY):
+            raise RuleError(f"window start out of range: {self.start}")
+        if not (0.0 <= self.end <= SECONDS_PER_DAY):
+            raise RuleError(f"window end out of range: {self.end}")
+        if self.weekday is not None and not 0 <= self.weekday < 7:
+            raise RuleError(f"weekday out of range: {self.weekday}")
+
+    @property
+    def wraps(self) -> bool:
+        return self.end <= self.start
+
+    def arcs(self) -> list[tuple[float, float]]:
+        """The window as non-wrapping [start, end) arcs on the day circle."""
+        if not self.wraps:
+            return [(self.start, self.end)]
+        arcs = []
+        if self.start < SECONDS_PER_DAY:
+            arcs.append((self.start, SECONDS_PER_DAY))
+        if self.end > 0.0:
+            arcs.append((0.0, self.end))
+        return arcs
+
+    def evaluate(self, ctx: EvaluationContext) -> bool:
+        if self.weekday is not None and ctx.weekday() != self.weekday:
+            return False
+        tod = ctx.time_of_day()
+        return any(lo <= tod < hi for lo, hi in self.arcs())
+
+    def key(self) -> str:
+        return f"window({self.start},{self.end},{self.weekday})"
+
+    def referenced_variables(self) -> set[str]:
+        # Pseudo-variable: lets the engine find time-dependent rules when
+        # the clock ticks across window boundaries.
+        return {"clock:time_of_day"}
+
+    def describe(self) -> str:
+        if self.label:
+            return self.label
+        text = (
+            f"between {format_time_of_day(self.start)} "
+            f"and {format_time_of_day(self.end)}"
+        )
+        if self.weekday is not None:
+            names = ["monday", "tuesday", "wednesday", "thursday", "friday",
+                     "saturday", "sunday"]
+            text += f" every {names[self.weekday]}"
+        return text
+
+
+@dataclass(frozen=True, eq=False)
+class EventAtom(Atom):
+    """An instantaneous event: fires for exactly one engine step.
+
+    ``subject=None`` matches anyone ("someone returns home").
+    """
+
+    event_type: str
+    subject: str | None = None
+    text: str = ""
+
+    def evaluate(self, ctx: EvaluationContext) -> bool:
+        return ctx.event_fired(self.event_type, self.subject)
+
+    def key(self) -> str:
+        return f"event({self.event_type},{self.subject})"
+
+    def referenced_variables(self) -> set[str]:
+        # Pseudo-variable: post_event() uses it to find affected rules.
+        return {f"event:{self.event_type}"}
+
+    def describe(self) -> str:
+        if self.text:
+            return self.text
+        who = self.subject if self.subject is not None else "someone"
+        return f"{who} {self.event_type}"
+
+
+@dataclass(frozen=True, eq=False)
+class DurationAtom(Atom):
+    """Inner condition continuously true for at least ``seconds``.
+
+    CADEL: "if entrance door is unlocked for 1 hour".  The engine tracks
+    per-atom held-since timestamps through :meth:`EvaluationContext.held`.
+    """
+
+    inner: Condition
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise RuleError(f"duration must be positive: {self.seconds}")
+
+    def evaluate(self, ctx: EvaluationContext) -> bool:
+        currently_true = self.inner.evaluate(ctx)
+        return ctx.held(self.key(), currently_true, self.seconds)
+
+    def dnf(self) -> list[Conjunction]:
+        # For satisfiability, "inner held for d" requires inner to hold,
+        # so each inner conjunct is extended with this marker atom (the
+        # marker itself imposes no further static constraint).
+        return [conj + (self,) for conj in self.inner.dnf()]
+
+    def key(self) -> str:
+        return f"held({self.inner.key()},{self.seconds})"
+
+    def describe(self) -> str:
+        return f"{self.inner.describe()} for {self.seconds:g} seconds"
+
+    def referenced_variables(self) -> set[str]:
+        return self.inner.referenced_variables()
+
+    def referenced_numeric_variables(self) -> set[str]:
+        return self.inner.numeric_variables()
+
+
+def _flatten(kind: type, children: Sequence[Condition]) -> list[Condition]:
+    flat: list[Condition] = []
+    for child in children:
+        if isinstance(child, kind):
+            flat.extend(child.children)  # type: ignore[attr-defined]
+        else:
+            flat.append(child)
+    return flat
+
+
+_DNF_LIMIT = 4096  # guard against exponential blowup on adversarial input
+
+
+class AndCondition(Condition):
+    """Logical conjunction; nested Ands are flattened."""
+
+    def __init__(self, children: Iterable[Condition]):
+        self.children: tuple[Condition, ...] = tuple(
+            _flatten(AndCondition, list(children))
+        )
+        if not self.children:
+            raise RuleError("AndCondition requires at least one child")
+
+    def evaluate(self, ctx: EvaluationContext) -> bool:
+        return all(child.evaluate(ctx) for child in self.children)
+
+    def dnf(self) -> list[Conjunction]:
+        product: list[Conjunction] = [()]
+        for child in self.children:
+            expansion: list[Conjunction] = []
+            for left in product:
+                for right in child.dnf():
+                    expansion.append(left + right)
+                    if len(expansion) > _DNF_LIMIT:
+                        raise RuleError(
+                            "condition too complex: DNF exceeds "
+                            f"{_DNF_LIMIT} conjunctions"
+                        )
+            product = expansion
+        return product
+
+    def key(self) -> str:
+        return "and(" + ",".join(sorted(c.key() for c in self.children)) + ")"
+
+    def describe(self) -> str:
+        return " and ".join(
+            f"({c.describe()})" if isinstance(c, OrCondition) else c.describe()
+            for c in self.children
+        )
+
+
+class OrCondition(Condition):
+    """Logical disjunction; nested Ors are flattened."""
+
+    def __init__(self, children: Iterable[Condition]):
+        self.children: tuple[Condition, ...] = tuple(
+            _flatten(OrCondition, list(children))
+        )
+        if not self.children:
+            raise RuleError("OrCondition requires at least one child")
+
+    def evaluate(self, ctx: EvaluationContext) -> bool:
+        return any(child.evaluate(ctx) for child in self.children)
+
+    def dnf(self) -> list[Conjunction]:
+        result: list[Conjunction] = []
+        for child in self.children:
+            result.extend(child.dnf())
+            if len(result) > _DNF_LIMIT:
+                raise RuleError(
+                    f"condition too complex: DNF exceeds {_DNF_LIMIT} conjunctions"
+                )
+        return result
+
+    def key(self) -> str:
+        return "or(" + ",".join(sorted(c.key() for c in self.children)) + ")"
+
+    def describe(self) -> str:
+        return " or ".join(c.describe() for c in self.children)
+
+
+def conjoin(conditions: Sequence[Condition]) -> Condition:
+    """And-combine, simplifying the 0- and 1-element cases."""
+    live = [c for c in conditions if not isinstance(c, TrueAtom)]
+    if not live:
+        return TrueAtom()
+    if len(live) == 1:
+        return live[0]
+    return AndCondition(live)

@@ -1,0 +1,102 @@
+"""Indexed rule database.
+
+The conflict-check path of the paper's E2 experiment starts by
+"extract[ing] existing rules which specify the same device as the new
+rule"; with 10,000 registered rules that extraction must not scan.  The
+database therefore maintains secondary indexes by device UDN, owner and
+referenced variable (the last one drives engine re-evaluation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.rule import Rule
+from repro.errors import DuplicateRuleError, UnknownRuleError
+
+
+class RuleDatabase:
+    """In-memory rule store with device/owner/variable indexes."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, Rule] = {}
+        self._by_device: dict[str, set[str]] = {}
+        self._by_owner: dict[str, set[str]] = {}
+        self._by_variable: dict[str, set[str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(list(self._by_name.values()))
+
+    def add(self, rule: Rule) -> None:
+        """Register a rule; names are unique."""
+        if rule.name in self._by_name:
+            raise DuplicateRuleError(f"rule name already registered: {rule.name!r}")
+        self._by_name[rule.name] = rule
+        for udn in rule.devices():
+            self._by_device.setdefault(udn, set()).add(rule.name)
+        self._by_owner.setdefault(rule.owner, set()).add(rule.name)
+        for variable in rule.condition.referenced_variables():
+            self._by_variable.setdefault(variable, set()).add(rule.name)
+        if rule.until is not None:
+            for variable in rule.until.referenced_variables():
+                self._by_variable.setdefault(variable, set()).add(rule.name)
+
+    def remove(self, name: str) -> Rule:
+        """Deregister and return a rule; unknown names raise."""
+        rule = self._by_name.pop(name, None)
+        if rule is None:
+            raise UnknownRuleError(f"no rule named {name!r}")
+        for udn in rule.devices():
+            self._discard(self._by_device, udn, name)
+        self._discard(self._by_owner, rule.owner, name)
+        variables = set(rule.condition.referenced_variables())
+        if rule.until is not None:
+            variables |= rule.until.referenced_variables()
+        for variable in variables:
+            self._discard(self._by_variable, variable, name)
+        return rule
+
+    @staticmethod
+    def _discard(index: dict[str, set[str]], key: str, name: str) -> None:
+        bucket = index.get(key)
+        if bucket is not None:
+            bucket.discard(name)
+            if not bucket:
+                del index[key]
+
+    def get(self, name: str) -> Rule:
+        rule = self._by_name.get(name)
+        if rule is None:
+            raise UnknownRuleError(f"no rule named {name!r}")
+        return rule
+
+    def all_rules(self) -> list[Rule]:
+        return list(self._by_name.values())
+
+    # -- indexed extraction ----------------------------------------------------
+
+    def rules_for_device(self, udn: str) -> list[Rule]:
+        """Indexed same-device extraction (the E2 step-1 query)."""
+        return self._collect(self._by_device.get(udn, ()))
+
+    def rules_for_device_scan(self, udn: str) -> list[Rule]:
+        """Unindexed linear scan over all rules — baseline for ablation A2."""
+        return [rule for rule in self._by_name.values() if udn in rule.devices()]
+
+    def rules_of_owner(self, owner: str) -> list[Rule]:
+        return self._collect(self._by_owner.get(owner, ()))
+
+    def rules_reading_variable(self, variable: str) -> list[Rule]:
+        """Rules whose conditions reference a variable (engine dispatch)."""
+        return self._collect(self._by_variable.get(variable, ()))
+
+    def _collect(self, names: Iterable[str]) -> list[Rule]:
+        rules = [self._by_name[n] for n in names if n in self._by_name]
+        rules.sort(key=lambda r: r.rule_id)
+        return rules

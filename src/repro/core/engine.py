@@ -1,0 +1,471 @@
+"""Event-driven rule execution with runtime conflict arbitration.
+
+The engine owns the live world state (sensor variables, person places,
+EPG keyword sets), evaluates rule conditions edge-triggered, and — when
+several rules want the same device at once, or a new rule contests a
+device another rule currently holds — arbitrates using the
+context-attached priority orders (Sect. 3.2 / Fig. 1 of the paper).
+
+Lifecycle of a rule at runtime::
+
+            condition false→true                 lost arbitration and
+    IDLE ────────────────────────▶ requesting ──────────────────────▶ FALLBACK
+      ▲                                │ won                             │
+      │   condition true→false /       ▼                                 │
+      └──── `until` triggered ◀──── ACTIVE ◀──── device freed, re-grant ─┘
+
+A rule whose primary action loses the device runs its ``fallback``
+action when it has one (Alan's "if it is impossible to use the TV,
+record the game with the video recorder"); when the contested device is
+later released, standing rules are re-arbitrated so the strongest
+claimant upgrades back to its primary action.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.action import ActionSpec
+from repro.core.condition import Condition, DurationAtom
+from repro.core.database import RuleDatabase
+from repro.core.priority import PriorityManager, PriorityOrder
+from repro.core.rule import Rule
+from repro.errors import ReproError, RuleError
+from repro.sim.events import Simulator
+
+Dispatch = Callable[[ActionSpec], None]
+PromptPolicy = Callable[[str, list[Rule]], Rule | None]
+"""Called when no priority order resolves a conflict: (device_udn,
+competing rules) → chosen rule, or None to keep the status quo."""
+
+_HELD_EPSILON = 1e-6
+
+
+class RuleState(enum.Enum):
+    IDLE = "idle"
+    ACTIVE = "active"       # primary action holds its device
+    FALLBACK = "fallback"   # fallback action holds its device
+    DENIED = "denied"       # condition true but no device obtained
+
+
+@dataclass
+class TraceEntry:
+    """One engine decision, for scenario time-charts and debugging."""
+
+    time: float
+    kind: str          # "fire" | "stop" | "preempt" | "deny" | "fallback" | "conflict"
+    rule: str
+    device: str = ""
+    detail: str = ""
+
+    def describe(self) -> str:
+        device = f" [{self.device}]" if self.device else ""
+        detail = f" — {self.detail}" if self.detail else ""
+        return f"t={self.time:9.1f} {self.kind:<8} {self.rule}{device}{detail}"
+
+
+class WorldState:
+    """Live variable store implementing the EvaluationContext protocol."""
+
+    def __init__(self, simulator: Simulator):
+        self._simulator = simulator
+        self._numeric: dict[str, float] = {}
+        self._discrete: dict[str, str] = {}
+        self._sets: dict[str, frozenset[str]] = {}
+        self._current_events: set[tuple[str, str | None]] = set()
+        self._held_since: dict[str, float] = {}
+        self.on_held_armed: Callable[[str, float], None] | None = None
+
+    # -- EvaluationContext protocol -------------------------------------------
+
+    def numeric(self, variable: str) -> float | None:
+        return self._numeric.get(variable)
+
+    def discrete(self, variable: str) -> str | None:
+        return self._discrete.get(variable)
+
+    def set_members(self, variable: str) -> frozenset[str]:
+        return self._sets.get(variable, frozenset())
+
+    def time_of_day(self) -> float:
+        return self._simulator.clock.time_of_day
+
+    def weekday(self) -> int:
+        return self._simulator.clock.weekday
+
+    def event_fired(self, event_type: str, subject: str | None) -> bool:
+        for fired_type, fired_subject in self._current_events:
+            if fired_type != event_type:
+                continue
+            if subject is None or subject == fired_subject:
+                return True
+        return False
+
+    def held(self, key: str, currently_true: bool, duration: float) -> bool:
+        if not currently_true:
+            self._held_since.pop(key, None)
+            return False
+        since = self._held_since.get(key)
+        now = self._simulator.now
+        if since is None:
+            self._held_since[key] = now
+            if self.on_held_armed is not None:
+                self.on_held_armed(key, duration)
+            return duration <= _HELD_EPSILON
+        return (now - since) >= duration - _HELD_EPSILON
+
+    # -- mutation (engine-internal) ----------------------------------------------
+
+    def set_numeric(self, variable: str, value: float) -> bool:
+        changed = self._numeric.get(variable) != value
+        self._numeric[variable] = value
+        return changed
+
+    def set_discrete(self, variable: str, value: str) -> bool:
+        changed = self._discrete.get(variable) != value
+        self._discrete[variable] = value
+        return changed
+
+    def set_set(self, variable: str, members: frozenset[str]) -> bool:
+        changed = self._sets.get(variable, frozenset()) != members
+        self._sets[variable] = members
+        return changed
+
+    def begin_events(self, events: set[tuple[str, str | None]]) -> None:
+        self._current_events = events
+
+    def end_events(self) -> None:
+        self._current_events = set()
+
+
+def keep_status_quo_policy(device_udn: str, competing: list[Rule]) -> Rule | None:
+    """Default prompt policy: change nothing (the paper would pop the
+    Fig. 7 dialog here; headless runs keep the current holder)."""
+    return None
+
+
+class RuleEngine:
+    """Evaluates rules against the world state and drives devices."""
+
+    def __init__(
+        self,
+        database: RuleDatabase,
+        priorities: PriorityManager,
+        simulator: Simulator,
+        dispatch: Dispatch,
+        prompt_policy: PromptPolicy | None = None,
+        access_check: Callable[[Rule, ActionSpec], None] | None = None,
+    ) -> None:
+        self.database = database
+        self.priorities = priorities
+        self.simulator = simulator
+        self.dispatch = dispatch
+        self.prompt_policy = prompt_policy or keep_status_quo_policy
+        self.access_check = access_check
+        self.world = WorldState(simulator)
+        self.world.on_held_armed = self._arm_held_timer
+        self.trace: list[TraceEntry] = []
+        self._truth: dict[str, bool] = {}
+        self._state: dict[str, RuleState] = {}
+        self._holders: dict[str, tuple[str, ActionSpec]] = {}  # udn -> (rule, spec)
+        self._held_atom_rules: dict[str, set[str]] = {}  # atom key -> rule names
+
+    # -- rule registration hooks ------------------------------------------------------
+
+    def rule_added(self, rule: Rule) -> None:
+        """Index duration atoms and evaluate the rule against the current
+        state (a rule whose condition is already true fires immediately,
+        which is what a user expects right after registering it)."""
+        for conjunction in rule.condition.dnf():
+            for atom in conjunction:
+                if isinstance(atom, DurationAtom):
+                    self._held_atom_rules.setdefault(atom.key(), set()).add(rule.name)
+        self._truth[rule.name] = False
+        self._state[rule.name] = RuleState.IDLE
+        self.reevaluate([rule.name])
+
+    def rule_removed(self, rule_name: str) -> None:
+        self._truth.pop(rule_name, None)
+        state = self._state.pop(rule_name, None)
+        for rules in self._held_atom_rules.values():
+            rules.discard(rule_name)
+        if state in (RuleState.ACTIVE, RuleState.FALLBACK):
+            self._release_holdings(rule_name)
+
+    # -- world-state ingestion ----------------------------------------------------------
+
+    def ingest(self, variable: str, value: Any) -> None:
+        """Update one variable from a sensor event and re-evaluate the
+        rules whose conditions read it."""
+        if isinstance(value, bool):
+            changed = self.world.set_discrete(variable, "true" if value else "false")
+        elif isinstance(value, (int, float)):
+            changed = self.world.set_numeric(variable, float(value))
+        elif isinstance(value, frozenset):
+            changed = self.world.set_set(variable, value)
+        elif isinstance(value, (set, list, tuple)):
+            changed = self.world.set_set(variable, frozenset(value))
+        elif isinstance(value, str):
+            changed = self.world.set_discrete(variable, value)
+        elif value is None:
+            return
+        else:
+            raise RuleError(f"cannot ingest value of type {type(value).__name__}")
+        if changed:
+            dirty = [r.name for r in self.database.rules_reading_variable(variable)]
+            self.reevaluate(dirty)
+
+    def post_event(self, event_type: str, subject: str | None = None) -> None:
+        """Fire an instantaneous event ("returns home"); rules whose
+        conditions mention it are evaluated exactly once with the event
+        visible, then their truth settles back without re-triggering
+        stop actions (events fire rules; they do not sustain them)."""
+        dirty = [
+            r.name
+            for r in self.database.rules_reading_variable(f"event:{event_type}")
+        ]
+        self.world.begin_events({(event_type, subject)})
+        try:
+            self.reevaluate(dirty)
+        finally:
+            self.world.end_events()
+        for name in dirty:
+            if name not in self.database:
+                continue
+            rule = self.database.get(name)
+            truth = rule.condition.evaluate(self.world)
+            if self._truth.get(name, False) and not truth:
+                self._truth[name] = False
+                if self._state.get(name) in (RuleState.ACTIVE, RuleState.FALLBACK):
+                    # Fire-and-forget: drop the bookkeeping claim quietly.
+                    self._state[name] = RuleState.IDLE
+                    self._release_holdings(name)
+                else:
+                    self._state[name] = RuleState.IDLE
+
+    # -- evaluation ------------------------------------------------------------------------
+
+    def reevaluate(self, rule_names: list[str]) -> None:
+        """Recompute the truth of the given rules, firing edges."""
+        rising: list[Rule] = []
+        for name in rule_names:
+            if name not in self.database:
+                continue
+            rule = self.database.get(name)
+            if not rule.enabled:
+                continue
+            truth = rule.condition.evaluate(self.world)
+            previous = self._truth.get(name, False)
+            self._truth[name] = truth
+            if truth and not previous:
+                rising.append(rule)
+            elif previous and not truth:
+                self._on_condition_fall(rule)
+            elif truth and self._state.get(name) is RuleState.DENIED:
+                rising.append(rule)  # retry denied rules on any relevant change
+            if (
+                truth
+                and rule.until is not None
+                and self._state.get(name) in (RuleState.ACTIVE, RuleState.FALLBACK)
+                and rule.until.evaluate(self.world)
+            ):
+                self._stop_rule(rule, reason="until condition met")
+        if rising:
+            self._process_requests(rising)
+
+    def reevaluate_all(self) -> None:
+        self.reevaluate([rule.name for rule in self.database.all_rules()])
+
+    # -- request processing & arbitration -----------------------------------------------------
+
+    def _process_requests(self, rules: list[Rule]) -> None:
+        """Arbitrate device requests; a bounded cascade lets preempted
+        rules fall back and fallback devices be contested in turn."""
+        queue: list[tuple[Rule, ActionSpec, bool]] = [
+            (rule, rule.action, True) for rule in rules
+        ]
+        for _ in range(64):  # bound: cascades are short in practice
+            if not queue:
+                return
+            queue = self._arbitration_round(queue)
+        raise RuleError("arbitration cascade did not settle within 64 rounds")
+
+    def _arbitration_round(
+        self, requests: list[tuple[Rule, ActionSpec, bool]]
+    ) -> list[tuple[Rule, ActionSpec, bool]]:
+        by_device: dict[str, list[tuple[Rule, ActionSpec, bool]]] = {}
+        for request in requests:
+            by_device.setdefault(request[1].device_udn, []).append(request)
+
+        next_round: list[tuple[Rule, ActionSpec, bool]] = []
+        for udn, wants in sorted(by_device.items()):
+            competing = [rule for rule, _, _ in wants]
+            holder = self._holders.get(udn)
+            holder_rule: Rule | None = None
+            if holder is not None and holder[0] not in {r.name for r in competing}:
+                if holder[0] in self.database:
+                    holder_rule = self.database.get(holder[0])
+                    competing = competing + [holder_rule]
+            winner, order = self.priorities.arbitrate(udn, competing, self.world)
+            if winner is None:
+                if len(competing) > 1:
+                    self._trace("conflict", competing[0].name, udn,
+                                "no applicable priority order; prompting")
+                    winner = self.prompt_policy(udn, competing)
+                    if winner is None:
+                        winner = holder_rule if holder_rule is not None \
+                            else competing[0]
+                else:
+                    winner = competing[0]
+            # Grant the device to the winner.
+            if holder_rule is not None and winner.name != holder_rule.name:
+                next_round.extend(self._preempt(holder_rule, udn, winner, order))
+            for rule, spec, is_primary in wants:
+                if rule.name == winner.name:
+                    self._grant(rule, spec, is_primary, order)
+                else:
+                    next_round.extend(
+                        self._deny(rule, spec, is_primary, winner, udn)
+                    )
+        return next_round
+
+    def _grant(self, rule: Rule, spec: ActionSpec, is_primary: bool,
+               order: PriorityOrder | None) -> None:
+        self._holders[spec.device_udn] = (rule.name, spec)
+        self._state[rule.name] = RuleState.ACTIVE if is_primary else RuleState.FALLBACK
+        detail = spec.describe()
+        if order is not None:
+            detail += f" (order: {order.describe()})"
+        self._trace("fire", rule.name, spec.device_udn, detail)
+        self._dispatch_safely(rule, spec)
+
+    def _deny(
+        self,
+        rule: Rule,
+        spec: ActionSpec,
+        is_primary: bool,
+        winner: Rule,
+        udn: str,
+    ) -> list[tuple[Rule, ActionSpec, bool]]:
+        if is_primary and rule.fallback is not None:
+            self._trace("fallback", rule.name, udn,
+                        f"lost {spec.device_name!r} to {winner.name!r}; "
+                        f"trying {rule.fallback.describe()}")
+            return [(rule, rule.fallback, False)]
+        self._state[rule.name] = RuleState.DENIED
+        self._trace("deny", rule.name, udn, f"lost to {winner.name!r}")
+        return []
+
+    def _preempt(
+        self, holder_rule: Rule, udn: str, winner: Rule,
+        order: PriorityOrder | None,
+    ) -> list[tuple[Rule, ActionSpec, bool]]:
+        """Take the device away from its current holder."""
+        holder_name, holder_spec = self._holders.pop(udn)
+        was_primary = holder_spec == holder_rule.action
+        self._trace("preempt", holder_name, udn,
+                    f"preempted by {winner.name!r}")
+        if was_primary and holder_rule.fallback is not None \
+                and self._truth.get(holder_name, False):
+            self._trace("fallback", holder_name, udn,
+                        f"preempted; trying {holder_rule.fallback.describe()}")
+            return [(holder_rule, holder_rule.fallback, False)]
+        self._state[holder_name] = RuleState.DENIED
+        return []
+
+    # -- stopping & release ----------------------------------------------------------------------
+
+    def _on_condition_fall(self, rule: Rule) -> None:
+        if self._state.get(rule.name) in (RuleState.ACTIVE, RuleState.FALLBACK):
+            self._stop_rule(rule, reason="condition no longer holds")
+        else:
+            self._state[rule.name] = RuleState.IDLE
+
+    def _stop_rule(self, rule: Rule, reason: str) -> None:
+        self._trace("stop", rule.name, detail=reason)
+        if rule.stop_action is not None:
+            self._dispatch_safely(rule, rule.stop_action)
+        self._state[rule.name] = RuleState.IDLE
+        self._release_holdings(rule.name)
+
+    def _dispatch_safely(self, rule: Rule, spec: ActionSpec) -> None:
+        """Issue a device command; a failing device (offline, rejected
+        action) or a privilege violation is traced but never takes the
+        engine down — a home keeps running when one appliance misbehaves.
+
+        The access check here is defence in depth: registration already
+        rejects unauthorized rules, but imported/legacy rules must still
+        be stopped at the device boundary."""
+        if self.access_check is not None:
+            try:
+                self.access_check(rule, spec)
+            except ReproError as exc:
+                self._trace("error", rule.name, spec.device_udn,
+                            f"access denied: {exc}")
+                return
+        try:
+            self.dispatch(spec)
+        except ReproError as exc:
+            self._trace("error", rule.name, spec.device_udn,
+                        f"dispatch failed: {exc}")
+
+    def _release_holdings(self, rule_name: str) -> None:
+        freed = [udn for udn, (name, _) in self._holders.items() if name == rule_name]
+        for udn in freed:
+            del self._holders[udn]
+        for udn in freed:
+            self._regrant(udn)
+
+    def _regrant(self, udn: str) -> None:
+        """A device was released: the strongest standing claimant (a rule
+        whose condition still holds and whose primary targets this
+        device) gets it."""
+        standing = [
+            rule
+            for rule in self.database.rules_for_device(udn)
+            if rule.enabled
+            and self._truth.get(rule.name, False)
+            and rule.action.device_udn == udn
+            and self._state.get(rule.name) in (RuleState.DENIED, RuleState.FALLBACK)
+        ]
+        if not standing:
+            return
+        winner, order = self.priorities.arbitrate(udn, standing, self.world)
+        if winner is None:
+            winner = self.prompt_policy(udn, standing) or standing[0]
+        # Upgrading from fallback releases the fallback device first.
+        if self._state.get(winner.name) is RuleState.FALLBACK:
+            self._release_holdings(winner.name)
+        self._grant(winner, winner.action, is_primary=True, order=order)
+
+    # -- holders & introspection --------------------------------------------------------------------
+
+    def holder_of(self, udn: str) -> tuple[str, ActionSpec] | None:
+        """(rule name, action spec) currently holding a device, if any."""
+        return self._holders.get(udn)
+
+    def rule_state(self, rule_name: str) -> RuleState:
+        return self._state.get(rule_name, RuleState.IDLE)
+
+    def rule_truth(self, rule_name: str) -> bool:
+        return self._truth.get(rule_name, False)
+
+    # -- duration timers --------------------------------------------------------------------------------
+
+    def _arm_held_timer(self, key: str, duration: float) -> None:
+        def recheck() -> None:
+            rules = list(self._held_atom_rules.get(key, ()))
+            if rules:
+                self.reevaluate(rules)
+
+        self.simulator.call_after(duration + _HELD_EPSILON, recheck)
+
+    def _trace(self, kind: str, rule: str, device: str = "", detail: str = "") -> None:
+        self.trace.append(
+            TraceEntry(
+                time=self.simulator.now, kind=kind, rule=rule,
+                device=device, detail=detail,
+            )
+        )

@@ -1,0 +1,88 @@
+"""Rule objects — the executable form of CADEL sentences.
+
+The paper (Sect. 4.1): "a CADEL description is expressed as equivalent a
+'rule object'"; the execution module runs these objects rather than
+re-interpreting text.  A rule bundles:
+
+* ``condition`` — when to fire (edge-triggered: false→true transition);
+* ``action`` — the bound device command;
+* ``fallback`` — optional alternative action when the primary loses
+  arbitration (Alan: "If it is impossible to use the TV, I want to
+  record the game with the video recorder");
+* ``until`` — optional postcondition that reverts/stops the action;
+* ``owner`` — the user who registered the rule (priorities are defined
+  between owners' rules).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.action import ActionSpec
+from repro.core.condition import Condition
+from repro.errors import RuleError
+
+_rule_ids = itertools.count(1)
+
+
+def next_rule_id() -> int:
+    return next(_rule_ids)
+
+
+@dataclass
+class Rule:
+    """One registered automation rule.
+
+    Attributes:
+        name: unique rule name within the database.
+        owner: registering user.
+        condition: compiled condition IR.
+        action: primary bound command.
+        fallback: command to try when arbitration denies the primary.
+        until: optional stop condition; when it becomes true while the
+            rule is active, ``stop_action`` (or nothing) runs.
+        stop_action: command issued when ``until`` triggers.
+        source_text: original CADEL sentence (for export and dialogs).
+        enabled: disabled rules stay registered but never fire.
+        rule_id: stable numeric id (assigned at construction).
+    """
+
+    name: str
+    owner: str
+    condition: Condition
+    action: ActionSpec
+    fallback: ActionSpec | None = None
+    until: Condition | None = None
+    stop_action: ActionSpec | None = None
+    source_text: str = ""
+    enabled: bool = True
+    rule_id: int = field(default_factory=next_rule_id)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise RuleError("rule needs a non-empty name")
+        if not self.owner:
+            raise RuleError(f"rule {self.name!r} needs an owner")
+
+    def devices(self) -> set[str]:
+        """Every device UDN this rule may drive (primary + fallback)."""
+        udns = {self.action.device_udn}
+        if self.fallback is not None:
+            udns.add(self.fallback.device_udn)
+        if self.stop_action is not None:
+            udns.add(self.stop_action.device_udn)
+        return udns
+
+    def describe(self) -> str:
+        text = f"[{self.owner}] if {self.condition.describe()}, " \
+               f"{self.action.describe()}"
+        if self.fallback is not None:
+            text += f"; otherwise {self.fallback.describe()}"
+        if self.until is not None:
+            text += f"; until {self.until.describe()}"
+        return text
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.name!r} owner={self.owner!r}>"

@@ -1,0 +1,140 @@
+"""Satisfiability of condition conjunctions.
+
+This is the registration-time analysis used by both the consistency
+check (Sect. 4.4 "whether the condition can hold") and the conflict
+check ("whether there is a value satisfying both conditions
+simultaneously").  A conjunction is split by atom type and each fragment
+is decided with the appropriate engine:
+
+* numeric atoms → :func:`repro.solver.feasible` (Simplex or interval
+  propagation);
+* discrete atoms → positive/negative contradiction check per variable;
+* membership atoms → positive/negative contradiction per (variable,
+  member) pair;
+* time windows → arc intersection on the day circle plus weekday
+  agreement;
+* event and duration-marker atoms impose no further static constraint.
+
+A condition is satisfiable iff at least one DNF conjunct is.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.condition import (
+    Atom,
+    Condition,
+    Conjunction,
+    DiscreteAtom,
+    DurationAtom,
+    EventAtom,
+    FalseAtom,
+    MembershipAtom,
+    NumericAtom,
+    TimeWindowAtom,
+    TrueAtom,
+)
+from repro.sim.clock import SECONDS_PER_DAY
+from repro.solver import feasible
+from repro.solver.linear import LinearConstraint
+
+
+def condition_satisfiable(condition: Condition, *,
+                          prefer_intervals: bool = True) -> bool:
+    """True iff some world state makes ``condition`` hold."""
+    return any(
+        conjunction_satisfiable(conjunct, prefer_intervals=prefer_intervals)
+        for conjunct in condition.dnf()
+    )
+
+
+def conditions_jointly_satisfiable(
+    first: Condition, second: Condition, *, prefer_intervals: bool = True
+) -> bool:
+    """True iff some single world state makes *both* conditions hold —
+    the paper's definition of a potential conflict."""
+    for left in first.dnf():
+        for right in second.dnf():
+            if conjunction_satisfiable(
+                left + right, prefer_intervals=prefer_intervals
+            ):
+                return True
+    return False
+
+
+def conjunction_satisfiable(
+    atoms: Conjunction | Sequence[Atom], *, prefer_intervals: bool = True
+) -> bool:
+    """Decide one conjunction of atoms."""
+    numeric: list[LinearConstraint] = []
+    positives: dict[str, str] = {}
+    negatives: dict[str, set[str]] = {}
+    member_pos: set[tuple[str, str]] = set()
+    member_neg: set[tuple[str, str]] = set()
+    windows: list[TimeWindowAtom] = []
+
+    for atom in atoms:
+        if isinstance(atom, FalseAtom):
+            return False
+        if isinstance(atom, TrueAtom):
+            continue
+        if isinstance(atom, NumericAtom):
+            numeric.append(atom.constraint)
+        elif isinstance(atom, DiscreteAtom):
+            if atom.negated:
+                negatives.setdefault(atom.variable, set()).add(atom.value)
+            else:
+                existing = positives.get(atom.variable)
+                if existing is not None and existing != atom.value:
+                    return False  # var == a  and  var == b with a != b
+                positives[atom.variable] = atom.value
+        elif isinstance(atom, MembershipAtom):
+            pair = (atom.variable, atom.member)
+            if atom.negated:
+                member_neg.add(pair)
+            else:
+                member_pos.add(pair)
+        elif isinstance(atom, TimeWindowAtom):
+            windows.append(atom)
+        elif isinstance(atom, (EventAtom, DurationAtom)):
+            continue  # no additional static constraint
+        else:  # pragma: no cover - future atom types must be handled
+            raise TypeError(f"unknown atom type: {type(atom).__name__}")
+
+    for variable, value in positives.items():
+        if value in negatives.get(variable, ()):
+            return False  # var == a  and  var != a
+    if member_pos & member_neg:
+        return False  # k in S  and  k not in S
+
+    if windows and not _windows_intersect(windows):
+        return False
+
+    if numeric and not feasible(numeric, prefer_intervals=prefer_intervals):
+        return False
+    return True
+
+
+def _windows_intersect(windows: list[TimeWindowAtom]) -> bool:
+    """Do all window atoms admit a common instant?
+
+    Weekday restrictions must agree (an instant has one weekday); the
+    time-of-day arcs of every window must share a point.
+    """
+    weekdays = {w.weekday for w in windows if w.weekday is not None}
+    if len(weekdays) > 1:
+        return False
+    arcs: list[tuple[float, float]] = [(0.0, SECONDS_PER_DAY)]
+    for window in windows:
+        new_arcs: list[tuple[float, float]] = []
+        for lo, hi in arcs:
+            for wlo, whi in window.arcs():
+                start = max(lo, wlo)
+                end = min(hi, whi)
+                if start < end:
+                    new_arcs.append((start, end))
+        if not new_arcs:
+            return False
+        arcs = new_arcs
+    return True

@@ -1,0 +1,201 @@
+"""The home server facade (Fig. 3 of the paper).
+
+Wires every framework module together over the UPnP substrate:
+
+* a :class:`~repro.upnp.control_point.ControlPoint` discovers devices,
+  reads sensors (via eventing) and issues appliance commands;
+* the :class:`~repro.core.database.RuleDatabase` stores rule objects;
+* the :class:`~repro.core.consistency.ConsistencyChecker` and
+  :class:`~repro.core.conflict.ConflictChecker` run on every
+  registration, exactly in the paper's order (inconsistency first, then
+  same-device conflict extraction + satisfiability);
+* the :class:`~repro.core.priority.PriorityManager` holds
+  context-attached priority orders; when a registration-time conflict
+  has no covering order, the pluggable ``conflict_policy`` plays the
+  role of the paper's Fig. 7 priority-setup dialog;
+* the :class:`~repro.core.engine.RuleEngine` executes rules against the
+  live world state.
+
+Sensor readings flow in through UPnP eventing: the server subscribes to
+every evented service it discovers and translates variable changes into
+engine updates under the canonical naming scheme
+``"<udn>:<service_id>:<variable>"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.access import AccessPolicy
+from repro.core.conflict import ConflictChecker, ConflictReport
+from repro.core.consistency import ConsistencyChecker
+from repro.core.database import RuleDatabase
+from repro.core.engine import PromptPolicy, RuleEngine
+from repro.core.priority import PriorityManager, PriorityOrder
+from repro.core.rule import Rule
+from repro.errors import RuleError
+from repro.net.bus import NetworkBus
+from repro.sim.events import Simulator
+from repro.upnp.control_point import ControlPoint
+from repro.upnp.registry import DeviceRecord
+
+ConflictPolicy = Callable[[Rule, list[ConflictReport]], PriorityOrder | None]
+"""Registration-time conflict hook: may return a new priority order
+(the user's dialog answer) or None to register the rule anyway and let
+runtime arbitration / prompting handle it."""
+
+
+def variable_id(udn: str, service_id: str, variable: str) -> str:
+    """Canonical world-state variable name for a device state variable."""
+    return f"{udn}:{service_id}:{variable}"
+
+
+class HomeServer:
+    """Top-level entry point of the framework."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        bus: NetworkBus,
+        *,
+        name: str = "home-server",
+        prefer_intervals: bool = True,
+        prompt_policy: PromptPolicy | None = None,
+        conflict_policy: ConflictPolicy | None = None,
+        clock_tick_period: float = 60.0,
+    ) -> None:
+        self.simulator = simulator
+        self.control_point = ControlPoint(bus, simulator, name=name)
+        self.database = RuleDatabase()
+        self.priorities = PriorityManager()
+        self.access = AccessPolicy()
+        self.consistency = ConsistencyChecker(prefer_intervals=prefer_intervals)
+        self.conflicts = ConflictChecker(
+            self.database, prefer_intervals=prefer_intervals
+        )
+        self.engine = RuleEngine(
+            self.database,
+            self.priorities,
+            simulator,
+            dispatch=self._dispatch,
+            prompt_policy=prompt_policy,
+            access_check=lambda rule, spec: self.access.check(
+                rule.owner, spec.device_udn, spec.device_name,
+                spec.action_name,
+            ),
+        )
+        self.conflict_policy = conflict_policy
+        self.conflict_log: list[ConflictReport] = []
+        self._variable_units: dict[str, str] = {}
+        self._subscribed: set[tuple[str, str]] = set()
+        self._clock_task = simulator.every(clock_tick_period, self._clock_tick)
+
+    # -- discovery & sensing --------------------------------------------------------
+
+    def discover(self) -> list[DeviceRecord]:
+        """Search the network and subscribe to every evented service of
+        every discovered device; returns the discovered records."""
+        records = self.control_point.search()
+        for record in records:
+            self._subscribe_device(record)
+        return records
+
+    def _subscribe_device(self, record: DeviceRecord) -> None:
+        for service in record.description.get("services", ()):
+            service_id = service["service_id"]
+            key = (record.udn, service_id)
+            evented = [v for v in service.get("variables", ()) if v.get("sends_events")]
+            if not evented or key in self._subscribed:
+                continue
+            for variable in evented:
+                vid = variable_id(record.udn, service_id, variable["name"])
+                self._variable_units[vid] = variable.get("unit", "")
+            self.control_point.subscribe(record.udn, service_id, self._on_device_event)
+            self._subscribed.add(key)
+
+    def _on_device_event(
+        self, udn: str, service_id: str, changes: dict[str, Any]
+    ) -> None:
+        for variable, value in changes.items():
+            vid = variable_id(udn, service_id, variable)
+            if self._variable_units.get(vid) == "set" and isinstance(value, str):
+                members = frozenset(
+                    part.strip() for part in value.split(",") if part.strip()
+                )
+                self.engine.ingest(vid, members)
+            else:
+                self.engine.ingest(vid, value)
+
+    def post_event(self, event_type: str, subject: str | None = None) -> None:
+        """Forward an instantaneous event (arrivals etc.) to the engine."""
+        self.engine.post_event(event_type, subject)
+
+    def _clock_tick(self) -> None:
+        dirty = [
+            r.name for r in self.database.rules_reading_variable("clock:time_of_day")
+        ]
+        if dirty:
+            self.engine.reevaluate(dirty)
+
+    # -- rule registration (the Sect. 4.4 pipeline) -------------------------------------
+
+    def register_rule(self, rule: Rule) -> list[ConflictReport]:
+        """Register a rule: consistency check, conflict check, optional
+        priority prompt, then activation.  Returns the conflicts found
+        (empty list = clean registration).
+
+        Raises:
+            InconsistentRuleError: the condition can never hold.
+            DuplicateRuleError: the rule name is taken.
+            AccessDeniedError: the owner lacks privileges for the
+                rule's device actions (Sect. 6 security extension).
+        """
+        self.access.check_rule(rule)
+        self.consistency.require_consistent(rule)
+        reports = self.conflicts.find_conflicts(rule)
+        if reports:
+            self.conflict_log.extend(reports)
+            self._maybe_prompt_priority(rule, reports)
+        self.database.add(rule)
+        self.engine.rule_added(rule)
+        return reports
+
+    def _maybe_prompt_priority(
+        self, rule: Rule, reports: list[ConflictReport]
+    ) -> None:
+        """Ask the conflict policy for a priority order when no existing
+        order already ranks every involved owner (paper: "If it
+        conflicts, our framework prompts users to specify the priority
+        among the rules")."""
+        needs_prompt = []
+        for report in reports:
+            owners = {rule.owner, self.database.get(report.existing_rule).owner}
+            if not self.priorities.has_order_covering(report.device_udn, owners):
+                needs_prompt.append(report)
+        if needs_prompt and self.conflict_policy is not None:
+            order = self.conflict_policy(rule, needs_prompt)
+            if order is not None:
+                self.priorities.add_order(order)
+
+    def remove_rule(self, name: str) -> Rule:
+        rule = self.database.remove(name)
+        self.engine.rule_removed(name)
+        return rule
+
+    def add_priority_order(self, order: PriorityOrder) -> PriorityOrder:
+        return self.priorities.add_order(order)
+
+    # -- device control ---------------------------------------------------------------------
+
+    def _dispatch(self, spec) -> None:
+        self.control_point.invoke(
+            spec.device_udn, spec.service_id, spec.action_name, spec.arguments()
+        )
+
+    # -- introspection -----------------------------------------------------------------------
+
+    def trace(self) -> list:
+        return self.engine.trace
+
+    def shutdown(self) -> None:
+        self._clock_task.cancel()

@@ -1,0 +1,126 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+All framework errors derive from :class:`ReproError` so applications can
+catch one base class.  Subsystems raise the most specific subclass that
+applies; error messages carry enough context (names, positions, values)
+to be actionable without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulation kernel."""
+
+
+class NetworkError(ReproError):
+    """Simulated-network failures (unknown address, closed bus...)."""
+
+
+class UPnPError(ReproError):
+    """UPnP substrate failures (bad description, unknown action...)."""
+
+
+class ActionError(UPnPError):
+    """An action invocation was rejected by the target service."""
+
+    def __init__(self, device: str, action: str, reason: str):
+        super().__init__(f"action {action!r} on device {device!r} failed: {reason}")
+        self.device = device
+        self.action = action
+        self.reason = reason
+
+
+class SubscriptionError(UPnPError):
+    """Eventing subscription could not be established or renewed."""
+
+
+class HomeModelError(ReproError):
+    """Inconsistent virtual-home model (unknown room, bad setpoint...)."""
+
+
+class CadelError(ReproError):
+    """Base class for CADEL language-processing errors."""
+
+
+class CadelSyntaxError(CadelError):
+    """Raised by the lexer/parser with the offending position.
+
+    Attributes:
+        text: the full source sentence.
+        position: 0-based character offset where the error was detected.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = 0):
+        self.text = text
+        self.position = position
+        if text:
+            pointer = " " * min(position, len(text)) + "^"
+            message = f"{message}\n  {text}\n  {pointer}"
+        super().__init__(message)
+
+
+class CadelBindingError(CadelError):
+    """A name in a rule could not be bound to a device, sensor or word."""
+
+
+class CadelTypeError(CadelError):
+    """A bound rule mixes incompatible kinds (e.g. numeric op on a place)."""
+
+
+class SolverError(ReproError):
+    """Internal failure of the satisfiability engine."""
+
+
+class UnboundedProblemError(SolverError):
+    """The simplex objective is unbounded (cannot happen for feasibility
+    problems built by this library; kept for defensive completeness)."""
+
+
+class RuleError(ReproError):
+    """Base class for rule-database and rule-engine errors."""
+
+
+class InconsistentRuleError(RuleError):
+    """A newly registered rule has a condition that can never hold.
+
+    Mirrors the paper's inconsistency check: the consistency module
+    "evaluates the condition in the new rule to check whether it can
+    hold" and warns the user otherwise.
+    """
+
+    def __init__(self, rule_name: str, reason: str = ""):
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"rule {rule_name!r} is inconsistent (its condition can never hold){detail}"
+        )
+        self.rule_name = rule_name
+
+
+class UnresolvedConflictError(RuleError):
+    """A conflict was detected and no priority order resolves it."""
+
+    def __init__(self, rule_names: list[str], device: str):
+        super().__init__(
+            "conflicting rules "
+            + ", ".join(repr(n) for n in rule_names)
+            + f" target device {device!r} and no priority order applies"
+        )
+        self.rule_names = list(rule_names)
+        self.device = device
+
+
+class DuplicateRuleError(RuleError):
+    """A rule with the same name is already registered."""
+
+
+class UnknownRuleError(RuleError):
+    """Lookup of a rule name that is not in the database."""
+
+
+class LookupServiceError(ReproError):
+    """Malformed query to the sensor/device lookup service."""

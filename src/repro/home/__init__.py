@@ -1,0 +1,31 @@
+"""The virtual home: rooms, appliance models, sensor models, residents.
+
+Substitutes the paper's physical living room (Sect. 3.1) with
+state-faithful simulations.  Everything is exposed through the UPnP
+substrate, so the framework only ever interacts with these models the
+way the prototype interacted with CyberLink virtual devices.
+
+* :mod:`repro.home.environment` — rooms with temperature / humidity /
+  illuminance dynamics on the simulation clock.
+* :mod:`repro.home.appliances` — TV, stereo, video recorder, lights,
+  air-conditioner, electric fan, alarm, door lock.
+* :mod:`repro.home.sensors` — thermometer, hygrometer, light sensor,
+  presence sensors, the person locator and the EPG broadcast feed.
+* :mod:`repro.home.residents` — user avatars generating presence,
+  arrival contexts and "returns home" events.
+* :mod:`repro.home.builder` — canned home configurations, including the
+  paper's three-resident living room.
+"""
+
+from repro.home.environment import Environment, Room
+from repro.home.builder import DemoHome, build_demo_home
+from repro.home.residents import Household, Resident
+
+__all__ = [
+    "Environment",
+    "Room",
+    "DemoHome",
+    "build_demo_home",
+    "Household",
+    "Resident",
+]

@@ -1,0 +1,29 @@
+"""Appliance models (actuators) for the virtual home.
+
+Each appliance is a :class:`~repro.upnp.device.UPnPDevice` exposing the
+action/variable conventions the CADEL binder understands (power services
+with ``TurnOn``/``TurnOff`` and an ``on`` variable, locks with a
+``locked`` variable, and so on).  Appliances with physical side effects
+(air-conditioner, lights, fan) also implement the environment's actor
+protocols so their actions feed back into what sensors measure.
+"""
+
+from repro.home.appliances.aircon import AirConditioner
+from repro.home.appliances.alarm import Alarm
+from repro.home.appliances.door import DoorLock
+from repro.home.appliances.fan import ElectricFan
+from repro.home.appliances.lights import Lamp
+from repro.home.appliances.recorder import VideoRecorder
+from repro.home.appliances.stereo import Stereo
+from repro.home.appliances.tv import Television
+
+__all__ = [
+    "AirConditioner",
+    "Alarm",
+    "DoorLock",
+    "ElectricFan",
+    "Lamp",
+    "VideoRecorder",
+    "Stereo",
+    "Television",
+]

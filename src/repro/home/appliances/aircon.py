@@ -1,0 +1,102 @@
+"""Air-conditioner model with real climate feedback."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.home.environment import Room
+from repro.upnp.device import UPnPDevice
+from repro.upnp.service import Action, Service, StateVariable
+
+MODES = ("cool", "heat", "dehumidify", "auto")
+
+
+class AirConditioner(UPnPDevice):
+    """An air-conditioner driving its room toward a setpoint.
+
+    Implements the environment's ``ClimateActor`` protocol: while on, it
+    closes a fraction of the gap between the room's state and the
+    targets every tick — so the thermometer/hygrometer the rules read
+    genuinely respond to the commands the rules issue.
+    """
+
+    DEVICE_TYPE = "urn:repro:device:AirConditioner:1"
+
+    # Fraction of the setpoint gap closed per hour of runtime.
+    PULL_RATE_PER_HOUR = 3.0
+
+    def __init__(
+        self, friendly_name: str = "air conditioner", *,
+        location: str = "", room: Room | None = None,
+    ) -> None:
+        super().__init__(
+            friendly_name,
+            self.DEVICE_TYPE,
+            location=location,
+            keywords=("air", "conditioner", "climate", "temperature",
+                      "humidity", "cooling"),
+            category="appliance",
+        )
+        self.room = room
+        service = Service("urn:repro:service:Climate:1", "climate")
+        service.add_variable(StateVariable("on", "boolean", value=False))
+        service.add_variable(StateVariable(
+            "target_temperature", "number", value=25.0, minimum=16.0,
+            maximum=32.0, unit="celsius",
+        ))
+        service.add_variable(StateVariable(
+            "target_humidity", "number", value=55.0, minimum=30.0,
+            maximum=80.0, unit="%",
+        ))
+        service.add_variable(StateVariable(
+            "mode", "string", value="auto", allowed_values=MODES
+        ))
+        service.add_action(Action(
+            "TurnOn", self._turn_on,
+            in_args=("temperature", "humidity", "mode"),
+            out_args=("on",),
+            description="start climate control with optional setpoints",
+        ))
+        service.add_action(Action(
+            "TurnOff", self._turn_off, out_args=("on",),
+            description="stop climate control",
+        ))
+        self._service = service
+        self.add_service(service)
+
+    def _turn_on(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("on", True)
+        if "temperature" in args:
+            self._service.set_variable("target_temperature",
+                                       float(args["temperature"]))
+        if "humidity" in args:
+            self._service.set_variable("target_humidity",
+                                       float(args["humidity"]))
+        if "mode" in args:
+            self._service.set_variable("mode", str(args["mode"]))
+        return {"on": True}
+
+    def _turn_off(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("on", False)
+        return {"on": False}
+
+    @property
+    def is_on(self) -> bool:
+        return bool(self.get_state("climate", "on"))
+
+    @property
+    def target_temperature(self) -> float:
+        return float(self.get_state("climate", "target_temperature"))
+
+    @property
+    def target_humidity(self) -> float:
+        return float(self.get_state("climate", "target_humidity"))
+
+    # -- ClimateActor protocol ---------------------------------------------------
+
+    def climate_effect(self, room: Room, dt: float) -> None:
+        if not self.is_on:
+            return
+        pull = min(1.0, self.PULL_RATE_PER_HOUR * dt / 3600.0)
+        room.temperature += (self.target_temperature - room.temperature) * pull
+        room.humidity += (self.target_humidity - room.humidity) * pull

@@ -1,0 +1,48 @@
+"""Home security alarm model."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.upnp.device import UPnPDevice
+from repro.upnp.service import Action, Service, StateVariable
+
+
+class Alarm(UPnPDevice):
+    """A siren for the paper's rule (3): "At night, if entrance door is
+    unlocked for 1 hour, turn on the alarm"."""
+
+    DEVICE_TYPE = "urn:repro:device:Alarm:1"
+
+    def __init__(self, friendly_name: str = "alarm", *, location: str = "") -> None:
+        super().__init__(
+            friendly_name,
+            self.DEVICE_TYPE,
+            location=location,
+            keywords=("alarm", "siren", "security"),
+            category="appliance",
+        )
+        service = Service("urn:repro:service:Alarm:1", "alarm")
+        service.add_variable(StateVariable("on", "boolean", value=False))
+        service.add_action(Action(
+            "TurnOn", self._turn_on, out_args=("on",),
+            description="sound the alarm",
+        ))
+        service.add_action(Action(
+            "TurnOff", self._turn_off, out_args=("on",),
+            description="silence the alarm",
+        ))
+        self._service = service
+        self.add_service(service)
+
+    def _turn_on(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("on", True)
+        return {"on": True}
+
+    def _turn_off(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("on", False)
+        return {"on": False}
+
+    @property
+    def is_on(self) -> bool:
+        return bool(self.get_state("alarm", "on"))

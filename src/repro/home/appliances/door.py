@@ -1,0 +1,70 @@
+"""Entrance door with lock and open/close state."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.upnp.device import UPnPDevice
+from repro.upnp.service import Action, Service, StateVariable
+
+
+class DoorLock(UPnPDevice):
+    """A door that is both sensor (locked/open states are evented) and
+    actuator (Lock/Unlock/Open/Close actions)."""
+
+    DEVICE_TYPE = "urn:repro:device:Door:1"
+
+    def __init__(
+        self, friendly_name: str = "entrance door", *, location: str = ""
+    ) -> None:
+        super().__init__(
+            friendly_name,
+            self.DEVICE_TYPE,
+            location=location,
+            keywords=("door", "lock", "entrance", "security"),
+            category="appliance",
+        )
+        service = Service("urn:repro:service:DoorLock:1", "lock")
+        service.add_variable(StateVariable("locked", "boolean", value=True))
+        service.add_variable(StateVariable("open", "boolean", value=False))
+        service.add_action(Action(
+            "Lock", self._lock, out_args=("locked",), description="lock the door",
+        ))
+        service.add_action(Action(
+            "Unlock", self._unlock, out_args=("locked",),
+            description="unlock the door",
+        ))
+        service.add_action(Action(
+            "Open", self._open, description="open the door (unlocks first)",
+        ))
+        service.add_action(Action(
+            "Close", self._close, description="close the door",
+        ))
+        self._service = service
+        self.add_service(service)
+
+    def _lock(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("open", False)
+        self._service.set_variable("locked", True)
+        return {"locked": True}
+
+    def _unlock(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("locked", False)
+        return {"locked": False}
+
+    def _open(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("locked", False)
+        self._service.set_variable("open", True)
+        return {}
+
+    def _close(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("open", False)
+        return {}
+
+    @property
+    def is_locked(self) -> bool:
+        return bool(self.get_state("lock", "locked"))
+
+    @property
+    def is_open(self) -> bool:
+        return bool(self.get_state("lock", "open"))

@@ -1,0 +1,65 @@
+"""Electric fan — a second climate appliance, useful for retrieval
+queries ("which devices can cool this room?") and conflict scenarios."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.home.environment import Room
+from repro.upnp.device import UPnPDevice
+from repro.upnp.service import Action, Service, StateVariable
+
+
+class ElectricFan(UPnPDevice):
+    """A fan with mild cooling effect (perceived, modelled as small)."""
+
+    DEVICE_TYPE = "urn:repro:device:Fan:1"
+    COOLING_PER_HOUR = 0.6  # °C of perceived cooling per hour at full speed
+
+    def __init__(
+        self, friendly_name: str = "electric fan", *, location: str = ""
+    ) -> None:
+        super().__init__(
+            friendly_name,
+            self.DEVICE_TYPE,
+            location=location,
+            keywords=("fan", "cooling", "temperature"),
+            category="appliance",
+        )
+        service = Service("urn:repro:service:Fan:1", "fan")
+        service.add_variable(StateVariable("on", "boolean", value=False))
+        service.add_variable(StateVariable(
+            "speed", "number", value=50.0, minimum=0.0, maximum=100.0, unit="%",
+        ))
+        service.add_action(Action(
+            "TurnOn", self._turn_on, in_args=("speed",), out_args=("on",),
+            description="start the fan",
+        ))
+        service.add_action(Action(
+            "TurnOff", self._turn_off, out_args=("on",),
+            description="stop the fan",
+        ))
+        self._service = service
+        self.add_service(service)
+
+    def _turn_on(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("on", True)
+        if "speed" in args:
+            self._service.set_variable("speed", float(args["speed"]))
+        return {"on": True}
+
+    def _turn_off(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("on", False)
+        return {"on": False}
+
+    @property
+    def is_on(self) -> bool:
+        return bool(self.get_state("fan", "on"))
+
+    # -- ClimateActor protocol ----------------------------------------------------
+
+    def climate_effect(self, room: Room, dt: float) -> None:
+        if not self.is_on:
+            return
+        speed = float(self.get_state("fan", "speed")) / 100.0
+        room.temperature -= self.COOLING_PER_HOUR * speed * dt / 3600.0

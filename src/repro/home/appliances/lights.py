@@ -1,0 +1,82 @@
+"""Luminaire models: floor lamps, fluorescent ceiling lights, hall lights."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.home.environment import Room
+from repro.upnp.device import UPnPDevice
+from repro.upnp.service import Action, Service, StateVariable
+
+
+class Lamp(UPnPDevice):
+    """A dimmable light contributing illuminance to its room.
+
+    ``max_lux`` differentiates fixture classes: floor lamps (~150 lux at
+    full) support the paper's *half-lighting* configuration, the
+    fluorescent ceiling light (~400 lux) realizes Emily's "make the room
+    bright".
+    """
+
+    DEVICE_TYPE = "urn:repro:device:Lamp:1"
+
+    def __init__(
+        self, friendly_name: str, *, location: str = "",
+        max_lux: float = 150.0,
+    ) -> None:
+        super().__init__(
+            friendly_name,
+            self.DEVICE_TYPE,
+            location=location,
+            keywords=("light", "lamp", "lighting", "brightness"),
+            category="appliance",
+        )
+        self.max_lux = max_lux
+        service = Service("urn:repro:service:Lighting:1", "power")
+        service.add_variable(StateVariable("on", "boolean", value=False))
+        service.add_variable(StateVariable(
+            "level", "number", value=0.0, minimum=0.0, maximum=100.0, unit="%",
+        ))
+        service.add_action(Action(
+            "TurnOn", self._turn_on, in_args=("level",), out_args=("on",),
+            description="switch on, optionally at a dim level (percent)",
+        ))
+        service.add_action(Action(
+            "TurnOff", self._turn_off, out_args=("on",),
+            description="switch off",
+        ))
+        service.add_action(Action(
+            "Dim", self._dim, in_args=("level",),
+            description="set the dim level without toggling power",
+        ))
+        self._service = service
+        self.add_service(service)
+
+    def _turn_on(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("on", True)
+        self._service.set_variable("level", float(args.get("level", 100.0)))
+        return {"on": True}
+
+    def _turn_off(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("on", False)
+        self._service.set_variable("level", 0.0)
+        return {"on": False}
+
+    def _dim(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("level", float(args["level"]))
+        return {}
+
+    @property
+    def is_on(self) -> bool:
+        return bool(self.get_state("power", "on"))
+
+    @property
+    def level(self) -> float:
+        return float(self.get_state("power", "level"))
+
+    # -- LightActor protocol ------------------------------------------------------
+
+    def light_output(self, room: Room) -> float:
+        if not self.is_on:
+            return 0.0
+        return self.max_lux * self.level / 100.0

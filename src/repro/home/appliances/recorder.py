@@ -1,0 +1,58 @@
+"""Video recorder model (the paper's DVD/video recorder)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.upnp.device import UPnPDevice
+from repro.upnp.service import Action, Service, StateVariable
+
+
+class VideoRecorder(UPnPDevice):
+    """Records a program — Alan's fallback when he loses the TV (r2)."""
+
+    DEVICE_TYPE = "urn:repro:device:VideoRecorder:1"
+
+    def __init__(
+        self, friendly_name: str = "video recorder", *, location: str = ""
+    ) -> None:
+        super().__init__(
+            friendly_name,
+            self.DEVICE_TYPE,
+            location=location,
+            keywords=("recorder", "video", "dvd", "recording"),
+            category="appliance",
+        )
+        service = Service("urn:repro:service:Recorder:1", "recorder")
+        service.add_variable(StateVariable("recording", "boolean", value=False))
+        service.add_variable(StateVariable("program", "string", value=""))
+        service.add_variable(StateVariable(
+            "channel", "number", value=1.0, minimum=1.0, maximum=999.0
+        ))
+        service.add_action(Action(
+            "Record", self._record, in_args=("channel", "program"),
+            out_args=("recording",),
+            description="start recording a channel or named program",
+        ))
+        service.add_action(Action(
+            "Stop", self._stop, out_args=("recording",),
+            description="stop recording",
+        ))
+        self._service = service
+        self.add_service(service)
+
+    def _record(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("recording", True)
+        if "channel" in args:
+            self._service.set_variable("channel", float(args["channel"]))
+        if "program" in args:
+            self._service.set_variable("program", str(args["program"]))
+        return {"recording": True}
+
+    def _stop(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("recording", False)
+        return {"recording": False}
+
+    @property
+    def is_recording(self) -> bool:
+        return bool(self.get_state("recorder", "recording"))

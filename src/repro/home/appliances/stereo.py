@@ -1,0 +1,89 @@
+"""Stereo system model."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.upnp.device import UPnPDevice
+from repro.upnp.service import Action, Service, StateVariable
+
+OUTPUTS = ("speakers", "headphones", "tv")
+SOURCES = ("music", "tv sound", "radio")
+
+
+class Stereo(UPnPDevice):
+    """A stereo with genre selection and switchable output.
+
+    The switchable ``output`` ("speakers" / "headphones") carries the
+    Fig. 1 transition s1 → s'1: when Alan takes the living-room audio,
+    Tom's jazz continues on headphones.
+    """
+
+    DEVICE_TYPE = "urn:repro:device:Stereo:1"
+
+    def __init__(self, friendly_name: str = "stereo", *, location: str = "") -> None:
+        super().__init__(
+            friendly_name,
+            self.DEVICE_TYPE,
+            location=location,
+            keywords=("stereo", "audio", "music", "speaker"),
+            category="appliance",
+        )
+        service = Service("urn:repro:service:AudioPlayer:1", "player")
+        service.add_variable(StateVariable("on", "boolean", value=False))
+        service.add_variable(StateVariable("genre", "string", value=""))
+        service.add_variable(StateVariable(
+            "output", "string", value="speakers", allowed_values=OUTPUTS
+        ))
+        service.add_variable(StateVariable(
+            "source", "string", value="music", allowed_values=SOURCES
+        ))
+        service.add_variable(StateVariable(
+            "volume", "number", value=30.0, minimum=0.0, maximum=100.0, unit="%"
+        ))
+        service.add_action(Action(
+            "PlayMusic", self._play,
+            in_args=("genre", "volume", "output", "source"),
+            description="play music of a genre through a chosen output",
+        ))
+        service.add_action(Action(
+            "Stop", self._stop, description="stop playback",
+        ))
+        service.add_action(Action(
+            "SetOutput", self._set_output, in_args=("output",),
+            description="route audio to speakers or headphones",
+        ))
+        self._service = service
+        self.add_service(service)
+
+    def _play(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("on", True)
+        if "genre" in args:
+            self._service.set_variable("genre", str(args["genre"]))
+        if "volume" in args:
+            self._service.set_variable("volume", float(args["volume"]))
+        if "output" in args:
+            self._service.set_variable("output", str(args["output"]))
+        if "source" in args:
+            self._service.set_variable("source", str(args["source"]))
+        return {"on": True}
+
+    def _stop(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("on", False)
+        return {"on": False}
+
+    def _set_output(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("output", str(args["output"]))
+        return {}
+
+    @property
+    def is_on(self) -> bool:
+        return bool(self.get_state("player", "on"))
+
+    @property
+    def output(self) -> str:
+        return str(self.get_state("player", "output"))
+
+    @property
+    def source(self) -> str:
+        return str(self.get_state("player", "source"))

@@ -1,0 +1,78 @@
+"""Flat-panel TV model."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.upnp.device import UPnPDevice
+from repro.upnp.service import Action, Service, StateVariable
+
+
+class Television(UPnPDevice):
+    """A TV with power, channel and volume control.
+
+    ``TurnOn`` accepts optional ``channel`` and ``volume`` settings so
+    that two users' "turn on the TV" rules with different channels are
+    *different* actions (the paper's TV conflict between Alan's baseball
+    game and Emily's movie).
+    """
+
+    DEVICE_TYPE = "urn:repro:device:TV:1"
+
+    def __init__(self, friendly_name: str = "TV", *, location: str = "") -> None:
+        super().__init__(
+            friendly_name,
+            self.DEVICE_TYPE,
+            location=location,
+            keywords=("tv", "television", "video", "screen"),
+            category="appliance",
+        )
+        service = Service("urn:repro:service:TVControl:1", "power")
+        service.add_variable(StateVariable("on", "boolean", value=False))
+        service.add_variable(
+            StateVariable("channel", "number", value=1.0, minimum=1.0,
+                          maximum=999.0)
+        )
+        service.add_variable(
+            StateVariable("volume", "number", value=20.0, minimum=0.0,
+                          maximum=100.0, unit="%")
+        )
+        service.add_action(Action(
+            "TurnOn", self._turn_on, in_args=("channel", "volume"),
+            out_args=("on",),
+            description="switch the TV on, optionally selecting a channel",
+        ))
+        service.add_action(Action(
+            "TurnOff", self._turn_off, out_args=("on",),
+            description="switch the TV off",
+        ))
+        service.add_action(Action(
+            "SetChannel", self._set_channel, in_args=("channel",),
+            description="change the channel",
+        ))
+        self._service = service
+        self.add_service(service)
+
+    def _turn_on(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("on", True)
+        if "channel" in args:
+            self._service.set_variable("channel", float(args["channel"]))
+        if "volume" in args:
+            self._service.set_variable("volume", float(args["volume"]))
+        return {"on": True}
+
+    def _turn_off(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("on", False)
+        return {"on": False}
+
+    def _set_channel(self, args: dict[str, Any]) -> dict[str, Any]:
+        self._service.set_variable("channel", float(args["channel"]))
+        return {}
+
+    @property
+    def is_on(self) -> bool:
+        return bool(self.get_state("power", "on"))
+
+    @property
+    def channel(self) -> float:
+        return float(self.get_state("power", "channel"))

@@ -1,0 +1,171 @@
+"""Canned home configurations.
+
+:func:`build_demo_home` assembles the paper's Sect. 3.1 environment: a
+living room with "a stereo system, a flat-panel TV, a video recorder, a
+fluorescent light, floor lamps, and an air conditioner", plus the hall
+and entrance used by the example rules (2) and (3), the sensing
+infrastructure, and the three residents Tom, Alan and Emily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.home.appliances import (
+    AirConditioner,
+    Alarm,
+    DoorLock,
+    ElectricFan,
+    Lamp,
+    Stereo,
+    Television,
+    VideoRecorder,
+)
+from repro.home.environment import Environment, Room
+from repro.home.residents import EventSink, Household
+from repro.home.sensors import (
+    EPGFeed,
+    Hygrometer,
+    LightSensor,
+    PersonLocator,
+    PresenceSensor,
+    Thermometer,
+)
+from repro.net.bus import NetworkBus
+from repro.sim.events import Simulator
+from repro.upnp.device import UPnPDevice
+
+LIVING_ROOM = "living room"
+HALL = "hall"
+ENTRANCE = "entrance"
+
+RESIDENTS = ["Tom", "Alan", "Emily"]
+
+
+@dataclass
+class DemoHome:
+    """Everything :func:`build_demo_home` creates, by name."""
+
+    simulator: Simulator
+    bus: NetworkBus
+    environment: Environment
+    household: Household
+    tv: Television
+    stereo: Stereo
+    recorder: VideoRecorder
+    aircon: AirConditioner
+    fan: ElectricFan
+    floor_lamp: Lamp
+    fluorescent: Lamp
+    hall_light: Lamp
+    door: DoorLock
+    alarm: Alarm
+    thermometer: Thermometer
+    hygrometer: Hygrometer
+    living_light_sensor: LightSensor
+    hall_light_sensor: LightSensor
+    locator: PersonLocator
+    epg: EPGFeed
+    presence: dict[str, PresenceSensor] = field(default_factory=dict)
+
+    def all_devices(self) -> list[UPnPDevice]:
+        devices: list[UPnPDevice] = [
+            self.tv, self.stereo, self.recorder, self.aircon, self.fan,
+            self.floor_lamp, self.fluorescent, self.hall_light, self.door,
+            self.alarm, self.thermometer, self.hygrometer,
+            self.living_light_sensor, self.hall_light_sensor, self.locator,
+            self.epg,
+        ]
+        devices.extend(self.presence.values())
+        return devices
+
+
+def build_demo_home(
+    simulator: Simulator,
+    bus: NetworkBus,
+    *,
+    event_sink: EventSink | None = None,
+    start_environment: bool = True,
+) -> DemoHome:
+    """Assemble and attach the paper's demo home.
+
+    Args:
+        simulator: shared event kernel.
+        bus: shared network bus; every device attaches to it.
+        event_sink: receives ("returns home", person) events — wire this
+            to ``HomeServer.post_event`` to close the loop.
+        start_environment: begin physics ticks immediately.
+    """
+    environment = Environment(simulator)
+    living = environment.add_room(Room(LIVING_ROOM, temperature=24.0,
+                                       humidity=58.0))
+    environment.add_room(Room(HALL, temperature=23.0, humidity=55.0,
+                              has_window=False))
+    environment.add_room(Room(ENTRANCE, temperature=23.0, humidity=55.0,
+                              has_window=False))
+
+    tv = Television("TV", location=LIVING_ROOM)
+    stereo = Stereo("stereo", location=LIVING_ROOM)
+    recorder = VideoRecorder("video recorder", location=LIVING_ROOM)
+    aircon = AirConditioner("air conditioner", location=LIVING_ROOM,
+                            room=living)
+    fan = ElectricFan("electric fan", location=LIVING_ROOM)
+    floor_lamp = Lamp("floor lamp", location=LIVING_ROOM, max_lux=150.0)
+    fluorescent = Lamp("fluorescent light", location=LIVING_ROOM,
+                       max_lux=400.0)
+    hall_light = Lamp("hall light", location=HALL, max_lux=250.0)
+    door = DoorLock("entrance door", location=ENTRANCE)
+    alarm = Alarm("alarm", location=ENTRANCE)
+
+    thermometer = Thermometer("thermometer", living)
+    hygrometer = Hygrometer("hygrometer", living)
+    living_light_sensor = LightSensor("living room light sensor", living)
+    hall_light_sensor = LightSensor("hall light sensor",
+                                    environment.room(HALL))
+    locator = PersonLocator(RESIDENTS)
+    epg = EPGFeed()
+    presence = {
+        place: PresenceSensor(f"{place} presence sensor", place)
+        for place in (LIVING_ROOM, HALL, ENTRANCE)
+    }
+
+    environment.add_climate_actor(LIVING_ROOM, aircon)
+    environment.add_climate_actor(LIVING_ROOM, fan)
+    environment.add_light_actor(LIVING_ROOM, floor_lamp)
+    environment.add_light_actor(LIVING_ROOM, fluorescent)
+    environment.add_light_actor(HALL, hall_light)
+    for sensor in (thermometer, hygrometer, living_light_sensor,
+                   hall_light_sensor):
+        environment.add_sensor(sensor)
+
+    household = Household(locator, presence, event_sink=event_sink)
+
+    home = DemoHome(
+        simulator=simulator,
+        bus=bus,
+        environment=environment,
+        household=household,
+        tv=tv,
+        stereo=stereo,
+        recorder=recorder,
+        aircon=aircon,
+        fan=fan,
+        floor_lamp=floor_lamp,
+        fluorescent=fluorescent,
+        hall_light=hall_light,
+        door=door,
+        alarm=alarm,
+        thermometer=thermometer,
+        hygrometer=hygrometer,
+        living_light_sensor=living_light_sensor,
+        hall_light_sensor=hall_light_sensor,
+        locator=locator,
+        epg=epg,
+        presence=presence,
+    )
+    for device in home.all_devices():
+        device.attach(bus, simulator)
+    epg.start_feed(simulator)
+    if start_environment:
+        environment.start()
+    return home

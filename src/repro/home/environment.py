@@ -1,0 +1,173 @@
+"""Room physics on the simulation clock.
+
+Each :class:`Room` carries temperature (°C), relative humidity (%) and
+illuminance (lux).  The :class:`Environment` advances them on a periodic
+tick: values relax toward the ambient profile (a daily outdoor cycle),
+climate devices pull temperature/humidity toward their setpoints, and
+luminaires add to the daylight illuminance.  After the physical update,
+registered sensors sample their rooms and publish over UPnP eventing.
+
+The model is deliberately first-order — the paper's evaluation does not
+depend on thermodynamics — but it is *causal*: turning the
+air-conditioner on genuinely changes what the thermometer publishes,
+which is what closes the sense → rule → actuate loop end-to-end.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.errors import HomeModelError
+from repro.sim.clock import SECONDS_PER_DAY
+from repro.sim.events import PeriodicTask, Simulator
+
+
+@dataclass
+class Room:
+    """One physical space with its environmental state."""
+
+    name: str
+    temperature: float = 22.0      # °C
+    humidity: float = 55.0         # % relative
+    illuminance: float = 0.0       # lux, recomputed every tick
+    has_window: bool = True
+    volume_factor: float = 1.0     # larger rooms react more slowly
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise HomeModelError("room needs a name")
+        if self.volume_factor <= 0:
+            raise HomeModelError("volume_factor must be positive")
+
+
+class ClimateActor(Protocol):
+    """A device that pulls a room's climate toward a setpoint."""
+
+    def climate_effect(self, room: Room, dt: float) -> None:
+        """Apply this device's effect over ``dt`` seconds."""
+
+
+class LightActor(Protocol):
+    """A device contributing illuminance to a room."""
+
+    def light_output(self, room: Room) -> float:
+        """Current lux contribution to the room."""
+
+
+class RoomSensor(Protocol):
+    """A sensor that samples its room after each physics tick."""
+
+    def sample(self) -> None: ...
+
+
+def default_outdoor_temperature(time_of_day: float) -> float:
+    """A summer-day outdoor profile: ~24 °C at dawn, ~31 °C mid-afternoon."""
+    phase = 2.0 * math.pi * (time_of_day - 14.0 * 3600.0) / SECONDS_PER_DAY
+    return 27.5 + 3.5 * math.cos(phase)
+
+
+def default_outdoor_humidity(time_of_day: float) -> float:
+    """Humidity runs inverse to temperature: ~75 % at dawn, ~60 % afternoon."""
+    phase = 2.0 * math.pi * (time_of_day - 14.0 * 3600.0) / SECONDS_PER_DAY
+    return 67.0 - 8.0 * math.cos(phase)
+
+
+def default_daylight(time_of_day: float) -> float:
+    """Daylight lux through a window: 0 at night, peaking ~500 at 13:00."""
+    hours = time_of_day / 3600.0
+    if hours < 6.0 or hours > 20.0:
+        return 0.0
+    return 500.0 * math.sin(math.pi * (hours - 6.0) / 14.0)
+
+
+class Environment:
+    """All rooms plus the actors and sensors coupled to them."""
+
+    # Fraction of the gap to ambient closed per hour by passive leakage.
+    LEAK_RATE_PER_HOUR = 0.35
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        tick_period: float = 60.0,
+        outdoor_temperature: Callable[[float], float] | None = None,
+        outdoor_humidity: Callable[[float], float] | None = None,
+        daylight: Callable[[float], float] | None = None,
+    ) -> None:
+        if tick_period <= 0:
+            raise HomeModelError("tick_period must be positive")
+        self.simulator = simulator
+        self.tick_period = tick_period
+        self.outdoor_temperature = outdoor_temperature or default_outdoor_temperature
+        self.outdoor_humidity = outdoor_humidity or default_outdoor_humidity
+        self.daylight = daylight or default_daylight
+        self._rooms: dict[str, Room] = {}
+        self._climate_actors: dict[str, list[ClimateActor]] = {}
+        self._light_actors: dict[str, list[LightActor]] = {}
+        self._sensors: list[RoomSensor] = []
+        self._task: PeriodicTask | None = None
+
+    # -- composition -----------------------------------------------------------
+
+    def add_room(self, room: Room) -> Room:
+        if room.name in self._rooms:
+            raise HomeModelError(f"duplicate room {room.name!r}")
+        self._rooms[room.name] = room
+        return room
+
+    def room(self, name: str) -> Room:
+        try:
+            return self._rooms[name]
+        except KeyError:
+            raise HomeModelError(f"unknown room {name!r}") from None
+
+    def rooms(self) -> list[Room]:
+        return list(self._rooms.values())
+
+    def add_climate_actor(self, room_name: str, actor: ClimateActor) -> None:
+        self.room(room_name)  # validate
+        self._climate_actors.setdefault(room_name, []).append(actor)
+
+    def add_light_actor(self, room_name: str, actor: LightActor) -> None:
+        self.room(room_name)
+        self._light_actors.setdefault(room_name, []).append(actor)
+
+    def add_sensor(self, sensor: RoomSensor) -> None:
+        self._sensors.append(sensor)
+
+    # -- dynamics -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic physics ticks (idempotent)."""
+        if self._task is None:
+            self._task = self.simulator.every(self.tick_period, self.step)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def step(self) -> None:
+        """One physics tick: leakage, device effects, lighting, sampling."""
+        dt = self.tick_period
+        time_of_day = self.simulator.clock.time_of_day
+        ambient_t = self.outdoor_temperature(time_of_day)
+        ambient_h = self.outdoor_humidity(time_of_day)
+        daylight = self.daylight(time_of_day)
+        for room in self._rooms.values():
+            leak = self.LEAK_RATE_PER_HOUR * dt / 3600.0 / room.volume_factor
+            leak = min(leak, 1.0)
+            room.temperature += (ambient_t - room.temperature) * leak
+            room.humidity += (ambient_h - room.humidity) * leak
+            for actor in self._climate_actors.get(room.name, ()):
+                actor.climate_effect(room, dt)
+            room.humidity = min(100.0, max(0.0, room.humidity))
+            light = daylight if room.has_window else 0.0
+            for lamp in self._light_actors.get(room.name, ()):
+                light += lamp.light_output(room)
+            room.illuminance = light
+        for sensor in self._sensors:
+            sensor.sample()

@@ -1,0 +1,92 @@
+"""Resident avatars: the humans whose movement generates context.
+
+A :class:`Resident` carries an RFID tag; moving between places updates
+the per-room presence sensors and the whole-home person locator, and
+coming home fires the "returns home" event plus the sticky arrival
+context ("got home from work") that scopes priority orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import HomeModelError
+from repro.home.sensors.locator import AWAY, PersonLocator
+from repro.home.sensors.presence import PresenceSensor
+
+EventSink = Callable[[str, str], None]
+"""Callback (event_type, subject) — usually HomeServer.post_event."""
+
+
+@dataclass
+class Resident:
+    name: str
+    place: str = AWAY
+
+
+class Household:
+    """The residents plus the sensing infrastructure they interact with."""
+
+    def __init__(
+        self,
+        locator: PersonLocator,
+        presence_sensors: dict[str, PresenceSensor],
+        *,
+        event_sink: EventSink | None = None,
+    ) -> None:
+        self.locator = locator
+        self.presence = dict(presence_sensors)
+        self.event_sink = event_sink
+        self._residents: dict[str, Resident] = {
+            name: Resident(name) for name in locator.residents
+        }
+
+    def resident(self, name: str) -> Resident:
+        try:
+            return self._residents[name]
+        except KeyError:
+            raise HomeModelError(f"unknown resident {name!r}") from None
+
+    def residents(self) -> list[Resident]:
+        return list(self._residents.values())
+
+    # -- movement --------------------------------------------------------------
+
+    def move(self, name: str, place: str) -> None:
+        """Move a resident between places inside the home."""
+        resident = self.resident(name)
+        if resident.place == place:
+            return
+        old_sensor = self.presence.get(resident.place)
+        if old_sensor is not None:
+            old_sensor.person_left(name)
+        resident.place = place
+        new_sensor = self.presence.get(place)
+        if new_sensor is not None:
+            new_sensor.person_entered(name)
+        self.locator.set_place(name, place)
+
+    def arrive_home(self, name: str, from_activity: str, place: str) -> None:
+        """A resident returns home: sets the arrival context, moves them
+        into ``place``, and fires the "returns home" event."""
+        resident = self.resident(name)
+        if resident.place != AWAY:
+            raise HomeModelError(f"{name!r} is already home (at {resident.place!r})")
+        self.locator.set_last_arrival(name, from_activity)
+        self.move(name, place)
+        if self.event_sink is not None:
+            self.event_sink("returns home", name)
+
+    def leave_home(self, name: str) -> None:
+        """A resident leaves; their arrival context clears."""
+        resident = self.resident(name)
+        sensor = self.presence.get(resident.place)
+        if sensor is not None:
+            sensor.person_left(name)
+        resident.place = AWAY
+        self.locator.set_place(name, AWAY)
+        self.locator.set_last_arrival(name, "none")
+
+    def whereabouts(self) -> dict[str, str]:
+        return {name: r.place for name, r in self._residents.items()}

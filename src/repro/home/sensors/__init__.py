@@ -1,0 +1,22 @@
+"""Sensor models for the virtual home.
+
+Sensors sample their room (or global state) on every environment tick
+and publish readings through UPnP eventing, which is how the home
+server's rule engine sees the world.
+"""
+
+from repro.home.sensors.climate import Hygrometer, Thermometer
+from repro.home.sensors.epg import EPGFeed, Program
+from repro.home.sensors.light import LightSensor
+from repro.home.sensors.locator import PersonLocator
+from repro.home.sensors.presence import PresenceSensor
+
+__all__ = [
+    "Hygrometer",
+    "Thermometer",
+    "EPGFeed",
+    "Program",
+    "LightSensor",
+    "PersonLocator",
+    "PresenceSensor",
+]

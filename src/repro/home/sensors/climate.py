@@ -1,0 +1,73 @@
+"""Temperature and humidity sensors."""
+
+from __future__ import annotations
+
+from repro.home.environment import Room
+from repro.upnp.device import UPnPDevice
+from repro.upnp.service import Service, StateVariable
+
+
+class Thermometer(UPnPDevice):
+    """Publishes its room's temperature, quantized to 0.1 °C so eventing
+    traffic only flows on meaningful changes."""
+
+    DEVICE_TYPE = "urn:repro:device:Thermometer:1"
+
+    def __init__(self, friendly_name: str, room: Room, *,
+                 quantum: float = 0.1) -> None:
+        super().__init__(
+            friendly_name,
+            self.DEVICE_TYPE,
+            location=room.name,
+            keywords=("temperature", "thermometer", "climate"),
+            category="sensor",
+        )
+        self.room = room
+        self.quantum = quantum
+        service = Service("urn:repro:service:TemperatureSensor:1", "temperature")
+        service.add_variable(StateVariable(
+            "temperature", "number", value=round(room.temperature, 1),
+            unit="celsius",
+        ))
+        self._service = service
+        self.add_service(service)
+
+    def sample(self) -> None:
+        reading = round(self.room.temperature / self.quantum) * self.quantum
+        self._service.set_variable("temperature", round(reading, 6))
+
+    @property
+    def reading(self) -> float:
+        return float(self.get_state("temperature", "temperature"))
+
+
+class Hygrometer(UPnPDevice):
+    """Publishes its room's relative humidity, quantized to 0.5 %."""
+
+    DEVICE_TYPE = "urn:repro:device:Hygrometer:1"
+
+    def __init__(self, friendly_name: str, room: Room, *,
+                 quantum: float = 0.5) -> None:
+        super().__init__(
+            friendly_name,
+            self.DEVICE_TYPE,
+            location=room.name,
+            keywords=("humidity", "hygrometer", "climate"),
+            category="sensor",
+        )
+        self.room = room
+        self.quantum = quantum
+        service = Service("urn:repro:service:HumiditySensor:1", "humidity")
+        service.add_variable(StateVariable(
+            "humidity", "number", value=round(room.humidity, 1), unit="%",
+        ))
+        self._service = service
+        self.add_service(service)
+
+    def sample(self) -> None:
+        reading = round(self.room.humidity / self.quantum) * self.quantum
+        self._service.set_variable("humidity", round(reading, 6))
+
+    @property
+    def reading(self) -> float:
+        return float(self.get_state("humidity", "humidity"))

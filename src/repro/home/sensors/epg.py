@@ -1,0 +1,103 @@
+"""Electronic program guide (EPG) feed.
+
+The paper's scenarios key on broadcast content ("a TV program on air
+includes a keyword which he is interested in", "a baseball game is on
+air").  This device simulates the broadcast schedule: programs carry
+keyword sets, and the currently-airing union of keywords is published as
+a set-valued variable that CADEL's ``<Event> is on air`` atoms test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import HomeModelError
+from repro.sim.events import Simulator
+from repro.upnp.device import UPnPDevice
+from repro.upnp.service import Service, StateVariable
+
+
+@dataclass(frozen=True)
+class Program:
+    """One scheduled broadcast."""
+
+    title: str
+    channel: int
+    start: float          # absolute simulated seconds
+    end: float
+    keywords: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise HomeModelError(
+                f"program {self.title!r} ends before it starts"
+            )
+
+
+class EPGFeed(UPnPDevice):
+    """Publishes the keyword union and titles of programs now on air."""
+
+    DEVICE_TYPE = "urn:repro:device:EPG:1"
+
+    def __init__(self, friendly_name: str = "program guide") -> None:
+        super().__init__(
+            friendly_name,
+            self.DEVICE_TYPE,
+            location="",
+            keywords=("tv", "program", "guide", "broadcast", "epg"),
+            category="sensor",
+        )
+        service = Service("urn:repro:service:ProgramGuide:1", "guide")
+        service.add_variable(StateVariable(
+            "keywords", "string", value="", unit="set",
+        ))
+        service.add_variable(StateVariable(
+            "titles", "string", value="", unit="set",
+        ))
+        self._service = service
+        self.add_service(service)
+        self._schedule: list[Program] = []
+        self._simulator: Simulator | None = None
+
+    def schedule(self, program: Program) -> Program:
+        """Add a program and (when attached) arm its start/end updates."""
+        self._schedule.append(program)
+        if self._simulator is not None:
+            self._arm(program)
+        return program
+
+    def programs_on_air(self, now: float) -> list[Program]:
+        return [p for p in self._schedule if p.start <= now < p.end]
+
+    def channel_showing(self, keyword: str, now: float) -> int | None:
+        """Channel currently airing a program tagged with ``keyword``."""
+        for program in self.programs_on_air(now):
+            if keyword in program.keywords:
+                return program.channel
+        return None
+
+    def start_feed(self, simulator: Simulator) -> None:
+        """Begin publishing; arms timers for every scheduled program."""
+        self._simulator = simulator
+        for program in self._schedule:
+            self._arm(program)
+        self._publish()
+
+    def _arm(self, program: Program) -> None:
+        assert self._simulator is not None
+        now = self._simulator.now
+        if program.start >= now:
+            self._simulator.call_at(program.start, self._publish)
+        if program.end >= now:
+            self._simulator.call_at(program.end, self._publish)
+
+    def _publish(self) -> None:
+        assert self._simulator is not None
+        airing = self.programs_on_air(self._simulator.now)
+        keywords: set[str] = set()
+        titles: set[str] = set()
+        for program in airing:
+            keywords.update(program.keywords)
+            titles.add(program.title)
+        self._service.set_variable("keywords", ",".join(sorted(keywords)))
+        self._service.set_variable("titles", ",".join(sorted(titles)))

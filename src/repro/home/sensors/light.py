@@ -1,0 +1,36 @@
+"""Illuminance sensor — backs CADEL's "is dark" / "is bright"."""
+
+from __future__ import annotations
+
+from repro.home.environment import Room
+from repro.upnp.device import UPnPDevice
+from repro.upnp.service import Service, StateVariable
+
+
+class LightSensor(UPnPDevice):
+    """Publishes its room's illuminance in lux (quantized to 1 lux)."""
+
+    DEVICE_TYPE = "urn:repro:device:LightSensor:1"
+
+    def __init__(self, friendly_name: str, room: Room) -> None:
+        super().__init__(
+            friendly_name,
+            self.DEVICE_TYPE,
+            location=room.name,
+            keywords=("light", "brightness", "illuminance", "lux"),
+            category="sensor",
+        )
+        self.room = room
+        service = Service("urn:repro:service:LightSensor:1", "light")
+        service.add_variable(StateVariable(
+            "illuminance", "number", value=round(room.illuminance), unit="lux",
+        ))
+        self._service = service
+        self.add_service(service)
+
+    def sample(self) -> None:
+        self._service.set_variable("illuminance", float(round(self.room.illuminance)))
+
+    @property
+    def reading(self) -> float:
+        return float(self.get_state("light", "illuminance"))

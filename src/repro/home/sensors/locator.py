@@ -1,0 +1,66 @@
+"""Whole-home person locator.
+
+Aggregates the RFID presence infrastructure into per-person variables:
+``<name>_place`` (current room, or "away") and ``<name>_last_arrival``
+(what the person last arrived home from: "work", "shopping", ... or
+"none").  The latter realizes the paper's *arrival contexts* — "Alan has
+higher priority ... in the context that Alan got home from work".
+"""
+
+from __future__ import annotations
+
+from repro.errors import HomeModelError
+from repro.upnp.device import UPnPDevice
+from repro.upnp.service import Service, StateVariable
+
+AWAY = "away"
+NO_ARRIVAL = "none"
+
+
+class PersonLocator(UPnPDevice):
+    """One per home; variables are created from the resident roster."""
+
+    DEVICE_TYPE = "urn:repro:device:PersonLocator:1"
+
+    def __init__(self, residents: list[str], *,
+                 friendly_name: str = "person locator") -> None:
+        if not residents:
+            raise HomeModelError("locator needs at least one resident")
+        super().__init__(
+            friendly_name,
+            self.DEVICE_TYPE,
+            location="",
+            keywords=("person", "location", "rfid", "presence"),
+            category="sensor",
+        )
+        self.residents = list(residents)
+        service = Service("urn:repro:service:PersonLocator:1", "locator")
+        for name in residents:
+            service.add_variable(StateVariable(
+                f"{name}_place", "string", value=AWAY,
+            ))
+            service.add_variable(StateVariable(
+                f"{name}_last_arrival", "string", value=NO_ARRIVAL,
+            ))
+        self._service = service
+        self.add_service(service)
+
+    def _require_resident(self, name: str) -> None:
+        if name not in self.residents:
+            raise HomeModelError(f"unknown resident {name!r}")
+
+    def set_place(self, name: str, place: str) -> None:
+        self._require_resident(name)
+        self._service.set_variable(f"{name}_place", place)
+
+    def set_last_arrival(self, name: str, origin: str) -> None:
+        self._require_resident(name)
+        self._service.set_variable(f"{name}_last_arrival", origin)
+
+    def place_of(self, name: str) -> str:
+        self._require_resident(name)
+        return str(self.get_state("locator", f"{name}_place"))
+
+    def last_arrival_of(self, name: str) -> str:
+        self._require_resident(name)
+        return str(self.get_state("locator", f"{name}_last_arrival"))

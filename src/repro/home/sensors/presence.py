@@ -1,0 +1,49 @@
+"""Per-room presence sensing (the paper's RFID-tag readers)."""
+
+from __future__ import annotations
+
+from repro.upnp.device import UPnPDevice
+from repro.upnp.service import Service, StateVariable
+
+
+class PresenceSensor(UPnPDevice):
+    """Tracks who is in one room.
+
+    Publishes ``occupied`` (boolean — backs "nobody is at X" /
+    "someone is at X") and ``occupants`` (a set-valued variable holding
+    the RFID-identified residents currently present).
+    """
+
+    DEVICE_TYPE = "urn:repro:device:PresenceSensor:1"
+
+    def __init__(self, friendly_name: str, location: str) -> None:
+        super().__init__(
+            friendly_name,
+            self.DEVICE_TYPE,
+            location=location,
+            keywords=("presence", "rfid", "occupancy", "person"),
+            category="sensor",
+        )
+        service = Service("urn:repro:service:PresenceSensor:1", "presence")
+        service.add_variable(StateVariable("occupied", "boolean", value=False))
+        service.add_variable(StateVariable(
+            "occupants", "string", value="", unit="set",
+        ))
+        self._service = service
+        self.add_service(service)
+        self._present: set[str] = set()
+
+    def person_entered(self, name: str) -> None:
+        self._present.add(name)
+        self._publish()
+
+    def person_left(self, name: str) -> None:
+        self._present.discard(name)
+        self._publish()
+
+    def occupants(self) -> frozenset[str]:
+        return frozenset(self._present)
+
+    def _publish(self) -> None:
+        self._service.set_variable("occupied", bool(self._present))
+        self._service.set_variable("occupants", ",".join(sorted(self._present)))

@@ -1,0 +1,31 @@
+"""Simulated in-process network.
+
+The paper's prototype ran UPnP over a real home LAN.  We substitute an
+in-process message bus with the same observable semantics: endpoints
+have addresses, can join multicast groups (SSDP discovery uses one),
+and delivery is asynchronous through the simulation event queue with a
+configurable latency model.
+
+Public API:
+
+* :class:`~repro.net.message.Message` — immutable datagram.
+* :class:`~repro.net.bus.NetworkBus` — the switch: endpoint registry,
+  unicast/multicast delivery, drop/latency injection.
+* :class:`~repro.net.bus.Endpoint` — a bound address with a receive
+  callback.
+* :class:`~repro.net.latency.LatencyModel` and friends.
+"""
+
+from repro.net.bus import Endpoint, NetworkBus
+from repro.net.latency import FixedLatency, JitteredLatency, LatencyModel, ZeroLatency
+from repro.net.message import Message
+
+__all__ = [
+    "Endpoint",
+    "NetworkBus",
+    "FixedLatency",
+    "JitteredLatency",
+    "LatencyModel",
+    "ZeroLatency",
+    "Message",
+]

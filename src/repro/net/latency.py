@@ -1,0 +1,59 @@
+"""Delivery-latency models for the simulated network.
+
+The paper's timing experiments ran on a real LAN whose latency is not
+part of the contribution; we expose it as a pluggable model so the
+benchmarks can report both the pure-framework cost (ZeroLatency) and a
+LAN-like configuration (JitteredLatency around a few hundred µs).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import NetworkError
+from repro.sim.rng import seeded_rng
+
+
+class LatencyModel(ABC):
+    """Strategy giving a one-way delivery delay, in simulated seconds."""
+
+    @abstractmethod
+    def delay(self, source: str, destination: str) -> float:
+        """One-way latency for a message from ``source`` to ``destination``."""
+
+
+class ZeroLatency(LatencyModel):
+    """Instantaneous delivery (still asynchronous through the queue)."""
+
+    def delay(self, source: str, destination: str) -> float:
+        return 0.0
+
+
+class FixedLatency(LatencyModel):
+    """Constant one-way latency for every pair of endpoints."""
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise NetworkError(f"latency cannot be negative: {seconds}")
+        self.seconds = seconds
+
+    def delay(self, source: str, destination: str) -> float:
+        return self.seconds
+
+
+class JitteredLatency(LatencyModel):
+    """Uniform jitter around a base latency, deterministic per seed.
+
+    Models a lightly loaded home LAN: ``base`` is the propagation plus
+    protocol-stack cost, ``jitter`` the uniform half-width added on top.
+    """
+
+    def __init__(self, base: float, jitter: float, seed: int | str | None = None):
+        if base < 0 or jitter < 0:
+            raise NetworkError("base and jitter must be non-negative")
+        self.base = base
+        self.jitter = jitter
+        self._rng = seeded_rng(seed if seed is not None else "net-latency")
+
+    def delay(self, source: str, destination: str) -> float:
+        return self.base + self._rng.uniform(0.0, self.jitter)

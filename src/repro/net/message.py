@@ -1,0 +1,51 @@
+"""Datagrams exchanged on the simulated network."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+_message_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable datagram.
+
+    ``headers`` carries protocol metadata (UPnP uses HTTP-like headers:
+    method, search target, subscription ids); ``body`` carries the
+    payload (description documents, action arguments, event values).
+
+    Attributes:
+        source: sender address.
+        destination: unicast address or multicast group name.
+        headers: protocol metadata, read-only mapping.
+        body: payload object; by convention a plain dict so messages
+            stay printable and copyable.
+        message_id: unique per-process id, useful for request/response
+            correlation and traces.
+    """
+
+    source: str
+    destination: str
+    headers: Mapping[str, Any] = field(default_factory=dict)
+    body: Any = None
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def header(self, name: str, default: Any = None) -> Any:
+        """Case-insensitive header lookup (HTTP-like convention)."""
+        lowered = name.lower()
+        for key, value in self.headers.items():
+            if key.lower() == lowered:
+                return value
+        return default
+
+    def reply(self, headers: Mapping[str, Any], body: Any = None) -> "Message":
+        """Build a response addressed back to this message's sender."""
+        return Message(
+            source=self.destination,
+            destination=self.source,
+            headers=dict(headers),
+            body=body,
+        )

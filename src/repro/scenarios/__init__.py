@@ -1,0 +1,5 @@
+"""End-to-end scenarios reproducing the paper's narratives."""
+
+from repro.scenarios.fig1 import Fig1Result, run_fig1_scenario
+
+__all__ = ["Fig1Result", "run_fig1_scenario"]

@@ -1,0 +1,319 @@
+"""Figure 1 — the three-resident control scenario, end to end.
+
+Reproduces the paper's time-chart (Sect. 3.1, Fig. 1) on the full stack:
+CADEL text → parser → compiler → registration pipeline (consistency +
+conflict + priority prompts) → rule engine → UPnP commands → appliance
+state → sensors → back into the engine.
+
+Cast and preferences (verbatim from the paper):
+
+* **Tom** — jazz on the stereo when he's in the living room in the
+  evening (s1; headphones s'1 when the TV is on), half-lighting floor
+  lamps (l1), air-conditioner at 25 °C/60 % when hot-and-stuffy by his
+  definition 26 °C/65 % (a1).
+* **Alan** — the baseball game on the TV when one is on air (t2),
+  recorded on the video recorder when the TV is unavailable (r2),
+  air-conditioner 24 °C/55 % at thresholds 25 °C/60 % (a2).
+* **Emily** — her movie on the TV (t3) with sound through the stereo
+  (s3) and the fluorescent light bright (l3), air-conditioner
+  27 °C/65 % at thresholds 29 °C/75 % (a3).
+
+Priorities (context-attached, Sect. 3.2): Alan > Tom while "Alan got
+home from work"; Emily > Alan > Tom while "Emily got home from
+shopping".
+
+Timeline: Tom arrives 17:05 (from school), the baseball game airs
+17:30-19:30 on channel 4, Alan arrives 17:40 (from work), Emily's movie
+airs 18:15-20:30 on channel 7, Emily arrives 18:30 (from shopping); the
+run ends 20:00.
+
+Weather is a muggy heat wave (the only way the paper's own a3 thresholds
+of 29 °C/75 % can trigger at 18:30), and each arrival briefly opens the
+entrance door, bumping living-room temperature and humidity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import TraceEntry
+from repro.core.server import HomeServer
+from repro.home.builder import LIVING_ROOM, DemoHome, build_demo_home
+from repro.home.sensors.epg import Program
+from repro.net.bus import NetworkBus
+from repro.sim.clock import hhmm
+from repro.sim.events import Simulator
+from repro.support.authoring import AuthoringSession
+from repro.cadel.binding import HomeDirectory
+from repro.cadel.words import WordDictionary
+
+BASEBALL_CHANNEL = 4
+MOVIE_CHANNEL = 7
+
+ARRIVAL_TEMP_BUMP = 1.5    # °C let in by the opened entrance door
+ARRIVAL_HUMID_BUMP = 12.0  # % relative humidity (muggy outside air)
+
+
+@dataclass
+class Snapshot:
+    """Device ownership and state at one timeline instant."""
+
+    label: str
+    time: float
+    tv_holder: str | None
+    stereo_holder: str | None
+    recorder_holder: str | None
+    aircon_holder: str | None
+    tv_on: bool
+    tv_channel: float
+    stereo_output: str
+    stereo_source: str
+    recording: bool
+    aircon_target: float
+    floor_lamp_level: float
+    fluorescent_on: bool
+    room_temperature: float
+    room_humidity: float
+
+
+@dataclass
+class Fig1Result:
+    """Everything the scenario produced, for tests/benches/reports."""
+
+    home: DemoHome
+    server: HomeServer
+    snapshots: dict[str, Snapshot] = field(default_factory=dict)
+    registration_conflicts: list[str] = field(default_factory=list)
+
+    @property
+    def trace(self) -> list[TraceEntry]:
+        return self.server.engine.trace
+
+    def timeline_rows(self) -> list[str]:
+        """The Fig. 1 time-chart as printable rows."""
+        rows = []
+        for snap in self.snapshots.values():
+            rows.append(
+                f"{snap.label:<18} TV={snap.tv_holder or '-':<10}"
+                f" stereo={snap.stereo_holder or '-':<10}"
+                f" recorder={snap.recorder_holder or '-':<10}"
+                f" aircon={snap.aircon_holder or '-':<10}"
+                f" room={snap.room_temperature:.1f}C/{snap.room_humidity:.0f}%"
+            )
+        return rows
+
+
+def _heatwave_temperature(time_of_day: float) -> float:
+    """A muggy 33-36 °C day peaking late afternoon."""
+    import math
+
+    from repro.sim.clock import SECONDS_PER_DAY
+
+    phase = 2.0 * math.pi * (time_of_day - 15.0 * 3600.0) / SECONDS_PER_DAY
+    return 34.5 + 1.5 * math.cos(phase)
+
+
+def _heatwave_humidity(time_of_day: float) -> float:
+    import math
+
+    from repro.sim.clock import SECONDS_PER_DAY
+
+    phase = 2.0 * math.pi * (time_of_day - 5.0 * 3600.0) / SECONDS_PER_DAY
+    return 82.0 + 6.0 * math.cos(phase)
+
+
+def run_fig1_scenario(*, verbose: bool = False) -> Fig1Result:
+    """Run the full Fig. 1 scenario; returns the result bundle."""
+    simulator = Simulator()
+    bus = NetworkBus(simulator)
+    server = HomeServer(simulator, bus)
+    home = build_demo_home(
+        simulator, bus, event_sink=server.post_event, start_environment=False
+    )
+    home.environment.outdoor_temperature = _heatwave_temperature
+    home.environment.outdoor_humidity = _heatwave_humidity
+    # Weak wall insulation + modest AC for a hot, hard-to-cool room.
+    home.environment.LEAK_RATE_PER_HOUR = 0.9
+    home.aircon.PULL_RATE_PER_HOUR = 1.4
+    living = home.environment.room(LIVING_ROOM)
+    living.temperature = 31.0
+    living.humidity = 78.0
+    home.environment.start()
+
+    home.epg.schedule(Program(
+        title="pro baseball: swallows vs tigers",
+        channel=BASEBALL_CHANNEL,
+        start=hhmm(17, 30),
+        end=hhmm(19, 30),
+        keywords=("baseball game", "sports"),
+    ))
+    home.epg.schedule(Program(
+        title="an affair to remember",
+        channel=MOVIE_CHANNEL,
+        start=hhmm(18, 15),
+        end=hhmm(20, 30),
+        keywords=("movie", "romance"),
+    ))
+
+    server.discover()
+
+    directory = HomeDirectory(
+        users=list(home.locator.residents),
+        locator_udn=home.locator.udn,
+        epg_udn=home.epg.udn,
+    )
+    shared_words = WordDictionary()
+    sessions = {
+        name: AuthoringSession(server, name, directory,
+                               shared_words=shared_words)
+        for name in ("Tom", "Alan", "Emily")
+    }
+    result = Fig1Result(home=home, server=server)
+
+    def submit(user: str, text: str, rule_name: str) -> None:
+        outcome = sessions[user].submit(text, rule_name=rule_name)
+        if outcome.conflicts:
+            result.registration_conflicts.extend(
+                report.describe() for report in outcome.conflicts
+            )
+
+    # ---- Tom's preferences (Sect. 3.1) -------------------------------------
+    tom = sessions["Tom"]
+    tom.submit('Let\'s call the condition that temperature is higher than '
+               '26 degrees and humidity is higher than 65 percent '
+               '"hot and stuffy"')
+    tom.submit('Let\'s call the configuration that 50 percent of level '
+               'setting "half-lighting"')
+    submit("Tom",
+           "When I am in the living room at evening and the TV is turned off, "
+           "play the stereo with jazz of genre setting and "
+           "speakers of output setting",
+           "tom-s1-jazz-speakers")
+    submit("Tom",
+           "When I am in the living room at evening and the TV is turned on, "
+           "play the stereo with jazz of genre setting and "
+           "headphones of output setting",
+           "tom-s1p-jazz-headphones")
+    submit("Tom",
+           'When I am in the living room at evening, turn on the floor lamp '
+           'with "half-lighting"',
+           "tom-l1-half-lighting")
+    submit("Tom",
+           'When I am in the living room and the living room is '
+           '"hot and stuffy", turn on the air conditioner with 25 degrees of '
+           'temperature setting and 60 percent of humidity setting',
+           "tom-a1-aircon")
+
+    # ---- Alan's preferences --------------------------------------------------
+    alan = sessions["Alan"]
+    alan.submit('Let\'s call the condition that temperature is higher than '
+                '25 degrees and humidity is higher than 60 percent '
+                '"hot and stuffy"')
+    submit("Alan",
+           "When I am in the living room and a baseball game is on air, "
+           f"turn on the TV with {BASEBALL_CHANNEL} of channel setting, "
+           f"otherwise record the video recorder with {BASEBALL_CHANNEL} "
+           "of channel setting",
+           "alan-t2-baseball")
+    submit("Alan",
+           'When I am in the living room and the living room is '
+           '"hot and stuffy", turn on the air conditioner with 24 degrees of '
+           'temperature setting and 55 percent of humidity setting',
+           "alan-a2-aircon")
+
+    # ---- Emily's preferences ----------------------------------------------------
+    emily = sessions["Emily"]
+    emily.submit('Let\'s call the condition that temperature is higher than '
+                 '29 degrees and humidity is higher than 75 percent '
+                 '"hot and stuffy"')
+    submit("Emily",
+           "When I am in the living room and a movie is on air, "
+           f"turn on the TV with {MOVIE_CHANNEL} of channel setting",
+           "emily-t3-movie")
+    submit("Emily",
+           "When I am in the living room and a movie is on air, "
+           "play back the stereo with tv sound of source setting and "
+           "speakers of output setting",
+           "emily-s3-movie-sound")
+    submit("Emily",
+           "When I am in the living room and a movie is on air, "
+           "turn on the fluorescent light with 100 of level setting",
+           "emily-l3-bright")
+    submit("Emily",
+           'When I am in the living room and the living room is '
+           '"hot and stuffy", turn on the air conditioner with 27 degrees of '
+           'temperature setting and 65 percent of humidity setting',
+           "emily-a3-aircon")
+
+    # ---- Priority orders (Sect. 3.2, Fig. 7) ----------------------------------
+    for device in ("TV", "stereo", "air conditioner", "video recorder"):
+        alan.set_priority(device, ["Alan", "Tom"],
+                          context="alan got home from work")
+    for device in ("TV", "stereo", "air conditioner", "video recorder",
+                   "fluorescent light"):
+        emily.set_priority(device, ["Emily", "Alan", "Tom"],
+                           context="emily got home from shopping")
+
+    # ---- The timeline -------------------------------------------------------------
+    household = home.household
+
+    def arrival_bump() -> None:
+        living.temperature += ARRIVAL_TEMP_BUMP
+        living.humidity = min(100.0, living.humidity + ARRIVAL_HUMID_BUMP)
+
+    def snapshot(label: str) -> None:
+        engine = server.engine
+
+        def holder(udn: str) -> str | None:
+            holding = engine.holder_of(udn)
+            return holding[0] if holding else None
+
+        result.snapshots[label] = Snapshot(
+            label=label,
+            time=simulator.now,
+            tv_holder=holder(home.tv.udn),
+            stereo_holder=holder(home.stereo.udn),
+            recorder_holder=holder(home.recorder.udn),
+            aircon_holder=holder(home.aircon.udn),
+            tv_on=home.tv.is_on,
+            tv_channel=home.tv.channel,
+            stereo_output=home.stereo.output,
+            stereo_source=home.stereo.source,
+            recording=home.recorder.is_recording,
+            aircon_target=home.aircon.target_temperature,
+            floor_lamp_level=home.floor_lamp.level,
+            fluorescent_on=home.fluorescent.is_on,
+            room_temperature=living.temperature,
+            room_humidity=living.humidity,
+        )
+        if verbose:
+            print(result.timeline_rows()[-1])
+
+    simulator.run_until(hhmm(17, 5))
+    arrival_bump()
+    household.arrive_home("Tom", "school", LIVING_ROOM)
+    simulator.run_until(hhmm(17, 10))
+    snapshot("17:10 Tom home")
+
+    simulator.run_until(hhmm(17, 35))
+    snapshot("17:35 game on air")
+
+    arrival_bump()
+    household.arrive_home("Alan", "work", LIVING_ROOM)
+    simulator.run_until(hhmm(17, 45))
+    snapshot("17:45 Alan home")
+
+    simulator.run_until(hhmm(18, 20))
+    snapshot("18:20 movie on air")
+
+    simulator.run_until(hhmm(18, 30))
+    arrival_bump()
+    household.arrive_home("Emily", "shopping", LIVING_ROOM)
+    simulator.run_until(hhmm(18, 32))
+    snapshot("18:32 Emily home")
+
+    simulator.run_until(hhmm(20, 0))
+    snapshot("20:00 evening ends")
+
+    server.shutdown()
+    return result

@@ -1,0 +1,33 @@
+"""Discrete-event simulation kernel.
+
+Everything in the reproduction — the network bus, UPnP message exchange,
+appliance physics, the rule engine's timers — runs on one shared virtual
+clock so scenario runs are deterministic and independent of wall-clock
+speed.
+
+Public API:
+
+* :class:`~repro.sim.clock.VirtualClock` — monotonically advancing
+  simulated time, with a wall-clock anchor for human-readable timestamps.
+* :class:`~repro.sim.events.EventQueue` — priority queue of scheduled
+  callbacks (the kernel).
+* :class:`~repro.sim.events.Simulator` — clock + queue + run loop.
+* :class:`~repro.sim.events.PeriodicTask` — recurring callback handle.
+* :func:`~repro.sim.rng.seeded_rng` — deterministic RNG factory.
+"""
+
+from repro.sim.clock import SimTime, VirtualClock, hhmm, parse_time_of_day
+from repro.sim.events import EventHandle, EventQueue, PeriodicTask, Simulator
+from repro.sim.rng import seeded_rng
+
+__all__ = [
+    "SimTime",
+    "VirtualClock",
+    "hhmm",
+    "parse_time_of_day",
+    "EventHandle",
+    "EventQueue",
+    "PeriodicTask",
+    "Simulator",
+    "seeded_rng",
+]

@@ -1,0 +1,157 @@
+"""Virtual time.
+
+Simulated time is a float number of seconds since the start of the
+scenario day (00:00).  Keeping the unit at seconds-in-a-day makes the
+paper's time-of-day constructs ("after 5pm", "at night", "every Monday")
+direct arithmetic; multi-day scenarios carry a day counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+SimTime = float
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+
+_DAY_NAMES = [
+    "monday",
+    "tuesday",
+    "wednesday",
+    "thursday",
+    "friday",
+    "saturday",
+    "sunday",
+]
+
+
+def hhmm(hours: int, minutes: int = 0, seconds: float = 0.0) -> SimTime:
+    """Build a time-of-day in simulated seconds; ``hhmm(17, 30)`` is 5:30pm."""
+    if not 0 <= hours < 24:
+        raise SimulationError(f"hour out of range: {hours}")
+    if not 0 <= minutes < 60:
+        raise SimulationError(f"minute out of range: {minutes}")
+    if not 0 <= seconds < 60:
+        raise SimulationError(f"second out of range: {seconds}")
+    return hours * SECONDS_PER_HOUR + minutes * SECONDS_PER_MINUTE + seconds
+
+
+def parse_time_of_day(text: str) -> SimTime:
+    """Parse the clock-time spellings CADEL accepts into a time-of-day.
+
+    Accepted forms: ``"17:30"``, ``"5pm"``, ``"5:30pm"``, ``"12am"``,
+    ``"noon"``, ``"midnight"``, and the named periods ``"morning"`` (6am),
+    ``"evening"`` (5pm), ``"night"`` (9pm).
+    """
+    t = text.strip().lower()
+    named = {
+        "noon": hhmm(12),
+        "midnight": hhmm(0),
+        "morning": hhmm(6),
+        "evening": hhmm(17),
+        "night": hhmm(21),
+    }
+    if t in named:
+        return named[t]
+    suffix = None
+    if t.endswith("am") or t.endswith("pm"):
+        suffix = t[-2:]
+        t = t[:-2].strip()
+    if ":" in t:
+        hour_text, _, minute_text = t.partition(":")
+    else:
+        hour_text, minute_text = t, "0"
+    try:
+        hours = int(hour_text)
+        minutes = int(minute_text)
+    except ValueError:
+        raise SimulationError(f"unparseable time of day: {text!r}") from None
+    if suffix == "pm" and hours != 12:
+        hours += 12
+    if suffix == "am" and hours == 12:
+        hours = 0
+    if hours == 24 and minutes == 0:
+        return SECONDS_PER_DAY
+    return hhmm(hours, minutes)
+
+
+def format_time_of_day(t: SimTime) -> str:
+    """Render a time-of-day as ``HH:MM:SS`` (wraps past midnight)."""
+    t = t % SECONDS_PER_DAY
+    hours = int(t // SECONDS_PER_HOUR)
+    minutes = int((t % SECONDS_PER_HOUR) // SECONDS_PER_MINUTE)
+    seconds = int(t % SECONDS_PER_MINUTE)
+    return f"{hours:02d}:{minutes:02d}:{seconds:02d}"
+
+
+@dataclass
+class VirtualClock:
+    """Monotonic simulated clock.
+
+    ``now`` is absolute simulated seconds since day 0, 00:00.  The clock
+    only moves forward, and only via :meth:`advance_to` (driven by the
+    event queue) — components never advance it themselves.
+
+    Args:
+        start: initial absolute time (default: day 0, 00:00).
+        start_weekday: which weekday day 0 is (0 = Monday), so CADEL
+            "every sunday" specs resolve correctly.
+    """
+
+    start: SimTime = 0.0
+    start_weekday: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise SimulationError("clock cannot start before time 0")
+        if not 0 <= self.start_weekday < 7:
+            raise SimulationError("start_weekday must be 0..6 (Monday..Sunday)")
+        self._now: SimTime = self.start
+
+    @property
+    def now(self) -> SimTime:
+        """Absolute simulated seconds since day 0, 00:00."""
+        return self._now
+
+    @property
+    def time_of_day(self) -> SimTime:
+        """Seconds since the most recent midnight."""
+        return self._now % SECONDS_PER_DAY
+
+    @property
+    def day(self) -> int:
+        """Completed days since the scenario start."""
+        return int(self._now // SECONDS_PER_DAY)
+
+    @property
+    def weekday(self) -> int:
+        """Current weekday, 0 = Monday ... 6 = Sunday."""
+        return (self.start_weekday + self.day) % 7
+
+    @property
+    def weekday_name(self) -> str:
+        return _DAY_NAMES[self.weekday]
+
+    def advance_to(self, t: SimTime) -> None:
+        """Move the clock forward to absolute time ``t`` (never backward)."""
+        if t < self._now:
+            raise SimulationError(
+                f"clock cannot move backward: now={self._now}, requested={t}"
+            )
+        self._now = t
+
+    def timestamp(self) -> str:
+        """Human-readable ``day N HH:MM:SS`` stamp for logs and traces."""
+        return f"day {self.day} {format_time_of_day(self.time_of_day)}"
+
+
+def weekday_index(name: str) -> int:
+    """Map a weekday name (any case) to 0..6; raises on unknown names."""
+    try:
+        return _DAY_NAMES.index(name.strip().lower())
+    except ValueError:
+        raise SimulationError(f"unknown weekday: {name!r}") from None

@@ -1,0 +1,188 @@
+"""Event queue and run loop — the heart of the discrete-event kernel.
+
+The queue holds ``(time, sequence, callback)`` entries; ties on time are
+broken by insertion order so runs are fully deterministic.  Components
+schedule work with :meth:`Simulator.call_at` / :meth:`call_after` and the
+owner drives the loop with :meth:`run_until` / :meth:`run`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimTime, VirtualClock
+
+
+@dataclass
+class EventHandle:
+    """Cancellable reference to a scheduled event."""
+
+    time: SimTime
+    seq: int
+    callback: Callable[[], None] | None
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self.cancelled = True
+        self.callback = None
+
+
+class EventQueue:
+    """Min-heap of scheduled events ordered by (time, insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[SimTime, int, EventHandle]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for _, _, h in self._heap if not h.cancelled)
+
+    def push(self, time: SimTime, callback: Callable[[], None]) -> EventHandle:
+        handle = EventHandle(time=time, seq=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, (time, handle.seq, handle))
+        return handle
+
+    def peek_time(self) -> SimTime | None:
+        """Time of the next live event, or None when the queue is drained."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop(self) -> EventHandle:
+        while self._heap:
+            _, _, handle = heapq.heappop(self._heap)
+            if not handle.cancelled:
+                return handle
+        raise SimulationError("pop from an empty event queue")
+
+
+class Simulator:
+    """Virtual clock + event queue + run loop.
+
+    One Simulator instance is shared by the whole scenario: the network
+    bus uses it to deliver messages after latency, appliances use it for
+    physics ticks, and the rule engine uses it for duration timers.
+    """
+
+    def __init__(self, clock: VirtualClock | None = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._queue = EventQueue()
+        self._running = False
+        self._max_events_per_run = 10_000_000
+
+    @property
+    def now(self) -> SimTime:
+        return self.clock.now
+
+    def call_at(self, time: SimTime, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule in the past: now={self.clock.now}, at={time}"
+            )
+        return self._queue.push(time, callback)
+
+    def call_after(self, delay: SimTime, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self._queue.push(self.clock.now + delay, callback)
+
+    def every(
+        self,
+        period: SimTime,
+        callback: Callable[[], None],
+        *,
+        start_after: SimTime | None = None,
+    ) -> "PeriodicTask":
+        """Run ``callback`` every ``period`` seconds until cancelled."""
+        if period <= 0:
+            raise SimulationError(f"period must be positive: {period}")
+        task = PeriodicTask(self, period, callback)
+        task.start(start_after if start_after is not None else period)
+        return task
+
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def next_event_time(self) -> SimTime | None:
+        """Absolute time of the next scheduled event, or None when idle."""
+        return self._queue.peek_time()
+
+    def step(self) -> bool:
+        """Fire the single next event; returns False when queue is empty."""
+        next_time = self._queue.peek_time()
+        if next_time is None:
+            return False
+        handle = self._queue.pop()
+        self.clock.advance_to(handle.time)
+        callback = handle.callback
+        handle.callback = None
+        if callback is not None:
+            callback()
+        return True
+
+    def run_until(self, time: SimTime) -> None:
+        """Fire every event scheduled up to and including ``time``,
+        then advance the clock to exactly ``time``."""
+        if time < self.clock.now:
+            raise SimulationError("run_until target is in the past")
+        fired = 0
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > time:
+                break
+            self.step()
+            fired += 1
+            if fired > self._max_events_per_run:
+                raise SimulationError(
+                    "event cascade exceeded the per-run safety limit; "
+                    "likely a zero-delay scheduling loop"
+                )
+        self.clock.advance_to(time)
+
+    def run(self) -> None:
+        """Drain the queue completely (use run_until for open-ended loops)."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired > self._max_events_per_run:
+                raise SimulationError(
+                    "event cascade exceeded the per-run safety limit; "
+                    "likely a zero-delay scheduling loop"
+                )
+
+
+@dataclass
+class PeriodicTask:
+    """Handle to a recurring callback; cancel() stops future firings."""
+
+    simulator: Simulator
+    period: SimTime
+    callback: Callable[[], None]
+    _handle: EventHandle | None = field(default=None, repr=False)
+    _stopped: bool = False
+
+    def start(self, initial_delay: SimTime) -> None:
+        if self._handle is not None:
+            raise SimulationError("periodic task already started")
+        self._handle = self.simulator.call_after(initial_delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.callback()
+        if not self._stopped:
+            self._handle = self.simulator.call_after(self.period, self._fire)
+
+    def cancel(self) -> None:
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()

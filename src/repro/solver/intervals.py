@@ -1,0 +1,84 @@
+"""Interval-propagation fast path for single-variable constraint systems.
+
+Every CADEL atom the paper shows compares one sensor value against one
+threshold ("temperature is higher than 28 degrees"), so most conflict
+checks reduce to intersecting per-variable intervals — no tableau
+needed.  :func:`interval_feasible` decides exactly that fragment and
+declines (returns ``None``) as soon as a constraint couples two or more
+variables, letting the caller fall back to Simplex.  Benchmark A1
+quantifies the speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.solver.linear import LinearConstraint, Relation
+
+_INF = float("inf")
+
+
+@dataclass
+class _Interval:
+    """A (possibly open) interval with strictness flags on each end."""
+
+    low: float = -_INF
+    low_strict: bool = False
+    high: float = _INF
+    high_strict: bool = False
+
+    def tighten_upper(self, bound: float, strict: bool) -> None:
+        if bound < self.high or (bound == self.high and strict):
+            self.high = bound
+            self.high_strict = strict
+
+    def tighten_lower(self, bound: float, strict: bool) -> None:
+        if bound > self.low or (bound == self.low and strict):
+            self.low = bound
+            self.low_strict = strict
+
+    def is_empty(self) -> bool:
+        if self.low > self.high:
+            return True
+        if self.low == self.high:
+            return self.low_strict or self.high_strict
+        return False
+
+
+def interval_feasible(constraints: list[LinearConstraint]) -> bool | None:
+    """Decide feasibility when every constraint mentions ≤ 1 variable.
+
+    Returns:
+        True/False when decidable by interval intersection;
+        None when some constraint couples several variables (caller
+        should fall back to :func:`repro.solver.simplex.simplex_feasible`).
+    """
+    intervals: dict[str, _Interval] = {}
+    for constraint in constraints:
+        names = constraint.variables()
+        if len(names) > 1:
+            return None
+        if not names:  # ground constraint
+            if not constraint.trivially_true():
+                return False
+            continue
+        name = next(iter(names))
+        coef = constraint.expr.as_dict()[name]
+        bound = constraint.bound / coef
+        interval = intervals.setdefault(name, _Interval())
+        relation = constraint.relation
+        if relation is Relation.EQ:
+            interval.tighten_lower(bound, strict=False)
+            interval.tighten_upper(bound, strict=False)
+            continue
+        strict = relation.is_strict
+        # coef*x REL bound: dividing by a negative coef mirrors the relation.
+        upper_side = coef > 0
+        if upper_side:
+            interval.tighten_upper(bound, strict)
+        else:
+            interval.tighten_lower(bound, strict)
+    for interval in intervals.values():
+        if interval.is_empty():
+            return False
+    return True

@@ -1,0 +1,196 @@
+"""Linear expressions and constraints over named real variables.
+
+Variables are plain strings — the rule compiler uses fully qualified
+sensor-variable names such as ``"living room/thermometer/temperature"``
+— so constraint systems assembled from *different* rules automatically
+share variables exactly when they reference the same sensor, which is
+what makes cross-rule conflict checking meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Mapping
+
+from repro.errors import SolverError
+
+
+class Relation(Enum):
+    """Comparison operator of a linear constraint."""
+
+    LE = "<="
+    LT = "<"
+    GE = ">="
+    GT = ">"
+    EQ = "=="
+
+    @property
+    def is_strict(self) -> bool:
+        return self in (Relation.LT, Relation.GT)
+
+    def flipped(self) -> "Relation":
+        """Mirror the relation (used when negating or normalizing sides)."""
+        return {
+            Relation.LE: Relation.GE,
+            Relation.LT: Relation.GT,
+            Relation.GE: Relation.LE,
+            Relation.GT: Relation.LT,
+            Relation.EQ: Relation.EQ,
+        }[self]
+
+    def negated(self) -> "Relation":
+        """Logical complement: not(x <= c) is x > c.  EQ has no single
+        complement (it splits into a disjunction), so it raises."""
+        if self is Relation.EQ:
+            raise SolverError("negation of == is a disjunction (< or >)")
+        return {
+            Relation.LE: Relation.GT,
+            Relation.LT: Relation.GE,
+            Relation.GE: Relation.LT,
+            Relation.GT: Relation.LE,
+        }[self]
+
+
+@dataclass(frozen=True)
+class LinearExpr:
+    """An immutable linear combination of variables plus a constant.
+
+    ``LinearExpr.var("t") * 2 + 3`` builds ``2*t + 3``.
+    """
+
+    coefficients: tuple[tuple[str, float], ...] = ()
+    constant: float = 0.0
+
+    @classmethod
+    def var(cls, name: str, coefficient: float = 1.0) -> "LinearExpr":
+        return cls(coefficients=((name, coefficient),))
+
+    @classmethod
+    def const(cls, value: float) -> "LinearExpr":
+        return cls(constant=float(value))
+
+    @classmethod
+    def from_mapping(cls, coeffs: Mapping[str, float], constant: float = 0.0
+                     ) -> "LinearExpr":
+        filtered = tuple(sorted((v, float(c)) for v, c in coeffs.items() if c != 0.0))
+        return cls(coefficients=filtered, constant=float(constant))
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.coefficients)
+
+    def variables(self) -> set[str]:
+        return {name for name, _ in self.coefficients}
+
+    def __add__(self, other: "LinearExpr | float | int") -> "LinearExpr":
+        if isinstance(other, (int, float)):
+            other = LinearExpr.const(other)
+        merged = self.as_dict()
+        for name, coef in other.coefficients:
+            merged[name] = merged.get(name, 0.0) + coef
+        return LinearExpr.from_mapping(merged, self.constant + other.constant)
+
+    def __sub__(self, other: "LinearExpr | float | int") -> "LinearExpr":
+        if isinstance(other, (int, float)):
+            other = LinearExpr.const(other)
+        return self + (other * -1.0)
+
+    def __mul__(self, scalar: float | int) -> "LinearExpr":
+        if not isinstance(scalar, (int, float)):
+            raise SolverError(f"can only scale by a number, got {scalar!r}")
+        return LinearExpr.from_mapping(
+            {name: coef * scalar for name, coef in self.coefficients},
+            self.constant * scalar,
+        )
+
+    __rmul__ = __mul__
+
+    def evaluate(self, assignment: Mapping[str, float]) -> float:
+        """Value of the expression under a full variable assignment."""
+        total = self.constant
+        for name, coef in self.coefficients:
+            if name not in assignment:
+                raise SolverError(f"assignment missing variable {name!r}")
+            total += coef * assignment[name]
+        return total
+
+    def __str__(self) -> str:
+        parts = [f"{coef:+g}*{name}" for name, coef in self.coefficients]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """A constraint ``expr REL rhs`` in canonical left-hand form.
+
+    Stored canonically as ``sum(coef*var) REL bound`` where REL is one of
+    LE / LT / EQ — GE/GT inputs are flipped by negating coefficients, so
+    downstream solvers only see three relation kinds.
+    """
+
+    expr: LinearExpr
+    relation: Relation
+    bound: float
+
+    @classmethod
+    def make(
+        cls, expr: LinearExpr, relation: Relation, rhs: "LinearExpr | float | int"
+    ) -> "LinearConstraint":
+        """Build and canonicalize ``expr REL rhs`` (rhs may be an expr)."""
+        if isinstance(rhs, (int, float)):
+            rhs = LinearExpr.const(rhs)
+        moved = expr - rhs  # moved REL 0
+        bound = -moved.constant
+        lhs = LinearExpr.from_mapping(moved.as_dict())
+        if relation in (Relation.GE, Relation.GT):
+            lhs = lhs * -1.0
+            bound = -bound
+            relation = relation.flipped()
+        return cls(expr=lhs, relation=relation, bound=bound)
+
+    def variables(self) -> set[str]:
+        return self.expr.variables()
+
+    def is_trivial(self) -> bool:
+        """True when no variables remain (constraint is a ground fact)."""
+        return not self.expr.coefficients
+
+    def trivially_true(self) -> bool:
+        if not self.is_trivial():
+            raise SolverError("trivially_true on a non-ground constraint")
+        if self.relation is Relation.LE:
+            return 0.0 <= self.bound
+        if self.relation is Relation.LT:
+            return 0.0 < self.bound
+        return self.bound == 0.0  # EQ
+
+    def satisfied_by(self, assignment: Mapping[str, float],
+                     tolerance: float = 1e-9) -> bool:
+        value = self.expr.evaluate(assignment)
+        if self.relation is Relation.LE:
+            return value <= self.bound + tolerance
+        if self.relation is Relation.LT:
+            return value < self.bound - tolerance
+        return abs(value - self.bound) <= tolerance  # EQ
+
+    def negated(self) -> "LinearConstraint":
+        """Logical complement (EQ raises; callers split it themselves)."""
+        if self.relation is Relation.EQ:
+            raise SolverError("negation of == is a disjunction")
+        if self.relation is Relation.LE:  # not(e <= b)  ==  e > b  ==  -e < -b
+            return LinearConstraint(self.expr * -1.0, Relation.LT, -self.bound)
+        # not(e < b)  ==  e >= b  ==  -e <= -b
+        return LinearConstraint(self.expr * -1.0, Relation.LE, -self.bound)
+
+    def __str__(self) -> str:
+        return f"{self.expr} {self.relation.value} {self.bound:g}"
+
+
+def constraints_variables(constraints: Iterable[LinearConstraint]) -> list[str]:
+    """Sorted union of all variables mentioned by a constraint system."""
+    names: set[str] = set()
+    for constraint in constraints:
+        names |= constraint.variables()
+    return sorted(names)

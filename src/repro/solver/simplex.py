@@ -1,0 +1,280 @@
+"""Two-phase Simplex feasibility for conjunctions of linear constraints.
+
+This mirrors the paper's prototype, which "implemented a C library for
+solving the satisfiability of given linear expressions using the Simplex
+Method".  Feasibility over the reals with *strict* inequalities uses the
+standard gap-variable formulation:
+
+    maximize δ
+    subject to  a·x     ≤ b   for every weak row,
+                a·x + δ ≤ b   for every strict row,
+                a·x     = b   for every equality row,
+                0 ≤ δ ≤ 1
+
+The original system is satisfiable iff this LP is feasible and its
+optimum δ* is strictly positive (when strict rows exist; with no strict
+rows plain phase-1 feasibility decides).  Free variables are split as
+``x = x⁺ − x⁻`` to reach standard form; Bland's rule guarantees
+termination.
+
+The implementation is dense and pure-Python: conflict checks in the
+paper involve conjunctions of ~4 inequalities, for which tableau setup
+dominates and sparse machinery would be pure overhead.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SolverError
+from repro.solver.linear import (
+    LinearConstraint,
+    Relation,
+    constraints_variables,
+)
+
+_TOL = 1e-9
+_MAX_PIVOTS = 10_000
+
+_GAP = "__gap__"  # reserved column name for the strictness variable δ
+
+
+def simplex_feasible(constraints: list[LinearConstraint]) -> bool:
+    """True iff the conjunction of ``constraints`` is satisfiable over ℝ."""
+    ground_verdict, live = _split_ground(constraints)
+    if ground_verdict is False:
+        return False
+    if not live:
+        return True
+
+    variables = constraints_variables(live)
+    if _GAP in variables:
+        raise SolverError(f"variable name {_GAP!r} is reserved")
+    has_strict = any(c.relation is Relation.LT for c in live)
+
+    tableau, basis, num_structural = _build_tableau(live, variables, has_strict)
+    phase1_ok = _phase1(tableau, basis, num_structural)
+    if not phase1_ok:
+        return False
+    if not has_strict:
+        return True
+    gap_value = _phase2_maximize_gap(tableau, basis, num_structural, variables)
+    return gap_value > _TOL
+
+
+def _split_ground(
+    constraints: list[LinearConstraint],
+) -> tuple[bool | None, list[LinearConstraint]]:
+    """Peel off variable-free constraints; returns (False, _) when one of
+    them is already violated, else (None, live_constraints)."""
+    live: list[LinearConstraint] = []
+    for constraint in constraints:
+        if constraint.is_trivial():
+            if not constraint.trivially_true():
+                return False, []
+        else:
+            live.append(constraint)
+    return None, live
+
+
+def _build_tableau(
+    constraints: list[LinearConstraint],
+    variables: list[str],
+    has_strict: bool,
+) -> tuple[list[list[float]], list[int], int]:
+    """Assemble the phase-1 tableau in standard equality form.
+
+    Columns: [x⁺ per variable][x⁻ per variable][δ (if strict)]
+             [slack per inequality row][artificial per row][RHS].
+    Every row gets an artificial variable so the initial basis is
+    trivially the artificials (slack columns may carry negative RHS
+    after sign normalization, so we don't reuse them as a basis).
+    """
+    var_index = {name: i for i, name in enumerate(variables)}
+    n_vars = len(variables)
+    gap_col = 2 * n_vars if has_strict else None
+    n_structural = 2 * n_vars + (1 if has_strict else 0)
+
+    rows: list[tuple[list[float], float, bool]] = []  # (coeffs, rhs, needs_slack)
+    for constraint in constraints:
+        coeffs = [0.0] * n_structural
+        for name, coef in constraint.expr.coefficients:
+            j = var_index[name]
+            coeffs[j] += coef          # x⁺
+            coeffs[n_vars + j] -= coef  # x⁻
+        if constraint.relation is Relation.LT:
+            assert gap_col is not None
+            coeffs[gap_col] += 1.0
+        needs_slack = constraint.relation is not Relation.EQ
+        rows.append((coeffs, constraint.bound, needs_slack))
+    if has_strict:
+        assert gap_col is not None
+        coeffs = [0.0] * n_structural
+        coeffs[gap_col] = 1.0
+        rows.append((coeffs, 1.0, True))  # δ ≤ 1 keeps phase 2 bounded
+
+    n_rows = len(rows)
+    n_slacks = sum(1 for _, _, needs in rows if needs)
+    total_cols = n_structural + n_slacks + n_rows + 1  # + artificials + RHS
+
+    tableau: list[list[float]] = []
+    basis: list[int] = []
+    slack_cursor = n_structural
+    for i, (coeffs, rhs, needs_slack) in enumerate(rows):
+        row = [0.0] * total_cols
+        row[:n_structural] = coeffs
+        if needs_slack:
+            row[slack_cursor] = 1.0
+            slack_cursor += 1
+        row[-1] = rhs
+        if rhs < 0:  # standard form requires b >= 0
+            row = [-v for v in row]
+        artificial_col = n_structural + n_slacks + i
+        row[artificial_col] = 1.0
+        tableau.append(row)
+        basis.append(artificial_col)
+    return tableau, basis, n_structural
+
+
+def _phase1(tableau: list[list[float]], basis: list[int], n_structural: int) -> bool:
+    """Minimize the sum of artificials; True iff it reaches ~0."""
+    total_cols = len(tableau[0])
+    n_rows = len(tableau)
+    first_artificial = total_cols - 1 - n_rows
+
+    # Reduced-cost row for cost = 1 on artificials, basis = artificials:
+    # z_j = c_j − Σ_i A[i][j]; objective value = Σ_i b_i.
+    cost_row = [0.0] * total_cols
+    for j in range(total_cols):
+        column_sum = sum(tableau[i][j] for i in range(n_rows))
+        base_cost = 1.0 if first_artificial <= j < total_cols - 1 else 0.0
+        cost_row[j] = base_cost - column_sum
+    objective = sum(tableau[i][-1] for i in range(n_rows))
+    cost_row[-1] = -objective
+
+    allowed = list(range(total_cols - 1))
+    _iterate(tableau, basis, cost_row, allowed)
+    phase1_value = -cost_row[-1]
+    if phase1_value > 1e-7:
+        return False
+    _drive_out_artificials(tableau, basis, first_artificial, total_cols)
+    return True
+
+
+def _drive_out_artificials(
+    tableau: list[list[float]],
+    basis: list[int],
+    first_artificial: int,
+    total_cols: int,
+) -> None:
+    """Pivot basic artificials out (or mark redundant rows harmless)."""
+    for i, basic in enumerate(basis):
+        if basic < first_artificial:
+            continue
+        pivot_col = None
+        for j in range(first_artificial):
+            if abs(tableau[i][j]) > _TOL:
+                pivot_col = j
+                break
+        if pivot_col is None:
+            continue  # 0 = 0 row; leaving the artificial basic at 0 is safe
+        _pivot(tableau, basis, i, pivot_col)
+
+
+def _phase2_maximize_gap(
+    tableau: list[list[float]],
+    basis: list[int],
+    n_structural: int,
+    variables: list[str],
+) -> float:
+    """Phase 2: maximize δ (minimize −δ) from the phase-1 basic solution."""
+    total_cols = len(tableau[0])
+    n_rows = len(tableau)
+    first_artificial = total_cols - 1 - n_rows
+    gap_col = 2 * len(variables)
+
+    cost = [0.0] * total_cols
+    cost[gap_col] = -1.0  # minimize −δ
+    cost_row = cost[:]
+    for i, basic in enumerate(basis):
+        basic_cost = cost[basic]
+        if basic_cost != 0.0:
+            for j in range(total_cols):
+                cost_row[j] -= basic_cost * tableau[i][j]
+    allowed = list(range(first_artificial))  # artificials stay out
+    status = _iterate(tableau, basis, cost_row, allowed)
+    if status == "unbounded":
+        # Cannot happen: δ ≤ 1 is an explicit row.  Defensive only.
+        raise SolverError("phase-2 gap objective unbounded despite δ ≤ 1")
+    return _basic_value(tableau, basis, gap_col)
+
+
+def _basic_value(tableau: list[list[float]], basis: list[int], col: int) -> float:
+    for i, basic in enumerate(basis):
+        if basic == col:
+            return tableau[i][-1]
+    return 0.0
+
+
+def _iterate(
+    tableau: list[list[float]],
+    basis: list[int],
+    cost_row: list[float],
+    allowed_cols: list[int],
+) -> str:
+    """Run simplex pivots with Bland's rule until optimal or unbounded.
+
+    ``cost_row`` is updated in place alongside the tableau rows.
+    """
+    for _ in range(_MAX_PIVOTS):
+        pivot_col = None
+        for j in allowed_cols:
+            if cost_row[j] < -_TOL:
+                pivot_col = j
+                break
+        if pivot_col is None:
+            return "optimal"
+        pivot_row = None
+        best_ratio = None
+        for i, row in enumerate(tableau):
+            a = row[pivot_col]
+            if a > _TOL:
+                ratio = row[-1] / a
+                if (
+                    best_ratio is None
+                    or ratio < best_ratio - _TOL
+                    or (abs(ratio - best_ratio) <= _TOL
+                        and basis[i] < basis[pivot_row])
+                ):
+                    best_ratio = ratio
+                    pivot_row = i
+        if pivot_row is None:
+            return "unbounded"
+        _pivot(tableau, basis, pivot_row, pivot_col, cost_row)
+    raise SolverError("simplex exceeded the pivot budget (cycling?)")
+
+
+def _pivot(
+    tableau: list[list[float]],
+    basis: list[int],
+    pivot_row: int,
+    pivot_col: int,
+    cost_row: list[float] | None = None,
+) -> None:
+    """Gauss-Jordan pivot on (pivot_row, pivot_col)."""
+    row = tableau[pivot_row]
+    factor = row[pivot_col]
+    if abs(factor) <= _TOL:
+        raise SolverError("pivot on a (near-)zero element")
+    tableau[pivot_row] = [v / factor for v in row]
+    row = tableau[pivot_row]
+    for i, other in enumerate(tableau):
+        if i == pivot_row:
+            continue
+        multiplier = other[pivot_col]
+        if multiplier != 0.0:
+            tableau[i] = [o - multiplier * r for o, r in zip(other, row)]
+    if cost_row is not None:
+        multiplier = cost_row[pivot_col]
+        if multiplier != 0.0:
+            for j in range(len(cost_row)):
+                cost_row[j] -= multiplier * row[j]
+    basis[pivot_row] = pivot_col

@@ -1,0 +1,35 @@
+"""Rule-description support (the paper's Sect. 4.3 module).
+
+* :mod:`repro.support.authoring` — per-user authoring sessions: parse
+  CADEL text, maintain the user's word dictionary (with household-shared
+  fallback), compile and register rules, set priority orders with CADEL
+  contexts.
+* :mod:`repro.support.lookup` — the sensor/device lookup service behind
+  the condition-description and action-configuration GUIs (Figs. 4-6):
+  retrieval by keyword, sensor type, name, location, action, and by
+  user-defined word — plus the reverse direction.
+* :mod:`repro.support.guidance` — allowed actions of a device, live
+  sensor values, configuration parameters.
+* :mod:`repro.support.exchange` — rule import/export ("users can import
+  a rule registered in the database, and customize it").
+"""
+
+from repro.support.authoring import AuthoringSession
+from repro.support.console import ConsoleFrontend
+from repro.support.exchange import RuleExporter, RuleImporter, RulePackage
+from repro.support.guidance import GuidanceService
+from repro.support.lookup import LookupQuery, LookupService
+from repro.support.persistence import restore_household, save_household
+
+__all__ = [
+    "AuthoringSession",
+    "ConsoleFrontend",
+    "RuleExporter",
+    "RuleImporter",
+    "RulePackage",
+    "GuidanceService",
+    "LookupQuery",
+    "LookupService",
+    "restore_household",
+    "save_household",
+]

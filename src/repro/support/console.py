@@ -1,0 +1,131 @@
+"""Text front-end for rule description — the headless stand-in for the
+paper's GUI dialogs (Figs. 4-7).
+
+The GUI screens in the paper are thin shells over framework calls; this
+module renders the same information as text so every dialog flow is
+exercisable (and testable) without a display:
+
+* the condition-description panel (Fig. 5): retrieval results with
+  live sensor values;
+* the action-configuration panel (Fig. 6): a device's allowed actions
+  and their setting parameters;
+* the priority-setup dialog (Fig. 7): conflicting rules listed in
+  priority order, with the owner ranking editable by callback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.conflict import ConflictReport
+from repro.core.rule import Rule
+from repro.core.server import HomeServer
+from repro.support.guidance import GuidanceService
+from repro.support.lookup import LookupQuery, LookupService
+from repro.support.authoring import AuthoringSession
+
+
+def render_device_list(lookup: LookupService, query: LookupQuery) -> str:
+    """The Fig. 5/6 retrieval panel as text."""
+    records = lookup.search(query)
+    if not records:
+        return "(no devices match)"
+    lines = []
+    for record in records:
+        location = record.location or "(whole home)"
+        lines.append(
+            f"{record.friendly_name:<28} {record.category:<10} {location}"
+        )
+    return "\n".join(lines)
+
+
+def render_guidance(guidance: GuidanceService, lookup: LookupService,
+                    device_name: str) -> str:
+    """One device's allowed actions and current readings, as text."""
+    records = lookup.search(LookupQuery(name=device_name))
+    if not records:
+        return f"(no device named {device_name!r})"
+    record = records[0]
+    lines = [f"device: {record.friendly_name} [{record.location}]",
+             "actions:"]
+    for action in guidance.allowed_actions(record):
+        arguments = ", ".join(action.arguments) or "(no settings)"
+        lines.append(f"  {action.name:<14} {arguments:<36} "
+                     f"{action.description}")
+    readings = guidance.current_readings(record)
+    if readings:
+        lines.append("current readings:")
+        for reading in readings:
+            unit = f" {reading.unit}" if reading.unit else ""
+            lines.append(f"  {reading.variable:<14} = "
+                         f"{reading.value}{unit}")
+    return "\n".join(lines)
+
+
+def render_priority_dialog(server: HomeServer, rule: Rule,
+                           reports: list[ConflictReport]) -> str:
+    """The Fig. 7 dialog: conflicting rules in current priority order."""
+    lines = ["Priority setup", f"new rule: {rule.describe()}", "conflicts:"]
+    for report in reports:
+        existing = server.database.get(report.existing_rule)
+        lines.append(f"  {existing.owner:<8} {existing.describe()}")
+        orders = server.priorities.orders_for_device(report.device_udn)
+        if orders:
+            lines.append("  existing orders: "
+                         + "; ".join(o.describe() for o in orders))
+    return "\n".join(lines)
+
+
+@dataclass
+class ConsoleFrontend:
+    """An interactive-style loop over an authoring session.
+
+    ``submit_line`` routes input: lookup queries starting with ``?``,
+    guidance queries with ``!``, everything else as a CADEL sentence.
+    Output goes through ``emit`` (print by default) so tests can capture
+    it.
+    """
+
+    session: AuthoringSession
+    emit: Callable[[str], None] = print
+
+    def __post_init__(self) -> None:
+        registry = self.session.server.control_point.registry
+        self._lookup = LookupService(registry, words=self.session.words)
+        self._guidance = GuidanceService(self.session.server.engine)
+
+    def submit_line(self, line: str) -> None:
+        line = line.strip()
+        if not line:
+            return
+        if line.startswith("?"):
+            self._handle_lookup(line[1:].strip())
+            return
+        if line.startswith("!"):
+            self.emit(render_guidance(self._guidance, self._lookup,
+                                      line[1:].strip()))
+            return
+        try:
+            outcome = self.session.submit(line)
+        except Exception as exc:  # surfaced to the user, like a dialog
+            self.emit(f"error: {exc}")
+            return
+        if outcome.kind == "rule":
+            self.emit(f"registered: {outcome.rule.describe()}")
+            for report in outcome.conflicts or ():
+                self.emit(f"conflict: {report.describe()}")
+        else:
+            self.emit(f"defined {outcome.kind.replace('-', ' ')}: "
+                      f"{outcome.word!r}")
+
+    def _handle_lookup(self, query_text: str) -> None:
+        query = LookupQuery()
+        if "=" in query_text:
+            for part in query_text.split():
+                key, _, value = part.partition("=")
+                if hasattr(query, key) and value:
+                    setattr(query, key, value.replace("+", " "))
+        elif query_text:
+            query.keyword = query_text
+        self.emit(render_device_list(self._lookup, query))

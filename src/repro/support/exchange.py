@@ -1,0 +1,119 @@
+"""Rule import/export (Sect. 4.3 (iv)).
+
+"Our framework provides an import/export mechanism for rules.  Users can
+import a rule registered in the database, and customize it to suit their
+preferences."
+
+Rules are exchanged as their CADEL *source text* plus the word
+definitions they rely on, packaged as plain JSON.  Exchanging source
+(not compiled objects) is what makes customization possible: the
+importer re-parses under their own authoring session, re-binds against
+their device population, and may tweak thresholds or devices first.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cadel.ast import CondDef, ConfDef
+from repro.core.rule import Rule
+from repro.errors import RuleError
+from repro.support.authoring import AuthoringResult, AuthoringSession
+
+PACKAGE_FORMAT = "cadel-rule-package/1"
+
+
+@dataclass
+class RulePackage:
+    """A portable bundle of CADEL sentences."""
+
+    rules: list[str] = field(default_factory=list)
+    condition_words: dict[str, str] = field(default_factory=dict)
+    configuration_words: dict[str, str] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "format": PACKAGE_FORMAT,
+                "rules": self.rules,
+                "condition_words": self.condition_words,
+                "configuration_words": self.configuration_words,
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RulePackage":
+        data = json.loads(text)
+        if data.get("format") != PACKAGE_FORMAT:
+            raise RuleError(
+                f"unsupported rule package format: {data.get('format')!r}"
+            )
+        return cls(
+            rules=list(data.get("rules", ())),
+            condition_words=dict(data.get("condition_words", {})),
+            configuration_words=dict(data.get("configuration_words", {})),
+        )
+
+
+class RuleExporter:
+    """Packages a user's rules and word definitions for exchange."""
+
+    def __init__(self, session: AuthoringSession):
+        self.session = session
+
+    def export_rules(self, rules: list[Rule]) -> RulePackage:
+        package = RulePackage()
+        for rule in rules:
+            if not rule.source_text:
+                raise RuleError(
+                    f"rule {rule.name!r} has no CADEL source to export"
+                )
+            package.rules.append(rule.source_text)
+        words = self.session.words
+        for word in words.condition_words():
+            expr = words.condition(word)
+            package.condition_words[word] = (
+                f"let us call the condition that {expr.to_text()} \"{word}\""
+            )
+        for word in words.configuration_words():
+            settings = words.configuration(word)
+            rows = " and ".join(s.to_text() for s in settings)
+            package.configuration_words[word] = (
+                f"let us call the configuration that {rows} \"{word}\""
+            )
+        return package
+
+    def export_owner(self) -> RulePackage:
+        rules = self.session.server.database.rules_of_owner(self.session.user)
+        return self.export_rules(rules)
+
+
+class RuleImporter:
+    """Replays a package through the importer's own authoring session."""
+
+    def __init__(self, session: AuthoringSession):
+        self.session = session
+
+    def import_package(
+        self, package: RulePackage, *, register_rules: bool = True
+    ) -> list[AuthoringResult]:
+        """Define the packaged words, then (optionally) register every
+        rule; returns one result per registered rule."""
+        parser = self.session.parser
+        for sentence in package.condition_words.values():
+            command = parser.parse(sentence)
+            assert isinstance(command, CondDef)
+            self.session.words.define_condition(command.word, command.expr)
+        for sentence in package.configuration_words.values():
+            command = parser.parse(sentence)
+            assert isinstance(command, ConfDef)
+            self.session.words.define_configuration(command.word,
+                                                    command.settings)
+        results = []
+        if register_rules:
+            for sentence in package.rules:
+                results.append(self.session.submit(sentence))
+        return results

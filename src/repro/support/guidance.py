@@ -1,0 +1,87 @@
+"""Guidance: what a device can do and what sensors currently read.
+
+Backs the action-configuration interface (Fig. 6): "By selecting a
+specific device in the retrieved device list, the I/F shows what actions
+are allowed in the device", and the condition side's live sensor values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import RuleEngine
+from repro.core.server import variable_id
+from repro.upnp.registry import DeviceRecord
+
+
+@dataclass(frozen=True)
+class ActionInfo:
+    """One allowed action of a device, with its accepted settings."""
+
+    service_id: str
+    name: str
+    arguments: tuple[str, ...]
+    description: str
+
+
+@dataclass(frozen=True)
+class ReadingInfo:
+    """One live variable of a device as the rule engine currently sees it."""
+
+    service_id: str
+    variable: str
+    value: object
+    unit: str
+
+
+class GuidanceService:
+    """Answers "what can this device do?" and "what does it read now?"."""
+
+    def __init__(self, engine: RuleEngine):
+        self._engine = engine
+
+    def allowed_actions(self, record: DeviceRecord) -> list[ActionInfo]:
+        actions = []
+        for service in record.description.get("services", ()):
+            for action in service.get("actions", ()):
+                actions.append(ActionInfo(
+                    service_id=service["service_id"],
+                    name=action["name"],
+                    arguments=tuple(action.get("in_args", ())),
+                    description=action.get("description", ""),
+                ))
+        return actions
+
+    def current_readings(self, record: DeviceRecord) -> list[ReadingInfo]:
+        """Every evented variable with its latest value in the world
+        state (None when no event has arrived yet)."""
+        readings = []
+        world = self._engine.world
+        for service in record.description.get("services", ()):
+            for variable in service.get("variables", ()):
+                if not variable.get("sends_events"):
+                    continue
+                vid = variable_id(record.udn, service["service_id"],
+                                  variable["name"])
+                value: object = world.numeric(vid)
+                if value is None:
+                    value = world.discrete(vid)
+                if value is None:
+                    members = world.set_members(vid)
+                    value = set(members) if members else None
+                readings.append(ReadingInfo(
+                    service_id=service["service_id"],
+                    variable=variable["name"],
+                    value=value,
+                    unit=variable.get("unit", ""),
+                ))
+        return readings
+
+    def configuration_parameters(self, record: DeviceRecord) -> dict[str, list[str]]:
+        """Action name → accepted setting parameters, for the
+        configuration half of the dialog."""
+        return {
+            info.name: list(info.arguments)
+            for info in self.allowed_actions(record)
+            if info.arguments
+        }

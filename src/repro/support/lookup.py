@@ -1,0 +1,165 @@
+"""Sensor/device lookup service (the paper's Figs. 5-6 retrieval).
+
+Sect. 4.3: "The retrieval of contexts and sensors can be done by
+specifying combination of the following items: (1) keyword, (2) action,
+(3) sensor type, (4) sensor name, and (5) location. ... Moreover,
+sensors can be retrieved by the user defined word. ... Contrarily,
+information about sensor types and the user defined words can be
+retrieved by specifying sensors."
+
+Queries are conjunctive: every specified criterion must match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cadel.ast import CondAtom, CondExpr, CondAnd, CondOr, TimeCond, UserCondRef
+from repro.cadel.binding import SENSOR_KIND_TABLE
+from repro.cadel.words import WordDictionary
+from repro.errors import LookupServiceError
+from repro.upnp.registry import DeviceRecord, DeviceRegistry
+
+
+@dataclass
+class LookupQuery:
+    """A conjunctive retrieval query; None fields are wildcards."""
+
+    keyword: str | None = None
+    action: str | None = None
+    sensor_type: str | None = None
+    name: str | None = None
+    location: str | None = None
+    category: str | None = None
+    word: str | None = None
+
+    def is_empty(self) -> bool:
+        return all(
+            value is None
+            for value in (self.keyword, self.action, self.sensor_type,
+                          self.name, self.location, self.category, self.word)
+        )
+
+
+class LookupService:
+    """Indexed retrieval over the discovered device population."""
+
+    def __init__(self, registry: DeviceRegistry,
+                 words: WordDictionary | None = None):
+        self.registry = registry
+        self.words = words or WordDictionary()
+
+    # -- forward retrieval -------------------------------------------------------
+
+    def search(self, query: LookupQuery) -> list[DeviceRecord]:
+        """All devices matching every specified criterion."""
+        if query.is_empty():
+            return sorted(self.registry.all(), key=lambda r: r.udn)
+        candidates: list[DeviceRecord] | None = None
+
+        def narrow(records: list[DeviceRecord]) -> None:
+            nonlocal candidates
+            if candidates is None:
+                candidates = list(records)
+            else:
+                udns = {r.udn for r in records}
+                candidates = [r for r in candidates if r.udn in udns]
+
+        if query.name is not None:
+            narrow(self.registry.by_name(query.name))
+        if query.keyword is not None:
+            narrow(self.registry.by_keyword(query.keyword))
+        if query.location is not None:
+            narrow(self.registry.by_location(query.location))
+        if query.category is not None:
+            narrow(self.registry.by_category(query.category))
+        if query.sensor_type is not None:
+            narrow(self._by_sensor_type(query.sensor_type))
+        if query.action is not None:
+            narrow(self._by_action(query.action))
+        if query.word is not None:
+            narrow(self.by_word(query.word))
+        assert candidates is not None
+        return sorted(candidates, key=lambda r: r.udn)
+
+    def _by_sensor_type(self, sensor_type: str) -> list[DeviceRecord]:
+        """Devices *concerning* a sensor kind: the sensors measuring it
+        plus appliances tagged with it (the paper: "the air-conditioner,
+        the temperature meter and so on can be retrieved by specifying
+        temperature as the sensor type")."""
+        entry = SENSOR_KIND_TABLE.get(sensor_type)
+        results: dict[str, DeviceRecord] = {}
+        if entry is not None:
+            for record in self.registry.by_service_type(entry[0]):
+                results[record.udn] = record
+        for record in self.registry.by_keyword(sensor_type):
+            results[record.udn] = record
+        return list(results.values())
+
+    def _by_action(self, action: str) -> list[DeviceRecord]:
+        wanted = action.lower()
+        matches = []
+        for record in self.registry.all():
+            for service in record.description.get("services", ()):
+                if any(a["name"].lower() == wanted
+                       for a in service.get("actions", ())):
+                    matches.append(record)
+                    break
+        return matches
+
+    # -- word-based retrieval (both directions) ----------------------------------------
+
+    def by_word(self, word: str) -> list[DeviceRecord]:
+        """Devices whose readings a user-defined condition word tests —
+        "sensors which can measure temperature and humidity can be
+        retrieved by the word 'hot and stuffy'"."""
+        if not self.words.has_condition(word):
+            raise LookupServiceError(f"unknown condition word {word!r}")
+        kinds = self._sensor_kinds_of(self.words.condition(word))
+        results: dict[str, DeviceRecord] = {}
+        for kind in sorted(kinds):
+            for record in self._by_sensor_type(kind):
+                results[record.udn] = record
+        return list(results.values())
+
+    def words_for_device(self, record: DeviceRecord) -> list[str]:
+        """Reverse lookup: the user-defined words that involve a device's
+        sensor kinds."""
+        device_kinds = self._kinds_of_record(record)
+        matches = []
+        for word in self.words.condition_words():
+            kinds = self._sensor_kinds_of(self.words.condition(word))
+            if kinds & device_kinds:
+                matches.append(word)
+        return matches
+
+    def _sensor_kinds_of(self, expr: CondExpr) -> set[str]:
+        """Sensor kinds a condition AST references ("temperature"...)."""
+        kinds: set[str] = set()
+        if isinstance(expr, (CondAnd, CondOr)):
+            for child in expr.children:
+                kinds |= self._sensor_kinds_of(child)
+        elif isinstance(expr, CondAtom):
+            subject = tuple(expr.subject_words)
+            for phrase, kind in (
+                (("temperature",), "temperature"),
+                (("humidity",), "humidity"),
+                (("brightness",), "illuminance"),
+                (("illuminance",), "illuminance"),
+            ):
+                if subject == phrase:
+                    kinds.add(kind)
+        elif isinstance(expr, UserCondRef):
+            if self.words.has_condition(expr.word):
+                kinds |= self._sensor_kinds_of(self.words.condition(expr.word))
+        elif isinstance(expr, TimeCond):
+            pass
+        return kinds
+
+    def _kinds_of_record(self, record: DeviceRecord) -> set[str]:
+        kinds = set()
+        service_types = set(record.service_types())
+        for kind, (service_type, _) in SENSOR_KIND_TABLE.items():
+            if service_type in service_types:
+                kinds.add(kind)
+        return kinds

@@ -1,0 +1,179 @@
+"""Whole-household persistence.
+
+A home server restarts (power cut, upgrade); the registered rules, every
+user's word definitions and the negotiated priority orders must survive.
+Persistence stores *CADEL source* rather than compiled objects — device
+UDNs are regenerated on every boot, so rules and priority contexts are
+re-parsed and re-bound against the freshly discovered population, which
+also means an archive restores cleanly onto a home whose devices moved
+or were replaced (binding errors surface per rule, not as a corrupt
+database).
+
+Format: one JSON document (versioned), building on the per-user package
+format of :mod:`repro.support.exchange`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.server import HomeServer
+from repro.errors import CadelError, RuleError
+from repro.support.authoring import AuthoringSession
+
+ARCHIVE_FORMAT = "cadel-household/1"
+
+
+@dataclass
+class RestoreReport:
+    """What a restore managed to bring back."""
+
+    rules_restored: int = 0
+    rules_failed: list[tuple[str, str]] = field(default_factory=list)
+    words_restored: int = 0
+    priorities_restored: int = 0
+
+    def ok(self) -> bool:
+        return not self.rules_failed
+
+
+def _word_sentences(session: AuthoringSession,
+                    personal_only: bool) -> tuple[dict[str, str], dict[str, str]]:
+    """Render a session's word definitions back to CADEL sentences."""
+    words = session.personal_words if personal_only else session.words
+    conditions = {}
+    for word in words.condition_words():
+        expr = words.condition(word)
+        conditions[word] = (
+            f'let us call the condition that {expr.to_text()} "{word}"'
+        )
+    configurations = {}
+    for word in words.configuration_words():
+        rows = " and ".join(s.to_text() for s in words.configuration(word))
+        configurations[word] = (
+            f'let us call the configuration that {rows} "{word}"'
+        )
+    return conditions, configurations
+
+
+def save_household(
+    server: HomeServer, sessions: dict[str, AuthoringSession]
+) -> str:
+    """Serialize rules, words and priorities to a JSON document."""
+    users: dict[str, Any] = {}
+    shared_conditions: dict[str, str] = {}
+    shared_configurations: dict[str, str] = {}
+    for name, session in sessions.items():
+        conditions, configurations = _word_sentences(session,
+                                                     personal_only=True)
+        rules = []
+        for rule in server.database.rules_of_owner(name):
+            if not rule.source_text:
+                raise RuleError(
+                    f"rule {rule.name!r} has no CADEL source; "
+                    "programmatic rules cannot be archived"
+                )
+            rules.append({"name": rule.name, "text": rule.source_text})
+        users[name] = {
+            "rules": rules,
+            "condition_words": conditions,
+            "configuration_words": configurations,
+        }
+        shared = session.shared_words
+        for word in shared.condition_words():
+            expr = shared.condition(word)
+            shared_conditions[word] = (
+                f'let us call the condition that {expr.to_text()} "{word}"'
+            )
+        for word in shared.configuration_words():
+            rows = " and ".join(
+                s.to_text() for s in shared.configuration(word)
+            )
+            shared_configurations[word] = (
+                f'let us call the configuration that {rows} "{word}"'
+            )
+
+    priorities = []
+    registry = server.control_point.registry
+    for record in registry.all():
+        for order in server.priorities.orders_for_device(record.udn):
+            priorities.append({
+                "device": record.friendly_name,
+                "ranking": list(order.ranking),
+                "context": order.label or None,
+            })
+
+    return json.dumps(
+        {
+            "format": ARCHIVE_FORMAT,
+            "users": users,
+            "shared_condition_words": shared_conditions,
+            "shared_configuration_words": shared_configurations,
+            "priorities": priorities,
+        },
+        indent=2,
+    )
+
+
+def restore_household(
+    sessions: dict[str, AuthoringSession], archive_json: str
+) -> RestoreReport:
+    """Replay an archive through fresh authoring sessions.
+
+    Rules that no longer bind (device gone) are reported, not fatal.
+    Priority orders are restored by the first session whose user appears
+    in the ranking (matching who would have created them).
+    """
+    data = json.loads(archive_json)
+    if data.get("format") != ARCHIVE_FORMAT:
+        raise RuleError(f"unsupported archive format: {data.get('format')!r}")
+    report = RestoreReport()
+
+    any_session = next(iter(sessions.values()))
+    for sentence in data.get("shared_condition_words", {}).values():
+        command = any_session.parser.parse(sentence)
+        any_session.shared_words.define_condition(command.word, command.expr)
+        report.words_restored += 1
+    for sentence in data.get("shared_configuration_words", {}).values():
+        command = any_session.parser.parse(sentence)
+        any_session.shared_words.define_configuration(
+            command.word, command.settings
+        )
+        report.words_restored += 1
+
+    for user, payload in data.get("users", {}).items():
+        session = sessions.get(user)
+        if session is None:
+            report.rules_failed.extend(
+                (rule["name"], f"no session for user {user!r}")
+                for rule in payload.get("rules", ())
+            )
+            continue
+        for sentence in payload.get("condition_words", {}).values():
+            command = session.parser.parse(sentence)
+            session.words.define_condition(command.word, command.expr)
+            report.words_restored += 1
+        for sentence in payload.get("configuration_words", {}).values():
+            command = session.parser.parse(sentence)
+            session.words.define_configuration(command.word, command.settings)
+            report.words_restored += 1
+        for rule in payload.get("rules", ()):
+            try:
+                session.submit(rule["text"], rule_name=rule["name"])
+                report.rules_restored += 1
+            except (CadelError, RuleError) as exc:
+                report.rules_failed.append((rule["name"], str(exc)))
+
+    for order in data.get("priorities", ()):
+        owner_session = next(
+            (sessions[user] for user in order["ranking"] if user in sessions),
+            any_session,
+        )
+        owner_session.set_priority(
+            order["device"], list(order["ranking"]),
+            context=order.get("context"),
+        )
+        report.priorities_restored += 1
+    return report

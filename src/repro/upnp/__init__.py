@@ -1,0 +1,34 @@
+"""Simulated UPnP stack.
+
+The paper's prototype used CyberLink UPnP for Java on a real LAN; this
+package is a from-scratch functional equivalent running on the simulated
+network bus.  It implements the three UPnP pillars the framework relies
+on:
+
+* **Discovery** (:mod:`repro.upnp.ssdp`): SSDP-style multicast search
+  (``M-SEARCH``) and presence announcements (``NOTIFY`` alive/byebye).
+* **Description & control** (:mod:`repro.upnp.service`,
+  :mod:`repro.upnp.device`): devices expose typed services with state
+  variables and invocable actions, described by plain-data documents.
+* **Eventing** (:mod:`repro.upnp.eventing`): GENA-style subscriptions
+  with subscription ids, initial-state notification, and renewal.
+
+The consumer side is :class:`~repro.upnp.control_point.ControlPoint`,
+which the home server uses to retrieve sensors/devices (the paper's E1
+experiment), read sensor values, and issue appliance commands.
+"""
+
+from repro.upnp.control_point import ControlPoint
+from repro.upnp.device import UPnPDevice
+from repro.upnp.registry import DeviceRecord, DeviceRegistry
+from repro.upnp.service import Action, Service, StateVariable
+
+__all__ = [
+    "ControlPoint",
+    "UPnPDevice",
+    "DeviceRecord",
+    "DeviceRegistry",
+    "Action",
+    "Service",
+    "StateVariable",
+]

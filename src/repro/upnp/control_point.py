@@ -1,0 +1,341 @@
+"""UPnP control point: the home server's window onto the device network.
+
+Supports the full consumer-side protocol:
+
+* multicast **search** with a search target, harvesting unicast replies;
+* **description** fetch and registry maintenance (including alive/byebye
+  presence tracking);
+* synchronous **action invocation** with call-id correlation;
+* **event subscription** with a user callback per (device, service).
+
+"Synchronous" here means the call drives the shared simulator until the
+matching response message arrives (or a simulated-time deadline passes),
+which is the event-loop analogue of a blocking UPnP call and is what the
+E1 benchmark times.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import SubscriptionError, UPnPError
+from repro.net.bus import NetworkBus
+from repro.net.message import Message
+from repro.sim.events import Simulator
+from repro.upnp import ssdp
+from repro.upnp.device import (
+    METHOD_DESCRIPTION,
+    METHOD_ERROR,
+    METHOD_GET_DESCRIPTION,
+    METHOD_INVOKE,
+    METHOD_INVOKE_ERROR,
+    METHOD_INVOKE_OK,
+)
+from repro.upnp.eventing import (
+    DEFAULT_TIMEOUT,
+    METHOD_EVENT_NOTIFY,
+    METHOD_RENEW,
+    METHOD_SUBSCRIBE,
+    METHOD_SUBSCRIBE_OK,
+    METHOD_UNSUBSCRIBE,
+)
+from repro.upnp.registry import DeviceRecord, DeviceRegistry
+
+EventCallback = Callable[[str, str, dict[str, Any]], None]
+"""Signature: callback(udn, service_id, {variable: value, ...})."""
+
+_cp_counter = itertools.count(1)
+
+
+@dataclass
+class _PendingCall:
+    call_id: int
+    response: Message | None = None
+
+
+class ControlPoint:
+    """Discovers, describes, controls and observes UPnP devices."""
+
+    DEFAULT_SEARCH_WINDOW = 0.25  # simulated seconds to wait for replies
+
+    def __init__(self, bus: NetworkBus, simulator: Simulator, name: str | None = None):
+        self.name = name or f"control-point-{next(_cp_counter)}"
+        self.address = f"cp:{self.name}"
+        self._bus = bus
+        self._simulator = simulator
+        self.registry = DeviceRegistry()
+        self._call_counter = itertools.count(1)
+        self._search_counter = itertools.count(1)
+        self._pending_calls: dict[int, _PendingCall] = {}
+        self._search_results: dict[int, list[Message]] = {}
+        self._event_callbacks: dict[str, EventCallback] = {}  # sid -> callback
+        self._sid_owner: dict[str, tuple[str, str]] = {}  # sid -> (udn, service_id)
+        bus.bind(self.address, self._on_message)
+        bus.join_group(self.address, ssdp.MULTICAST_GROUP)
+
+    # -- discovery ---------------------------------------------------------------
+
+    def search(
+        self,
+        search_target: str = ssdp.ST_ALL,
+        *,
+        window: float | None = None,
+        fetch_descriptions: bool = True,
+    ) -> list[DeviceRecord]:
+        """Multicast an M-SEARCH, wait ``window`` simulated seconds,
+        ingest every response (optionally fetching full descriptions) and
+        return the matching records."""
+        window = self.DEFAULT_SEARCH_WINDOW if window is None else window
+        search_id = next(self._search_counter)
+        self._search_results[search_id] = []
+        self._bus.send(ssdp.msearch(self.address, search_target, search_id))
+        self._simulator.run_until(self._simulator.now + window)
+        responses = self._search_results.pop(search_id, [])
+        records: list[DeviceRecord] = []
+        seen: set[str] = set()
+        for response in responses:
+            udn = response.header("UDN")
+            if udn is None or udn in seen:
+                continue
+            seen.add(udn)
+            if fetch_descriptions:
+                try:
+                    records.append(
+                        self.describe(response.header("LOCATION"), udn)
+                    )
+                except UPnPError:
+                    # A lost description fetch must not abort the whole
+                    # search; the device reappears on the next one.
+                    continue
+            elif udn in self.registry:
+                records.append(self.registry.get(udn))
+        return records
+
+    def describe(self, device_address: str, udn: str | None = None) -> DeviceRecord:
+        """Fetch a device's description document and index it."""
+        response = self._call(
+            device_address,
+            {"METHOD": METHOD_GET_DESCRIPTION},
+            expect=(METHOD_DESCRIPTION,),
+        )
+        record = DeviceRecord.from_description(
+            dict(response.body), last_seen=self._simulator.now
+        )
+        if udn is not None and record.udn != udn:
+            raise UPnPError(
+                f"description UDN mismatch: expected {udn!r}, got {record.udn!r}"
+            )
+        self.registry.add(record)
+        return record
+
+    # -- convenience retrieval (E1 queries) ------------------------------------------
+
+    def find_by_name(self, friendly_name: str) -> DeviceRecord:
+        """Resolve a device by friendly name, searching if not yet known."""
+        records = self.registry.by_name(friendly_name)
+        if not records:
+            self.search(ssdp.ST_ALL)
+            records = self.registry.by_name(friendly_name)
+        if not records:
+            raise UPnPError(f"no device named {friendly_name!r} found")
+        return records[0]
+
+    def find_by_service(self, service_type: str) -> list[DeviceRecord]:
+        """Resolve devices offering a service type, searching if needed."""
+        records = self.registry.by_service_type(service_type)
+        if not records:
+            self.search(service_type)
+            records = self.registry.by_service_type(service_type)
+        return records
+
+    # -- control ------------------------------------------------------------------------
+
+    def invoke(
+        self,
+        udn: str,
+        service_id: str,
+        action: str,
+        args: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Invoke an action and return its outputs; raises UPnPError on
+        device-side rejection."""
+        record = self.registry.get(udn)
+        response = self._call(
+            record.address,
+            {"METHOD": METHOD_INVOKE, "SERVICE-ID": service_id, "ACTION": action},
+            body=dict(args or {}),
+            expect=(METHOD_INVOKE_OK, METHOD_INVOKE_ERROR),
+        )
+        if response.header("METHOD") == METHOD_INVOKE_ERROR:
+            raise UPnPError(
+                f"invoke {action!r} on {record.friendly_name!r} failed: "
+                f"{(response.body or {}).get('reason', 'unknown')}"
+            )
+        return dict(response.body or {})
+
+    # -- eventing ------------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        udn: str,
+        service_id: str,
+        callback: EventCallback,
+        timeout: float = DEFAULT_TIMEOUT,
+        auto_renew: bool = True,
+    ) -> str:
+        """Subscribe to a service; returns the subscription id (SID).
+
+        The callback fires once immediately with the full variable
+        snapshot (INITIAL notify), then on every evented change.  With
+        ``auto_renew`` (the default, matching long-lived control points)
+        the subscription is renewed at 80 % of each timeout window until
+        :meth:`unsubscribe` is called.
+        """
+        record = self.registry.get(udn)
+        response = self._call(
+            record.address,
+            {
+                "METHOD": METHOD_SUBSCRIBE,
+                "SERVICE-ID": service_id,
+                "TIMEOUT": timeout,
+            },
+            expect=(METHOD_SUBSCRIBE_OK, METHOD_ERROR),
+        )
+        if response.header("METHOD") == METHOD_ERROR:
+            raise SubscriptionError(
+                f"subscribe to {record.friendly_name!r}/{service_id!r} failed: "
+                f"{(response.body or {}).get('reason', 'unknown')}"
+            )
+        sid = response.header("SID")
+        self._event_callbacks[sid] = callback
+        self._sid_owner[sid] = (udn, service_id)
+        if auto_renew:
+            self._arm_auto_renew(sid, timeout)
+        # Deliver the initial NOTIFY (already queued right behind the OK).
+        self._simulator.run_until(self._simulator.now)
+        return sid
+
+    def _arm_auto_renew(self, sid: str, timeout: float) -> None:
+        def renew_and_rearm() -> None:
+            if sid not in self._sid_owner:
+                return  # unsubscribed in the meantime
+            try:
+                self.renew(sid, timeout)
+            except (SubscriptionError, UPnPError):
+                self._event_callbacks.pop(sid, None)
+                self._sid_owner.pop(sid, None)
+                return
+            self._arm_auto_renew(sid, timeout)
+
+        self._simulator.call_after(timeout * 0.8, renew_and_rearm)
+
+    def renew(self, sid: str, timeout: float = DEFAULT_TIMEOUT) -> None:
+        udn, _ = self._require_sid(sid)
+        record = self.registry.get(udn)
+        response = self._call(
+            record.address,
+            {"METHOD": METHOD_RENEW, "SID": sid, "TIMEOUT": timeout},
+            expect=(METHOD_SUBSCRIBE_OK, METHOD_ERROR),
+        )
+        if response.header("METHOD") == METHOD_ERROR:
+            raise SubscriptionError(f"renew of {sid!r} rejected")
+
+    def unsubscribe(self, sid: str) -> None:
+        udn, _ = self._require_sid(sid)
+        record = self.registry.get(udn)
+        self._bus.send(
+            Message(
+                source=self.address,
+                destination=record.address,
+                headers={"METHOD": METHOD_UNSUBSCRIBE, "SID": sid},
+            )
+        )
+        self._event_callbacks.pop(sid, None)
+        self._sid_owner.pop(sid, None)
+
+    def _require_sid(self, sid: str) -> tuple[str, str]:
+        owner = self._sid_owner.get(sid)
+        if owner is None:
+            raise SubscriptionError(f"unknown subscription id {sid!r}")
+        return owner
+
+    # -- message plumbing -----------------------------------------------------------------
+
+    def _call(
+        self,
+        destination: str,
+        headers: dict[str, Any],
+        body: Any = None,
+        expect: tuple[str, ...] = (),
+        deadline: float = 5.0,
+    ) -> Message:
+        """Send a request and drive the simulator until its response."""
+        call_id = next(self._call_counter)
+        pending = _PendingCall(call_id=call_id)
+        self._pending_calls[call_id] = pending
+        headers = dict(headers)
+        headers["CALL-ID"] = call_id
+        self._bus.send(
+            Message(
+                source=self.address,
+                destination=destination,
+                headers=headers,
+                body=body,
+            )
+        )
+        limit = self._simulator.now + deadline
+        while pending.response is None:
+            next_time = self._simulator.next_event_time()
+            if next_time is None or next_time > limit:
+                break
+            self._simulator.step()
+        self._pending_calls.pop(call_id, None)
+        if pending.response is None:
+            raise UPnPError(
+                f"no response from {destination!r} for {headers.get('METHOD')!r} "
+                f"within {deadline}s (device offline or address wrong)"
+            )
+        method = pending.response.header("METHOD")
+        if expect and method not in expect:
+            raise UPnPError(f"unexpected response method {method!r}")
+        return pending.response
+
+    def _on_message(self, message: Message) -> None:
+        method = message.header("METHOD")
+        if method == ssdp.METHOD_RESPONSE:
+            bucket = self._search_results.get(message.header("SEARCH-ID"))
+            if bucket is not None:
+                bucket.append(message)
+            return
+        if method == ssdp.METHOD_NOTIFY:
+            self._handle_presence(message)
+            return
+        if method == METHOD_EVENT_NOTIFY:
+            self._handle_event(message)
+            return
+        call_id = message.header("CALL-ID")
+        if call_id is not None:
+            pending = self._pending_calls.get(call_id)
+            if pending is not None and pending.response is None:
+                pending.response = message
+
+    def _handle_presence(self, message: Message) -> None:
+        nts = message.header("NTS")
+        udn = message.header("UDN")
+        if nts == ssdp.NTS_BYEBYE and udn is not None:
+            self.registry.remove(udn)
+        # ssdp:alive announcements are lazy: the registry is refreshed on
+        # the next search/describe, matching common control-point practice.
+
+    def _handle_event(self, message: Message) -> None:
+        sid = message.header("SID")
+        callback = self._event_callbacks.get(sid)
+        if callback is None:
+            return  # stale subscription; device will expire it
+        owner = self._sid_owner.get(sid)
+        if owner is None:
+            return
+        udn, service_id = owner
+        callback(udn, service_id, dict(message.body or {}))

@@ -1,0 +1,92 @@
+"""SSDP-style discovery protocol constants and message builders.
+
+Mirrors the real Simple Service Discovery Protocol closely enough that
+the control-point logic reads like a UPnP implementation: multicast
+``M-SEARCH`` with a search target (ST), unicast responses, and
+``NOTIFY`` presence announcements with ``ssdp:alive`` / ``ssdp:byebye``.
+"""
+
+from __future__ import annotations
+
+from repro.net.message import Message
+
+MULTICAST_GROUP = "ssdp:multicast"
+
+METHOD_MSEARCH = "M-SEARCH"
+METHOD_NOTIFY = "NOTIFY"
+METHOD_RESPONSE = "200-OK"
+
+ST_ALL = "ssdp:all"
+ST_ROOT_DEVICE = "upnp:rootdevice"
+
+NTS_ALIVE = "ssdp:alive"
+NTS_BYEBYE = "ssdp:byebye"
+
+
+def msearch(source: str, search_target: str, search_id: int) -> Message:
+    """Build a multicast search request for ``search_target``.
+
+    ``search_target`` follows UPnP conventions: ``ssdp:all``, a device
+    type URN, a service type URN, or ``uuid:<udn>``.
+    """
+    return Message(
+        source=source,
+        destination=MULTICAST_GROUP,
+        headers={
+            "METHOD": METHOD_MSEARCH,
+            "ST": search_target,
+            "SEARCH-ID": search_id,
+        },
+    )
+
+
+def msearch_response(
+    request: Message, device_address: str, udn: str, matched_target: str
+) -> Message:
+    """Build the unicast response a device sends back to a searcher."""
+    return Message(
+        source=device_address,
+        destination=request.source,
+        headers={
+            "METHOD": METHOD_RESPONSE,
+            "ST": matched_target,
+            "USN": f"uuid:{udn}::{matched_target}",
+            "UDN": udn,
+            "LOCATION": device_address,
+            "SEARCH-ID": request.header("SEARCH-ID"),
+        },
+    )
+
+
+def notify(source: str, udn: str, nts: str, device_type: str) -> Message:
+    """Build a presence announcement (alive or byebye)."""
+    return Message(
+        source=source,
+        destination=MULTICAST_GROUP,
+        headers={
+            "METHOD": METHOD_NOTIFY,
+            "NTS": nts,
+            "UDN": udn,
+            "NT": device_type,
+            "LOCATION": source,
+        },
+    )
+
+
+def target_matches(search_target: str, udn: str, device_type: str,
+                   service_types: list[str]) -> str | None:
+    """Decide whether a device answers a search target.
+
+    Returns the matched target string (echoed in the response ST header)
+    or None when the device should stay silent — the same matching rules
+    real UPnP devices apply.
+    """
+    if search_target == ST_ALL or search_target == ST_ROOT_DEVICE:
+        return device_type
+    if search_target == f"uuid:{udn}":
+        return search_target
+    if search_target == device_type:
+        return device_type
+    if search_target in service_types:
+        return search_target
+    return None

@@ -1,0 +1,19 @@
+"""Synthetic workload generators for the evaluation harness.
+
+Deterministic (seeded) generators reproducing the paper's experimental
+setups:
+
+* :mod:`repro.workloads.devices` — virtual UPnP device populations
+  (E1: 50 devices; A4: sweeps).
+* :mod:`repro.workloads.rules` — synthetic rule databases (E2: 10,000
+  rules, 100 sharing one device, two inequalities per condition).
+"""
+
+from repro.workloads.devices import build_device_population
+from repro.workloads.rules import RulePopulation, build_rule_population
+
+__all__ = [
+    "build_device_population",
+    "RulePopulation",
+    "build_rule_population",
+]

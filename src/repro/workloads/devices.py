@@ -1,0 +1,44 @@
+"""Virtual UPnP device populations (E1 / A4 workloads).
+
+The paper: "We invoked 50 instances of virtual UPnP devices on the PCs
+connected to the home server, and measured the time for retrieving a
+specified device by its device name [and] by their service names."
+"""
+
+from __future__ import annotations
+
+from repro.home.appliances import Lamp
+from repro.home.environment import Room
+from repro.home.sensors import Hygrometer, Thermometer
+from repro.net.bus import NetworkBus
+from repro.sim.events import Simulator
+from repro.upnp.device import UPnPDevice
+
+ROOM_NAMES = ("living room", "kitchen", "bedroom", "hall", "study")
+
+
+def build_device_population(
+    simulator: Simulator,
+    bus: NetworkBus,
+    count: int = 50,
+) -> list[UPnPDevice]:
+    """Attach ``count`` virtual devices (a mix of lamps, thermometers and
+    hygrometers across five rooms) and return them.
+
+    Device names are ``lamp-NN`` / ``thermo-NN`` / ``hygro-NN`` so
+    retrieval benchmarks can pick a deterministic mid-population target.
+    """
+    devices: list[UPnPDevice] = []
+    rooms = {name: Room(name) for name in ROOM_NAMES}
+    for index in range(count):
+        room = rooms[ROOM_NAMES[index % len(ROOM_NAMES)]]
+        family = index % 3
+        if family == 0:
+            device: UPnPDevice = Lamp(f"lamp-{index:03d}", location=room.name)
+        elif family == 1:
+            device = Thermometer(f"thermo-{index:03d}", room)
+        else:
+            device = Hygrometer(f"hygro-{index:03d}", room)
+        device.attach(bus, simulator)
+        devices.append(device)
+    return devices

@@ -1,0 +1,99 @@
+"""Synthetic rule populations (E2 / A1 / A2 workloads).
+
+The paper's conflict-detection experiment: "the server retains 10,000
+registered rules, and ... among them 100 rules specify the same device
+in their action parts.  We also assume that the condition part of each
+rule contains a logical product of two inequalities.  Thus, a logical
+product of four inequalities must be evaluated for each extracted rule."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.action import ActionSpec, Setting
+from repro.core.condition import AndCondition, NumericAtom
+from repro.core.database import RuleDatabase
+from repro.core.rule import Rule
+from repro.sim.rng import seeded_rng
+from repro.solver.linear import LinearConstraint, LinearExpr, Relation
+
+SENSOR_VARIABLES = (
+    "sensor:temperature", "sensor:humidity", "sensor:illuminance",
+    "sensor:noise", "sensor:co2", "sensor:pressure",
+)
+
+
+@dataclass
+class RulePopulation:
+    """A generated database plus the probe rule used by the benchmark."""
+
+    database: RuleDatabase
+    hot_device: str
+    probe_rule: Rule
+    total_rules: int
+    same_device_rules: int
+
+
+def _two_inequality_condition(rng) -> AndCondition:
+    """A conjunction of two single-variable inequalities (the E2 shape)."""
+    atoms = []
+    for _ in range(2):
+        variable = rng.choice(SENSOR_VARIABLES)
+        relation = rng.choice((Relation.GT, Relation.LT))
+        bound = rng.uniform(0.0, 100.0)
+        atoms.append(NumericAtom(
+            LinearConstraint.make(LinearExpr.var(variable), relation, bound)
+        ))
+    return AndCondition(atoms)
+
+
+def _action_on(device: str, rng) -> ActionSpec:
+    return ActionSpec(
+        device_udn=device,
+        device_name=device,
+        service_id="svc",
+        action_name="Set",
+        settings=(Setting("level", round(rng.uniform(0.0, 100.0), 1)),),
+    )
+
+
+def build_rule_population(
+    total_rules: int = 10_000,
+    same_device_rules: int = 100,
+    device_count: int = 500,
+    seed: int | str = "e2-rules",
+) -> RulePopulation:
+    """Build the E2 database: ``total_rules`` rules across
+    ``device_count`` devices, with exactly ``same_device_rules`` of them
+    targeting the designated *hot* device; plus a probe rule targeting
+    the hot device (not yet registered)."""
+    rng = seeded_rng(seed)
+    database = RuleDatabase()
+    hot_device = "device-hot"
+    other_devices = [f"device-{i:04d}" for i in range(device_count - 1)]
+    for index in range(total_rules):
+        if index < same_device_rules:
+            device = hot_device
+        else:
+            device = rng.choice(other_devices)
+        rule = Rule(
+            name=f"synthetic-{index:05d}",
+            owner=f"user-{index % 7}",
+            condition=_two_inequality_condition(rng),
+            action=_action_on(device, rng),
+        )
+        database.add(rule)
+    probe = Rule(
+        name="probe-rule",
+        owner="prober",
+        condition=_two_inequality_condition(rng),
+        action=_action_on(hot_device, rng),
+    )
+    return RulePopulation(
+        database=database,
+        hot_device=hot_device,
+        probe_rule=probe,
+        total_rules=total_rules,
+        same_device_rules=same_device_rules,
+    )

@@ -1,0 +1,299 @@
+"""Tests for name binding and AST → rule-object compilation."""
+
+import pytest
+
+from repro.cadel.binding import Binder, HomeDirectory
+from repro.cadel.compiler import RuleCompiler
+from repro.cadel.parser import CadelParser
+from repro.cadel.words import WordDictionary
+from repro.core.condition import (
+    AndCondition,
+    DiscreteAtom,
+    DurationAtom,
+    EventAtom,
+    MembershipAtom,
+    NumericAtom,
+    TimeWindowAtom,
+)
+from repro.errors import CadelBindingError, CadelTypeError
+from repro.home.appliances import AirConditioner, Alarm, DoorLock, Lamp, Stereo, Television, VideoRecorder
+from repro.home.sensors import (
+    EPGFeed,
+    Hygrometer,
+    LightSensor,
+    PersonLocator,
+    PresenceSensor,
+    Thermometer,
+)
+from repro.home.environment import Room
+from repro.upnp.registry import DeviceRecord, DeviceRegistry
+
+
+@pytest.fixture
+def registry():
+    """A registry populated from real device descriptions (no network)."""
+    living = Room("living room")
+    hall = Room("hall")
+    devices = [
+        Television("TV", location="living room"),
+        Stereo("stereo", location="living room"),
+        VideoRecorder("video recorder", location="living room"),
+        AirConditioner("air conditioner", location="living room"),
+        Lamp("floor lamp", location="living room"),
+        Lamp("hall light", location="hall"),
+        DoorLock("entrance door", location="entrance"),
+        Alarm("alarm", location="entrance"),
+        Thermometer("thermometer", living),
+        Hygrometer("hygrometer", living),
+        LightSensor("hall light sensor", hall),
+        PresenceSensor("living room presence", "living room"),
+        PersonLocator(["Tom", "Alan", "Emily"]),
+        EPGFeed(),
+    ]
+    registry = DeviceRegistry()
+    for device in devices:
+        registry.add(DeviceRecord.from_description(device.describe()))
+    return registry
+
+
+@pytest.fixture
+def directory(registry):
+    locator = registry.by_device_type("urn:repro:device:PersonLocator:1")[0]
+    epg = registry.by_device_type("urn:repro:device:EPG:1")[0]
+    return HomeDirectory(
+        users=["Tom", "Alan", "Emily"],
+        current_user="Tom",
+        locator_udn=locator.udn,
+        epg_udn=epg.udn,
+    )
+
+
+@pytest.fixture
+def binder(registry, directory):
+    return Binder(registry, directory)
+
+
+@pytest.fixture
+def compiler(binder):
+    return RuleCompiler(binder)
+
+
+@pytest.fixture
+def parser():
+    return CadelParser()
+
+
+def compile_cond(compiler, parser, text):
+    return compiler.compile_condexpr(parser.parse_condition(text))
+
+
+class TestConditionCompilation:
+    def test_numeric_sensor_kind(self, compiler, parser, registry):
+        cond = compile_cond(compiler, parser,
+                            "temperature is higher than 28 degrees")
+        assert isinstance(cond, NumericAtom)
+        thermo = registry.by_name("thermometer")[0]
+        assert cond.constraint.variables() == {
+            f"{thermo.udn}:temperature:temperature"
+        }
+
+    def test_named_sensor_device(self, compiler, parser, registry):
+        cond = compile_cond(compiler, parser,
+                            "the thermometer is higher than 28 degrees")
+        thermo = registry.by_name("thermometer")[0]
+        assert cond.constraint.variables() == {
+            f"{thermo.udn}:temperature:temperature"
+        }
+
+    def test_person_at_place(self, compiler, parser, directory):
+        cond = compile_cond(compiler, parser, "alan is at the living room")
+        assert isinstance(cond, DiscreteAtom)
+        assert cond.variable == f"{directory.locator_udn}:locator:Alan_place"
+        assert cond.value == "living room"
+
+    def test_i_resolves_to_current_user(self, compiler, parser, directory):
+        cond = compile_cond(compiler, parser, "i am in the living room")
+        assert cond.variable == f"{directory.locator_udn}:locator:Tom_place"
+
+    def test_nobody_uses_occupancy(self, compiler, parser):
+        cond = compile_cond(compiler, parser, "nobody is at the living room")
+        assert isinstance(cond, DiscreteAtom)
+        assert cond.value == "false"
+        assert "presence" in cond.variable
+
+    def test_someone_at_place(self, compiler, parser):
+        cond = compile_cond(compiler, parser, "someone is at the living room")
+        assert cond.value == "true"
+
+    def test_returns_home_event(self, compiler, parser):
+        cond = compile_cond(compiler, parser, "someone returns home")
+        assert isinstance(cond, EventAtom)
+        assert cond.subject is None
+        named = compile_cond(compiler, parser, "emily returns home")
+        assert named.subject == "Emily"
+
+    def test_arrival_context(self, compiler, parser, directory):
+        cond = compile_cond(compiler, parser, "alan got home from work")
+        assert isinstance(cond, DiscreteAtom)
+        assert cond.variable == \
+            f"{directory.locator_udn}:locator:Alan_last_arrival"
+        assert cond.value == "work"
+
+    def test_on_air_membership(self, compiler, parser, directory):
+        cond = compile_cond(compiler, parser, "a baseball game is on air")
+        assert isinstance(cond, MembershipAtom)
+        assert cond.variable == f"{directory.epg_udn}:guide:keywords"
+        assert cond.member == "baseball game"
+
+    def test_dark_place(self, compiler, parser, registry):
+        cond = compile_cond(compiler, parser, "the hall is dark")
+        assert isinstance(cond, NumericAtom)
+        sensor = registry.by_name("hall light sensor")[0]
+        assert cond.constraint.variables() == {f"{sensor.udn}:light:illuminance"}
+
+    def test_device_turned_on(self, compiler, parser, registry):
+        cond = compile_cond(compiler, parser, "the stereo is turned on")
+        stereo = registry.by_name("stereo")[0]
+        assert cond.variable == f"{stereo.udn}:player:on"
+        assert cond.value == "true"
+
+    def test_door_unlocked(self, compiler, parser):
+        cond = compile_cond(compiler, parser, "entrance door is unlocked")
+        assert cond.value == "false"
+        assert cond.variable.endswith(":lock:locked")
+
+    def test_duration_wraps_atom(self, compiler, parser):
+        cond = compile_cond(compiler, parser,
+                            "entrance door is unlocked for 1 hour")
+        assert isinstance(cond, DurationAtom)
+        assert cond.seconds == 3600.0
+
+    def test_unknown_device_raises(self, compiler, parser):
+        with pytest.raises(CadelBindingError, match="no device"):
+            compile_cond(compiler, parser, "the jacuzzi is turned on")
+
+    def test_unknown_person_raises(self, compiler, parser):
+        with pytest.raises(CadelBindingError):
+            compile_cond(compiler, parser, "zorro is at the living room")
+
+    def test_user_word_expansion(self, binder, parser):
+        words = WordDictionary()
+        defn = parser.parse(
+            "Let's call the condition that temperature is higher than 26 "
+            "degrees and humidity is over 65 percent hot and stuffy"
+        )
+        words.define_condition(defn.word, defn.expr)
+        compiler = RuleCompiler(binder, words=words)
+        word_parser = CadelParser(words=words)
+        cond = compiler.compile_condexpr(
+            word_parser.parse_condition("hot and stuffy")
+        )
+        assert isinstance(cond, AndCondition)
+        assert len(cond.children) == 2
+
+    def test_undefined_word_raises(self, compiler, parser):
+        with pytest.raises(CadelBindingError, match="unknown condition word"):
+            compile_cond(compiler, parser, '"cosy vibes"')
+
+
+class TestTimeSpecCompilation:
+    def test_after_evening(self, compiler, parser):
+        cond = compile_cond(compiler, parser,
+                            "i am in the living room after 17:00")
+        window = [c for c in cond.children if isinstance(c, TimeWindowAtom)][0]
+        assert window.start == 17 * 3600.0
+
+    def test_at_night_wraps(self, compiler, parser):
+        rule_parser = CadelParser()
+        ruledef = rule_parser.parse("At night, turn on the alarm")
+        window = compiler.compile_timespec(ruledef.pre_time)
+        assert window.wraps
+
+    def test_until_as_postcondition(self, compiler):
+        ruledef = CadelParser().parse("turn on the floor lamp until 23:00")
+        until = compiler.compile_timespec(ruledef.post_time, as_until=True)
+        assert until.start == 23 * 3600.0
+
+
+class TestActionCompilation:
+    def test_action_binding(self, compiler, registry):
+        ruledef = CadelParser().parse(
+            "turn on the air conditioner with 25 degrees of temperature "
+            "setting and 60 percent of humidity setting"
+        )
+        spec = compiler.compile_action(ruledef.action)
+        aircon = registry.by_name("air conditioner")[0]
+        assert spec.device_udn == aircon.udn
+        assert spec.service_id == "climate"
+        assert spec.action_name == "TurnOn"
+        assert spec.arguments() == {"temperature": 25.0, "humidity": 60.0}
+
+    def test_play_maps_to_playmusic(self, compiler):
+        ruledef = CadelParser().parse(
+            "play the stereo with jazz of genre setting"
+        )
+        spec = compiler.compile_action(ruledef.action)
+        assert spec.action_name == "PlayMusic"
+        assert spec.arguments() == {"genre": "jazz"}
+
+    def test_place_scoped_device(self, compiler, registry):
+        ruledef = CadelParser().parse("turn on the light at the hall")
+        spec = compiler.compile_action(ruledef.action)
+        hall_light = registry.by_name("hall light")[0]
+        assert spec.device_udn == hall_light.udn
+
+    def test_unsupported_setting_rejected(self, compiler):
+        ruledef = CadelParser().parse(
+            "turn on the alarm with 25 degrees of temperature setting"
+        )
+        with pytest.raises(CadelTypeError, match="does not accept"):
+            compiler.compile_action(ruledef.action)
+
+    def test_unsupported_verb_rejected(self, compiler):
+        ruledef = CadelParser().parse("record the alarm")
+        with pytest.raises(CadelBindingError, match="does not support"):
+            compiler.compile_action(ruledef.action)
+
+    def test_configuration_word_expanded(self, binder):
+        words = WordDictionary()
+        parser = CadelParser(words=words)
+        confdef = parser.parse(
+            'Let\'s call the configuration that 50 percent of level setting '
+            '"half-lighting"'
+        )
+        words.define_configuration(confdef.word, confdef.settings)
+        compiler = RuleCompiler(binder, words=words)
+        ruledef = parser.parse('turn on the floor lamp with "half-lighting"')
+        spec = compiler.compile_action(ruledef.action)
+        assert spec.arguments() == {"level": 50.0}
+
+
+class TestFullRuleCompilation:
+    def test_rule_with_fallback_and_until(self, compiler):
+        ruledef = CadelParser().parse(
+            "if a baseball game is on air, turn on the TV with 4 of channel "
+            "setting, otherwise record the video recorder with 4 of channel "
+            "setting, until 23:00"
+        )
+        rule = compiler.compile_rule(ruledef, name="r", owner="Alan")
+        assert rule.action.device_name == "TV"
+        assert rule.fallback is not None
+        assert rule.fallback.device_name == "video recorder"
+        assert rule.until is not None
+        assert rule.stop_action is not None
+        assert rule.stop_action.action_name == "TurnOff"
+
+    def test_rule_source_text_preserved(self, compiler):
+        text = "turn on the alarm"
+        ruledef = CadelParser().parse(text)
+        rule = compiler.compile_rule(ruledef, name="r", owner="Tom")
+        assert rule.source_text == text
+
+    def test_paper_rule_1_compiles(self, compiler):
+        ruledef = CadelParser().parse(
+            "If humidity is higher than 80 percent and temperature is higher "
+            "than 28 degrees, turn on the air conditioner with 25 degrees of "
+            "temperature setting."
+        )
+        rule = compiler.compile_rule(ruledef, name="r1", owner="Tom")
+        assert len(rule.condition.dnf()[0]) == 2

@@ -1,0 +1,94 @@
+"""Unit tests for the CADEL tokenizer."""
+
+import pytest
+
+from repro.cadel.lexer import TokenKind, tokenize
+from repro.errors import CadelSyntaxError
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]
+
+
+class TestBasicTokens:
+    def test_words_lowercased(self):
+        assert texts("Turn ON the TV") == ["turn", "on", "the", "tv"]
+
+    def test_numbers(self):
+        tokens = tokenize("25 degrees")
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert tokens[0].value == 25.0
+
+    def test_decimal_numbers(self):
+        tokens = tokenize("25.5 degrees")
+        assert tokens[0].value == 25.5
+
+    def test_sentence_final_period_not_decimal(self):
+        tokens = tokenize("turn on the tv at 25.")
+        assert tokens[-2].kind is TokenKind.PUNCT
+        assert tokens[-3].value == 25.0
+
+    def test_clock_times(self):
+        tokens = tokenize("until 17:30")
+        assert tokens[1].kind is TokenKind.CLOCK
+        assert tokens[1].text == "17:30"
+
+    def test_percent_sign_becomes_word(self):
+        assert texts("60 %") == ["60", "percent"]
+        assert texts("60%") == ["60", "percent"]
+
+    def test_punctuation(self):
+        assert kinds(", ( ) ; .") == [TokenKind.PUNCT] * 5
+
+    def test_eof_token_present(self):
+        tokens = tokenize("hello")
+        assert tokens[-1].kind is TokenKind.EOF
+
+
+class TestContractions:
+    def test_i_am(self):
+        assert texts("I'm home") == ["i", "am", "home"]
+
+    def test_lets(self):
+        assert texts("Let's call") == ["let", "us", "call"]
+
+    def test_isnt(self):
+        assert texts("isn't") == ["is", "not"]
+
+
+class TestQuotes:
+    def test_quoted_string_single_token(self):
+        tokens = tokenize('the room is "hot and stuffy" now')
+        quoted = [t for t in tokens if t.kind is TokenKind.QUOTED]
+        assert len(quoted) == 1
+        assert quoted[0].text == "hot and stuffy"
+
+    def test_unterminated_quote_raises(self):
+        with pytest.raises(CadelSyntaxError, match="unterminated"):
+            tokenize('say "hello')
+
+    def test_curly_quotes(self):
+        tokens = tokenize("the “hot and stuffy” room")
+        quoted = [t for t in tokens if t.kind is TokenKind.QUOTED]
+        assert quoted[0].text == "hot and stuffy"
+
+
+class TestErrors:
+    def test_stray_character_raises(self):
+        with pytest.raises(CadelSyntaxError, match="unexpected character"):
+            tokenize("turn on @ the tv")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("abc $ def")
+        except CadelSyntaxError as exc:
+            assert exc.position == 4
+        else:
+            pytest.fail("expected CadelSyntaxError")
+
+    def test_hyphenated_words_kept_whole(self):
+        assert texts("half-lighting") == ["half-lighting"]

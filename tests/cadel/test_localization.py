@@ -1,0 +1,91 @@
+"""CADEL in another natural language.
+
+The paper: "Although we only describe English-based version of CADEL in
+this paper, different versions of CADEL based on any other languages can
+be defined.  Users can use their mother language based CADEL to describe
+rules."  The vocabulary object is the language binding; this test builds
+a miniature Japanese-romaji CADEL and parses rules with it.
+"""
+
+import pytest
+
+from repro.cadel.ast import CondAnd, RuleDef
+from repro.cadel.parser import CadelParser
+from repro.cadel.vocabulary import StateKind, Vocabulary
+from repro.sim.clock import hhmm
+
+
+def romaji_vocabulary() -> Vocabulary:
+    """A small Japanese-romaji binding of CADEL.
+
+    "shitsudo ga 60 percent ijou da" — humidity is over 60 percent;
+    "eakon wo tsukete" — turn on the air conditioner.
+    """
+    return Vocabulary(
+        verbs={
+            ("tsukete",): "turn on",
+            ("keshite",): "turn off",
+            ("rokuga", "shite"): "record",
+        },
+        articles=frozenset({"wo", "ga", "no"}),  # particles fill the role
+        be_words=frozenset({"da", "desu"}),
+        state_phrases={
+            ("ga", "ijou", "da"): StateKind.NUMERIC_GE,
+            ("ga", "ika", "da"): StateKind.NUMERIC_LE,
+            ("ga", "takai"): StateKind.NUMERIC_GT,
+            ("ni", "iru"): StateKind.AT_PLACE,
+            ("ga", "tsuite", "iru"): StateKind.TURNED_ON,
+        },
+        value_units={
+            ("do",): ("celsius", 1.0),
+            ("percent",): ("percent", 1.0),
+        },
+        period_units={"byou": 1.0, "fun": 60.0, "jikan": 3600.0},
+        named_times={"yoru": hhmm(21), "asa": hhmm(6)},
+        weekdays={"getsuyoubi": 0, "nichiyoubi": 6},
+        time_prepositions=frozenset({"at", "after", "until", "before"}),
+        parameters=frozenset({"ondo", "temperature"}),
+        sensor_kinds={("kion",): "temperature", ("shitsudo",): "humidity"},
+        person_words=frozenset({"watashi", "dareka"}),
+        conddef_prefix=("jouken", "wo", "teigi", "suru"),
+        confdef_prefix=("settei", "wo", "teigi", "suru"),
+    )
+
+
+class TestRomajiCadel:
+    @pytest.fixture
+    def parser(self):
+        return CadelParser(vocabulary=romaji_vocabulary())
+
+    def test_numeric_condition(self, parser):
+        # "if humidity is over 60 percent, turn on the air conditioner"
+        rule = parser.parse(
+            "if shitsudo ga ijou da 60 percent, tsukete eakon"
+        )
+        assert isinstance(rule, RuleDef)
+        atom = rule.precondition
+        assert atom.subject_words == ("shitsudo",)
+        assert atom.state is StateKind.NUMERIC_GE
+        assert atom.value == 60.0
+        assert rule.action.verb == "turn on"
+        assert rule.action.target.name_words == ("eakon",)
+
+    def test_conjunction(self, parser):
+        rule = parser.parse(
+            "if kion ga takai 28 do and shitsudo ga takai 60 percent, "
+            "tsukete eakon"
+        )
+        assert isinstance(rule.precondition, CondAnd)
+        assert len(rule.precondition.children) == 2
+
+    def test_verbs_map_to_canonical_actions(self, parser):
+        rule = parser.parse("keshite terebi")
+        # The canonical verb survives localization, so the binder's
+        # verb → UPnP-action table is language-independent.
+        assert rule.action.verb == "turn off"
+
+    def test_conddef_in_romaji(self, parser):
+        command = parser.parse(
+            "jouken wo teigi suru kion ga takai 28 do mushiatsui"
+        )
+        assert command.word == "mushiatsui"

@@ -1,0 +1,345 @@
+"""Parser conformance suite for the Table 1 grammar (experiment T1).
+
+Covers every production: RuleDef with pre/postconditions, TimeSpecs,
+PeriodSpecs, configurations, CondDef/ConfDef, user-word references,
+and/or/parentheses, and the paper's three example rules verbatim.
+"""
+
+import pytest
+
+from repro.cadel.ast import (
+    CondAnd,
+    CondAtom,
+    CondDef,
+    CondOr,
+    ConfDef,
+    RuleDef,
+    TimeCond,
+    UserCondRef,
+)
+from repro.cadel.parser import CadelParser, parse_command
+from repro.cadel.vocabulary import StateKind
+from repro.cadel.words import WordDictionary
+from repro.errors import CadelSyntaxError
+from repro.sim.clock import hhmm
+
+
+class TestPaperExamples:
+    """The three rules of Sect. 4.2 plus the CondDef example, verbatim."""
+
+    def test_rule_1_air_conditioner(self):
+        rule = parse_command(
+            "If humidity is higher than 80 percent and temperature is higher "
+            "than 28 degrees, turn on the air conditioner with 25 degrees of "
+            "temperature setting."
+        )
+        assert isinstance(rule, RuleDef)
+        assert isinstance(rule.precondition, CondAnd)
+        humid, temp = rule.precondition.children
+        assert humid.subject_words == ("humidity",)
+        assert humid.state is StateKind.NUMERIC_GT
+        assert humid.value == 80.0 and humid.unit == "percent"
+        assert temp.value == 28.0 and temp.unit == "celsius"
+        assert rule.action.verb == "turn on"
+        assert rule.action.target.name_words == ("air", "conditioner")
+        assert len(rule.action.config.settings) == 1
+        setting = rule.action.config.settings[0]
+        assert setting.parameter == "temperature" and setting.value == 25.0
+
+    def test_rule_2_hall_light(self):
+        rule = parse_command(
+            "After evening, if someone returns home and the hall is dark, "
+            "turn on the light at the hall."
+        )
+        assert isinstance(rule, RuleDef)
+        assert rule.pre_time is not None
+        assert rule.pre_time.preposition == "after"
+        assert rule.pre_time.named == "evening"
+        returns, dark = rule.precondition.children
+        assert returns.state is StateKind.RETURNS_HOME
+        assert returns.subject_words == ("someone",)
+        assert dark.state is StateKind.DARK
+        assert dark.subject_words == ("hall",)
+        assert rule.action.target.name_words == ("light",)
+        assert rule.action.target.place_words == ("hall",)
+
+    def test_rule_3_alarm(self):
+        rule = parse_command(
+            "At night, if entrance door is unlocked for 1 hour, "
+            "turn on the alarm."
+        )
+        assert isinstance(rule, RuleDef)
+        assert rule.pre_time.named == "night"
+        atom = rule.precondition
+        assert isinstance(atom, CondAtom)
+        assert atom.state is StateKind.UNLOCKED
+        assert atom.subject_words == ("entrance", "door")
+        assert atom.period is not None
+        assert atom.period.seconds == 3600.0
+
+    def test_conddef_hot_and_stuffy(self):
+        command = parse_command(
+            "Let's call the condition that humidity is higher than 60 % and "
+            "temperature is higher than 28 degrees hot and stuffy"
+        )
+        assert isinstance(command, CondDef)
+        assert command.word == "hot and stuffy"
+        assert isinstance(command.expr, CondAnd)
+        assert len(command.expr.children) == 2
+
+    def test_confdef_half_lighting(self):
+        command = parse_command(
+            "Let's call the configuration that 50 percent of level setting "
+            '"half-lighting"'
+        )
+        assert isinstance(command, ConfDef)
+        assert command.word == "half-lighting"
+        assert command.settings[0].parameter == "level"
+        assert command.settings[0].value == 50.0
+
+
+class TestCondExpr:
+    def parse_cond(self, text, words=None):
+        return CadelParser(words=words).parse_condition(text)
+
+    def test_or_expression(self):
+        expr = self.parse_cond("tom is at the kitchen or tom is at the hall")
+        assert isinstance(expr, CondOr)
+        assert len(expr.children) == 2
+
+    def test_and_binds_tighter_than_or(self):
+        expr = self.parse_cond(
+            "temperature is higher than 28 degrees and humidity is over 60 "
+            "percent or tom is at the hall"
+        )
+        assert isinstance(expr, CondOr)
+        assert isinstance(expr.children[0], CondAnd)
+
+    def test_parentheses_group(self):
+        expr = self.parse_cond(
+            "temperature is higher than 28 degrees and (tom is at the hall "
+            "or tom is at the kitchen)"
+        )
+        assert isinstance(expr, CondAnd)
+        assert isinstance(expr.children[1], CondOr)
+
+    def test_location_modifier_in_subject(self):
+        expr = self.parse_cond(
+            "temperature at the bedroom is higher than 28 degrees"
+        )
+        assert expr.subject_words == ("temperature",)
+        assert expr.place_words == ("bedroom",)
+
+    def test_at_place_strips_article(self):
+        expr = self.parse_cond("alan is at the living room")
+        assert expr.state is StateKind.AT_PLACE
+        assert expr.value_words == ("living", "room")
+
+    def test_i_am_in(self):
+        expr = self.parse_cond("i am in the living room")
+        assert expr.subject_words == ("i",)
+        assert expr.value_words == ("living", "room")
+
+    def test_nobody(self):
+        expr = self.parse_cond("nobody is at the living room")
+        assert expr.subject_words == ("nobody",)
+
+    def test_on_air(self):
+        expr = self.parse_cond("a baseball game is on air")
+        assert expr.state is StateKind.ON_AIR
+        assert expr.subject_words == ("baseball", "game")
+
+    def test_got_home_from(self):
+        expr = self.parse_cond("alan got home from work")
+        assert expr.state is StateKind.ARRIVED_FROM
+        assert expr.value_words == ("work",)
+
+    def test_fahrenheit_converted(self):
+        expr = self.parse_cond("temperature is higher than 82.4 degrees fahrenheit")
+        assert expr.unit == "celsius"
+        assert abs(expr.value - 28.0) < 1e-9
+
+    def test_trailing_timespec_becomes_conjunct(self):
+        expr = self.parse_cond("entrance door is unlocked after 22:00")
+        assert isinstance(expr, CondAnd)
+        atom, time_cond = expr.children
+        assert isinstance(time_cond, TimeCond)
+        assert time_cond.spec.time_of_day == hhmm(22)
+
+    def test_period_minutes(self):
+        expr = self.parse_cond("entrance door is open for 30 minutes")
+        assert expr.period.seconds == 1800.0
+
+    def test_is_over_percent(self):
+        expr = self.parse_cond("humidity is over 60 percent")
+        assert expr.state is StateKind.NUMERIC_GT
+
+    def test_turned_on_off(self):
+        on = self.parse_cond("the stereo is turned on")
+        off = self.parse_cond("the tv is turned off")
+        assert on.state is StateKind.TURNED_ON
+        assert off.state is StateKind.TURNED_OFF
+
+    def test_missing_state_raises(self):
+        with pytest.raises(CadelSyntaxError, match="state phrase"):
+            self.parse_cond("the thermometer wobbles")
+
+    def test_missing_number_raises(self):
+        with pytest.raises(CadelSyntaxError, match="number"):
+            self.parse_cond("temperature is higher than lots")
+
+
+class TestUserWords:
+    def make_words(self):
+        parser = CadelParser()
+        words = WordDictionary()
+        defn = parser.parse(
+            "Let's call the condition that temperature is higher than 28 "
+            "degrees and humidity is over 60 percent hot and stuffy"
+        )
+        words.define_condition(defn.word, defn.expr)
+        return words
+
+    def test_bare_word_reference(self):
+        words = self.make_words()
+        expr = CadelParser(words=words).parse_condition("hot and stuffy")
+        assert isinstance(expr, UserCondRef)
+        assert expr.word == "hot and stuffy"
+
+    def test_subject_is_word(self):
+        words = self.make_words()
+        expr = CadelParser(words=words).parse_condition(
+            "the living room is hot and stuffy"
+        )
+        assert isinstance(expr, UserCondRef)
+        assert expr.subject_words == ("living", "room")
+
+    def test_quoted_word_without_dictionary(self):
+        expr = CadelParser().parse_condition('the room is "hot and stuffy"')
+        assert isinstance(expr, UserCondRef)
+        assert expr.word == "hot and stuffy"
+
+    def test_word_in_rule_condition(self):
+        words = self.make_words()
+        rule = CadelParser(words=words).parse(
+            "If hot and stuffy, turn on the air conditioner"
+        )
+        assert isinstance(rule.precondition, UserCondRef)
+
+    def test_word_combined_with_and(self):
+        words = self.make_words()
+        expr = CadelParser(words=words).parse_condition(
+            "hot and stuffy and tom is at the living room"
+        )
+        assert isinstance(expr, CondAnd)
+        assert isinstance(expr.children[0], UserCondRef)
+
+
+class TestTimeSpecs:
+    @pytest.mark.parametrize(
+        "text,preposition,tod",
+        [
+            ("after evening, turn on the lamp", "after", hhmm(17)),
+            ("at noon, turn on the lamp", "at", hhmm(12)),
+            ("until midnight, turn on the lamp", "until", hhmm(0)),
+            ("at 17:30, turn on the lamp", "at", hhmm(17, 30)),
+            ("after 9 pm, turn on the lamp", "after", hhmm(21)),
+            ("at 7 am, turn on the lamp", "at", hhmm(7)),
+        ],
+    )
+    def test_pre_time_forms(self, text, preposition, tod):
+        rule = parse_command(text)
+        assert rule.pre_time is not None
+        assert rule.pre_time.preposition == preposition
+        assert rule.pre_time.time_of_day == tod
+
+    def test_every_weekday(self):
+        rule = parse_command("at every sunday noon, turn on the lamp")
+        assert rule.pre_time.weekday == 6
+        assert rule.pre_time.time_of_day == hhmm(12)
+
+    def test_weekday_without_time(self):
+        rule = parse_command("at every monday, turn on the lamp")
+        assert rule.pre_time.weekday == 0
+        assert rule.pre_time.time_of_day is None
+
+    def test_post_time(self):
+        rule = parse_command("turn on the lamp until 23:00")
+        assert rule.post_time is not None
+        assert rule.post_time.time_of_day == hhmm(23)
+
+    def test_postcondition_when(self):
+        rule = parse_command(
+            "turn on the lamp when nobody is at the living room"
+        )
+        assert rule.postcondition is not None
+
+
+class TestActionClauses:
+    def test_multiple_settings(self):
+        rule = parse_command(
+            "turn on the air conditioner with 25 degrees of temperature "
+            "setting and 60 percent of humidity setting"
+        )
+        parameters = [s.parameter for s in rule.action.config.settings]
+        assert parameters == ["temperature", "humidity"]
+
+    def test_word_value_setting(self):
+        rule = parse_command("play the stereo with jazz of genre setting")
+        setting = rule.action.config.settings[0]
+        assert setting.value == "jazz"
+
+    def test_multiword_value_setting(self):
+        rule = parse_command("play the stereo with tv sound of source setting")
+        setting = rule.action.config.settings[0]
+        assert setting.value == "tv sound"
+
+    def test_configuration_word_reference(self):
+        rule = parse_command('turn on the floor lamp with "half-lighting"')
+        assert rule.action.config.word_refs == ("half-lighting",)
+
+    def test_otherwise_fallback_clause(self):
+        rule = parse_command(
+            "if a baseball game is on air, turn on the TV with 4 of channel "
+            "setting, otherwise record the video recorder with 4 of channel "
+            "setting"
+        )
+        assert rule.otherwise is not None
+        assert rule.otherwise.verb == "record"
+        assert rule.otherwise.target.name_words == ("video", "recorder")
+
+    def test_device_place_modifier(self):
+        rule = parse_command("turn on the light at the hall")
+        assert rule.action.target.place_words == ("hall",)
+
+    def test_missing_verb_raises(self):
+        with pytest.raises(CadelSyntaxError, match="verb"):
+            parse_command("the tv with 4 of channel setting")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(CadelSyntaxError, match="trailing"):
+            parse_command("turn on the tv 42 37")
+
+
+class TestRoundTrip:
+    """to_text() output must re-parse to an equivalent command."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "If humidity is higher than 80 percent and temperature is higher "
+            "than 28 degrees, turn on the air conditioner with 25 degrees of "
+            "temperature setting.",
+            "After evening, if someone returns home and the hall is dark, "
+            "turn on the light at the hall.",
+            "At night, if entrance door is unlocked for 1 hour, turn on the "
+            "alarm.",
+            "turn on the lamp until 23:00",
+            "play the stereo with jazz of genre setting and speakers of "
+            "output setting",
+        ],
+    )
+    def test_round_trip(self, text):
+        first = parse_command(text)
+        second = parse_command(first.to_text())
+        assert second.to_text() == first.to_text()

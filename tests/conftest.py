@@ -1,0 +1,11 @@
+"""Repository-wide fixtures: the fully wired home-server stack."""
+
+import pytest
+
+from tests.stack import Stack
+
+
+@pytest.fixture
+def stack():
+    """A fully wired home: simulator, bus, server, demo home, sessions."""
+    return Stack()

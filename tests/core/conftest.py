@@ -1,0 +1,111 @@
+"""Shared builders for core-layer tests (no UPnP involved)."""
+
+import pytest
+
+from repro.core.action import ActionSpec, Setting
+from repro.core.condition import (
+    DiscreteAtom,
+    MembershipAtom,
+    NumericAtom,
+    TimeWindowAtom,
+)
+from repro.core.rule import Rule
+from repro.sim.clock import hhmm
+from repro.solver.linear import LinearConstraint, LinearExpr, Relation
+
+
+def numeric_atom(variable: str, relation: Relation, bound: float,
+                 text: str = "") -> NumericAtom:
+    return NumericAtom(
+        LinearConstraint.make(LinearExpr.var(variable), relation, bound),
+        text=text,
+    )
+
+
+def temp_above(threshold: float, variable: str = "thermo:t:temperature"):
+    return numeric_atom(variable, Relation.GT, threshold,
+                        text=f"temperature is higher than {threshold:g} degrees")
+
+
+def humid_above(threshold: float, variable: str = "hygro:h:humidity"):
+    return numeric_atom(variable, Relation.GT, threshold,
+                        text=f"humidity is over {threshold:g} percent")
+
+
+def in_room(person: str, room: str = "living room") -> DiscreteAtom:
+    return DiscreteAtom(f"person:{person}:place", room,
+                        text=f"{person} is at the {room}")
+
+
+def on_air(keyword: str) -> MembershipAtom:
+    return MembershipAtom("epg:guide:keywords", keyword,
+                          text=f"a {keyword} is on air")
+
+
+def evening() -> TimeWindowAtom:
+    return TimeWindowAtom(hhmm(17), hhmm(21), label="in evening")
+
+
+def action(device: str = "tv-1", name: str = "TV", service: str = "power",
+           act: str = "TurnOn", **settings) -> ActionSpec:
+    return ActionSpec(
+        device_udn=device,
+        device_name=name,
+        service_id=service,
+        action_name=act,
+        settings=tuple(Setting(k, v) for k, v in sorted(settings.items())),
+        verb_text="turn on",
+    )
+
+
+def make_rule(name: str, owner: str, condition, act: ActionSpec,
+              fallback: ActionSpec | None = None, until=None,
+              stop_action: ActionSpec | None = None) -> Rule:
+    return Rule(
+        name=name,
+        owner=owner,
+        condition=condition,
+        action=act,
+        fallback=fallback,
+        until=until,
+        stop_action=stop_action,
+    )
+
+
+class FakeContext:
+    """A hand-rolled EvaluationContext for condition unit tests."""
+
+    def __init__(self, numeric=None, discrete=None, sets=None, tod=0.0,
+                 weekday=0, events=(), held_keys=()):
+        self._numeric = dict(numeric or {})
+        self._discrete = dict(discrete or {})
+        self._sets = {k: frozenset(v) for k, v in (sets or {}).items()}
+        self._tod = tod
+        self._weekday = weekday
+        self._events = set(events)
+        self._held_keys = set(held_keys)
+
+    def numeric(self, variable):
+        return self._numeric.get(variable)
+
+    def discrete(self, variable):
+        return self._discrete.get(variable)
+
+    def set_members(self, variable):
+        return self._sets.get(variable, frozenset())
+
+    def time_of_day(self):
+        return self._tod
+
+    def weekday(self):
+        return self._weekday
+
+    def event_fired(self, event_type, subject):
+        for fired_type, fired_subject in self._events:
+            if fired_type == event_type and (subject is None
+                                             or subject == fired_subject):
+                return True
+        return False
+
+    def held(self, key, currently_true, duration):
+        return currently_true and key in self._held_keys

@@ -1,0 +1,140 @@
+"""Tests for per-user device access control (the Sect. 6 extension)."""
+
+import pytest
+
+from repro.core.access import AccessDeniedError, AccessPolicy
+
+from tests.core.conftest import action, in_room, make_rule
+
+
+class TestPolicyDecisions:
+    def test_open_by_default(self):
+        policy = AccessPolicy()
+        assert policy.allowed("Tom", "tv-1", "TurnOn")
+
+    def test_grant_restricts_device_for_others(self):
+        policy = AccessPolicy()
+        policy.grant("Alan", "tv-1")
+        assert policy.allowed("Alan", "tv-1", "TurnOn")
+        assert not policy.allowed("Tom", "tv-1", "TurnOn")
+
+    def test_unmentioned_devices_stay_open(self):
+        policy = AccessPolicy()
+        policy.grant("Alan", "tv-1")
+        assert policy.allowed("Tom", "stereo-1", "PlayMusic")
+
+    def test_action_level_grant(self):
+        policy = AccessPolicy()
+        policy.grant("Tom", "tv-1", actions={"TurnOff"})
+        assert policy.allowed("Tom", "tv-1", "TurnOff")
+        assert not policy.allowed("Tom", "tv-1", "TurnOn")
+
+    def test_restrict_without_grant_denies_everyone(self):
+        policy = AccessPolicy()
+        policy.restrict("safe-1")
+        assert not policy.allowed("Tom", "safe-1", "Open")
+
+    def test_revoke(self):
+        policy = AccessPolicy()
+        policy.grant("Tom", "tv-1")
+        policy.revoke("Tom", "tv-1")
+        assert not policy.allowed("Tom", "tv-1", "TurnOn")
+        assert policy.is_restricted("tv-1")
+
+    def test_check_raises_with_context(self):
+        policy = AccessPolicy()
+        policy.restrict("tv-1")
+        with pytest.raises(AccessDeniedError, match="Tom.*TurnOn.*TV"):
+            policy.check("Tom", "tv-1", "TV", "TurnOn")
+
+    def test_grants_for_lists_user_grants(self):
+        policy = AccessPolicy()
+        policy.grant("Tom", "tv-1", actions={"TurnOn"})
+        policy.grant("Tom", "lamp-1")
+        policy.grant("Alan", "tv-1")
+        grants = policy.grants_for("Tom")
+        assert {g.device_udn for g in grants} == {"tv-1", "lamp-1"}
+        tv_grant = next(g for g in grants if g.device_udn == "tv-1")
+        assert tv_grant.allows("TurnOn")
+        assert not tv_grant.allows("TurnOff")
+
+
+class TestRuleChecks:
+    def test_rule_with_allowed_actions_passes(self):
+        policy = AccessPolicy()
+        policy.grant("Tom", "tv-1")
+        rule = make_rule("r", "Tom", in_room("Tom"), action())
+        policy.check_rule(rule)  # no raise
+
+    def test_rule_primary_action_denied(self):
+        policy = AccessPolicy()
+        policy.grant("Alan", "tv-1")
+        rule = make_rule("r", "Tom", in_room("Tom"), action())
+        with pytest.raises(AccessDeniedError):
+            policy.check_rule(rule)
+
+    def test_rule_fallback_action_checked(self):
+        policy = AccessPolicy()
+        policy.grant("Tom", "tv-1")
+        policy.grant("Alan", "recorder-1")
+        rule = make_rule(
+            "r", "Tom", in_room("Tom"), action(),
+            fallback=action(device="recorder-1", act="Record"),
+        )
+        with pytest.raises(AccessDeniedError):
+            policy.check_rule(rule)
+
+    def test_rule_stop_action_checked(self):
+        policy = AccessPolicy()
+        policy.grant("Tom", "tv-1", actions={"TurnOn"})
+        rule = make_rule(
+            "r", "Tom", in_room("Tom"), action(),
+            stop_action=action(act="TurnOff"),
+        )
+        with pytest.raises(AccessDeniedError):
+            policy.check_rule(rule)
+
+
+class TestServerEnforcement:
+    """End-to-end over the real server (registration and dispatch)."""
+
+    @pytest.fixture
+    def stack(self):
+        from tests.integration.conftest import Stack
+
+        return Stack()
+
+    def test_registration_rejected_without_privilege(self, stack):
+        tv_udn = stack.home.tv.udn
+        stack.server.access.grant("Alan", tv_udn)
+        with pytest.raises(AccessDeniedError):
+            stack.session("Tom").submit(
+                "If I am in the living room, turn on the TV",
+                rule_name="tom-tv",
+            )
+        assert "tom-tv" not in stack.server.database
+
+    def test_privileged_user_registers_and_runs(self, stack):
+        tv_udn = stack.home.tv.udn
+        stack.server.access.grant("Alan", tv_udn)
+        stack.session("Alan").submit(
+            "If I am in the living room, turn on the TV",
+            rule_name="alan-tv",
+        )
+        stack.home.household.arrive_home("Alan", "work", "living room")
+        stack.run_for(10.0)
+        assert stack.home.tv.is_on
+
+    def test_dispatch_guard_blocks_post_registration_restriction(self, stack):
+        """A rule registered while open is still blocked at the device
+        boundary once the device becomes restricted."""
+        stack.session("Tom").submit(
+            "If I am in the living room, turn on the TV",
+            rule_name="tom-tv",
+        )
+        stack.server.access.grant("Alan", stack.home.tv.udn)  # now restricted
+        stack.home.household.arrive_home("Tom", "school", "living room")
+        stack.run_for(10.0)
+        assert not stack.home.tv.is_on
+        errors = [e for e in stack.server.engine.trace if e.kind == "error"]
+        assert any("access denied" in e.detail for e in errors)

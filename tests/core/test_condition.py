@@ -1,0 +1,239 @@
+"""Unit tests for the condition IR: evaluation, DNF, keys."""
+
+import pytest
+
+from repro.core.condition import (
+    AndCondition,
+    DiscreteAtom,
+    DurationAtom,
+    EventAtom,
+    FalseAtom,
+    MembershipAtom,
+    OrCondition,
+    TimeWindowAtom,
+    TrueAtom,
+    conjoin,
+)
+from repro.errors import RuleError
+from repro.sim.clock import hhmm
+from repro.solver.linear import Relation
+
+from tests.core.conftest import FakeContext, evening, in_room, on_air, temp_above
+
+
+class TestAtomsEvaluation:
+    def test_true_false(self):
+        ctx = FakeContext()
+        assert TrueAtom().evaluate(ctx) is True
+        assert FalseAtom().evaluate(ctx) is False
+
+    def test_numeric_atom(self):
+        atom = temp_above(28)
+        assert atom.evaluate(FakeContext(numeric={"thermo:t:temperature": 30.0}))
+        assert not atom.evaluate(FakeContext(numeric={"thermo:t:temperature": 27.0}))
+
+    def test_numeric_atom_unknown_sensor_is_false(self):
+        assert not temp_above(28).evaluate(FakeContext())
+
+    def test_discrete_atom(self):
+        atom = in_room("Tom")
+        assert atom.evaluate(
+            FakeContext(discrete={"person:Tom:place": "living room"})
+        )
+        assert not atom.evaluate(
+            FakeContext(discrete={"person:Tom:place": "kitchen"})
+        )
+
+    def test_discrete_atom_negated(self):
+        atom = DiscreteAtom("person:Tom:place", "kitchen", negated=True)
+        assert atom.evaluate(
+            FakeContext(discrete={"person:Tom:place": "living room"})
+        )
+        assert not atom.evaluate(
+            FakeContext(discrete={"person:Tom:place": "kitchen"})
+        )
+
+    def test_discrete_unknown_is_false_even_negated(self):
+        atom = DiscreteAtom("person:Tom:place", "kitchen", negated=True)
+        assert not atom.evaluate(FakeContext())
+
+    def test_membership_atom(self):
+        atom = on_air("baseball game")
+        ctx = FakeContext(sets={"epg:guide:keywords": {"baseball game", "news"}})
+        assert atom.evaluate(ctx)
+        assert not atom.evaluate(FakeContext())
+
+    def test_membership_negated(self):
+        atom = MembershipAtom("epg:guide:keywords", "news", negated=True)
+        assert atom.evaluate(FakeContext(sets={"epg:guide:keywords": {"movie"}}))
+        assert not atom.evaluate(FakeContext(sets={"epg:guide:keywords": {"news"}}))
+
+    def test_time_window_plain(self):
+        window = evening()  # 17:00-21:00
+        assert window.evaluate(FakeContext(tod=hhmm(18)))
+        assert not window.evaluate(FakeContext(tod=hhmm(16)))
+        assert not window.evaluate(FakeContext(tod=hhmm(21)))  # end exclusive
+
+    def test_time_window_wrapping(self):
+        night = TimeWindowAtom(hhmm(21), hhmm(6))
+        assert night.evaluate(FakeContext(tod=hhmm(23)))
+        assert night.evaluate(FakeContext(tod=hhmm(3)))
+        assert not night.evaluate(FakeContext(tod=hhmm(12)))
+
+    def test_time_window_weekday(self):
+        sunday_morning = TimeWindowAtom(hhmm(6), hhmm(12), weekday=6)
+        assert sunday_morning.evaluate(FakeContext(tod=hhmm(8), weekday=6))
+        assert not sunday_morning.evaluate(FakeContext(tod=hhmm(8), weekday=0))
+
+    def test_time_window_validation(self):
+        with pytest.raises(RuleError):
+            TimeWindowAtom(-5.0, hhmm(6))
+        with pytest.raises(RuleError):
+            TimeWindowAtom(hhmm(6), hhmm(8), weekday=9)
+
+    def test_event_atom_subject_match(self):
+        atom = EventAtom("returns home", subject="Alan")
+        assert atom.evaluate(FakeContext(events={("returns home", "Alan")}))
+        assert not atom.evaluate(FakeContext(events={("returns home", "Emily")}))
+
+    def test_event_atom_wildcard_subject(self):
+        atom = EventAtom("returns home")
+        assert atom.evaluate(FakeContext(events={("returns home", "Emily")}))
+        assert not atom.evaluate(FakeContext(events=set()))
+
+    def test_duration_atom(self):
+        inner = DiscreteAtom("door:lock:locked", "false")
+        atom = DurationAtom(inner, 3600.0)
+        ctx_held = FakeContext(
+            discrete={"door:lock:locked": "false"}, held_keys={atom.key()}
+        )
+        assert atom.evaluate(ctx_held)
+        ctx_not_held = FakeContext(discrete={"door:lock:locked": "false"})
+        assert not atom.evaluate(ctx_not_held)
+
+    def test_duration_requires_positive(self):
+        with pytest.raises(RuleError):
+            DurationAtom(TrueAtom(), 0.0)
+
+
+class TestCombinators:
+    def test_and_evaluation(self):
+        cond = AndCondition([in_room("Tom"), temp_above(28)])
+        ctx = FakeContext(
+            numeric={"thermo:t:temperature": 30.0},
+            discrete={"person:Tom:place": "living room"},
+        )
+        assert cond.evaluate(ctx)
+        ctx_cold = FakeContext(
+            numeric={"thermo:t:temperature": 20.0},
+            discrete={"person:Tom:place": "living room"},
+        )
+        assert not cond.evaluate(ctx_cold)
+
+    def test_or_evaluation(self):
+        cond = OrCondition([in_room("Tom"), in_room("Alan")])
+        assert cond.evaluate(FakeContext(discrete={"person:Alan:place": "living room"}))
+        assert not cond.evaluate(FakeContext())
+
+    def test_nested_flattening(self):
+        inner = AndCondition([in_room("Tom"), temp_above(28)])
+        outer = AndCondition([inner, evening()])
+        assert len(outer.children) == 3
+
+    def test_empty_combinator_rejected(self):
+        with pytest.raises(RuleError):
+            AndCondition([])
+        with pytest.raises(RuleError):
+            OrCondition([])
+
+    def test_key_order_insensitive(self):
+        a = AndCondition([in_room("Tom"), temp_above(28)])
+        b = AndCondition([temp_above(28), in_room("Tom")])
+        assert a.key() == b.key()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_conjoin_simplifies(self):
+        assert isinstance(conjoin([]), TrueAtom)
+        single = in_room("Tom")
+        assert conjoin([TrueAtom(), single]) is single
+        combined = conjoin([in_room("Tom"), evening()])
+        assert isinstance(combined, AndCondition)
+
+
+class TestDnf:
+    def test_atom_dnf(self):
+        atom = in_room("Tom")
+        assert atom.dnf() == [(atom,)]
+
+    def test_and_dnf_single_conjunct(self):
+        cond = AndCondition([in_room("Tom"), temp_above(28)])
+        dnf = cond.dnf()
+        assert len(dnf) == 1
+        assert len(dnf[0]) == 2
+
+    def test_or_dnf_two_conjuncts(self):
+        cond = OrCondition([in_room("Tom"), in_room("Alan")])
+        assert len(cond.dnf()) == 2
+
+    def test_and_over_or_distributes(self):
+        cond = AndCondition(
+            [OrCondition([in_room("Tom"), in_room("Alan")]), temp_above(28)]
+        )
+        dnf = cond.dnf()
+        assert len(dnf) == 2
+        assert all(len(conj) == 2 for conj in dnf)
+
+    def test_duration_dnf_expands_inner(self):
+        inner = AndCondition([in_room("Tom"), temp_above(28)])
+        atom = DurationAtom(inner, 60.0)
+        dnf = atom.dnf()
+        assert len(dnf) == 1
+        # inner atoms + the duration marker itself
+        assert len(dnf[0]) == 3
+        assert atom in dnf[0]
+
+    def test_referenced_variables(self):
+        cond = AndCondition([
+            in_room("Tom"),
+            temp_above(28),
+            evening(),
+            EventAtom("returns home"),
+            on_air("movie"),
+        ])
+        variables = cond.referenced_variables()
+        assert "person:Tom:place" in variables
+        assert "thermo:t:temperature" in variables
+        assert "clock:time_of_day" in variables
+        assert "event:returns home" in variables
+        assert "epg:guide:keywords" in variables
+
+    def test_numeric_variables_only_numeric(self):
+        cond = AndCondition([in_room("Tom"), temp_above(28)])
+        assert cond.numeric_variables() == {"thermo:t:temperature"}
+
+    def test_dnf_blowup_guard(self):
+        # 13 binary ORs conjoined: 2^13 = 8192 > limit.
+        ors = [
+            OrCondition([in_room(f"P{i}"), in_room(f"Q{i}")]) for i in range(13)
+        ]
+        with pytest.raises(RuleError, match="too complex"):
+            AndCondition(ors).dnf()
+
+
+class TestDescriptions:
+    def test_atom_text_preferred(self):
+        assert temp_above(28).describe() == \
+            "temperature is higher than 28 degrees"
+
+    def test_and_describe_joins(self):
+        cond = AndCondition([in_room("Tom"), temp_above(28)])
+        text = cond.describe()
+        assert "Tom is at the living room" in text
+        assert " and " in text
+
+    def test_or_inside_and_parenthesized(self):
+        cond = AndCondition(
+            [OrCondition([in_room("Tom"), in_room("Alan")]), temp_above(28)]
+        )
+        assert "(" in cond.describe()

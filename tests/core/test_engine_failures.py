@@ -1,0 +1,119 @@
+"""Failure injection: devices that reject commands, lossy networks,
+and engine robustness around them."""
+
+import pytest
+
+from repro.core.database import RuleDatabase
+from repro.core.engine import RuleEngine, RuleState
+from repro.core.priority import PriorityManager
+from repro.errors import ActionError, UPnPError
+from repro.sim.events import Simulator
+
+from tests.core.conftest import action, in_room, make_rule, temp_above
+
+
+class FlakyDispatchHarness:
+    """Engine whose dispatcher fails on command for chosen devices."""
+
+    def __init__(self):
+        self.simulator = Simulator()
+        self.database = RuleDatabase()
+        self.priorities = PriorityManager()
+        self.dispatched = []
+        self.failing_devices: set[str] = set()
+        self.engine = RuleEngine(
+            self.database, self.priorities, self.simulator,
+            dispatch=self._dispatch,
+        )
+
+    def _dispatch(self, spec):
+        if spec.device_udn in self.failing_devices:
+            raise ActionError(spec.device_name, spec.action_name,
+                              "device offline")
+        self.dispatched.append(spec)
+
+    def add_rule(self, rule):
+        self.database.add(rule)
+        self.engine.rule_added(rule)
+        return rule
+
+
+class TestDispatchFailures:
+    def test_failed_dispatch_does_not_crash_engine(self):
+        harness = FlakyDispatchHarness()
+        harness.failing_devices.add("tv-1")
+        harness.add_rule(make_rule("r", "Tom", in_room("Tom"), action()))
+        harness.engine.ingest("person:Tom:place", "living room")  # no raise
+        errors = [e for e in harness.engine.trace if e.kind == "error"]
+        assert len(errors) == 1
+        assert "device offline" in errors[0].detail
+
+    def test_other_rules_still_run_after_failure(self):
+        harness = FlakyDispatchHarness()
+        harness.failing_devices.add("tv-1")
+        harness.add_rule(make_rule("bad", "Tom", in_room("Tom"), action()))
+        harness.add_rule(
+            make_rule("good", "Tom", in_room("Tom"),
+                      action(device="lamp-1", act="TurnOn"))
+        )
+        harness.engine.ingest("person:Tom:place", "living room")
+        assert [s.device_udn for s in harness.dispatched] == ["lamp-1"]
+
+    def test_failed_stop_action_does_not_crash(self):
+        harness = FlakyDispatchHarness()
+        harness.add_rule(
+            make_rule("r", "Tom", in_room("Tom"), action(),
+                      stop_action=action(act="TurnOff"))
+        )
+        harness.engine.ingest("person:Tom:place", "living room")
+        harness.failing_devices.add("tv-1")
+        harness.engine.ingest("person:Tom:place", "kitchen")  # no raise
+        assert harness.engine.rule_state("r") is RuleState.IDLE
+
+
+class TestLossyNetworkDiscovery:
+    def test_search_retries_recover_from_drops(self):
+        """With a lossy bus, repeated searches eventually populate the
+        registry — the control point treats search as idempotent."""
+        from repro.net.bus import NetworkBus
+        from repro.sim.events import Simulator
+        from repro.upnp import ssdp
+        from repro.upnp.control_point import ControlPoint
+        from tests.upnp.conftest import make_lamp
+
+        simulator = Simulator()
+        bus = NetworkBus(simulator, drop_rate=0.4, seed=3)
+        lamps = []
+        for i in range(10):
+            lamp = make_lamp(f"lamp-{i}")
+            lamp.attach(bus, simulator)
+            lamps.append(lamp)
+        control_point = ControlPoint(bus, simulator, name="lossy-cp")
+        for _ in range(12):
+            try:
+                control_point.search(ssdp.ST_ALL)
+            except UPnPError:
+                continue  # a description fetch timed out; retry
+            if len(control_point.registry) == 10:
+                break
+        assert len(control_point.registry) == 10
+
+    def test_invoke_on_offline_device_raises_cleanly(self):
+        from repro.net.bus import NetworkBus
+        from repro.sim.events import Simulator
+        from repro.upnp import ssdp
+        from repro.upnp.control_point import ControlPoint
+        from tests.upnp.conftest import make_lamp
+
+        simulator = Simulator()
+        bus = NetworkBus(simulator)
+        lamp = make_lamp("lamp")
+        lamp.attach(bus, simulator)
+        control_point = ControlPoint(bus, simulator, name="cp")
+        control_point.search(ssdp.ST_ALL)
+        lamp.detach()
+        simulator.run_until(simulator.now + 1.0)
+        # The registry evicted it via byebye; a stale record would also
+        # time out — either way the caller sees a clean UPnPError.
+        with pytest.raises(UPnPError):
+            control_point.invoke(lamp.udn, "power", "TurnOn")

@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) on core condition invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.condition import (
+    AndCondition,
+    DiscreteAtom,
+    MembershipAtom,
+    NumericAtom,
+    OrCondition,
+    TimeWindowAtom,
+)
+from repro.core.priority import PriorityManager, PriorityOrder
+from repro.core.satisfiability import conjunction_satisfiable
+from repro.core.rule import Rule
+from repro.core.action import ActionSpec
+from repro.sim.clock import SECONDS_PER_DAY
+from repro.solver.linear import LinearConstraint, LinearExpr, Relation
+
+from tests.core.conftest import FakeContext
+
+# -- strategies ---------------------------------------------------------------
+
+_numeric_vars = st.sampled_from(["t", "h"])
+_disc_vars = st.sampled_from(["p1", "p2"])
+_disc_values = st.sampled_from(["a", "b", "c"])
+
+
+@st.composite
+def numeric_atoms(draw):
+    variable = draw(_numeric_vars)
+    relation = draw(st.sampled_from(
+        [Relation.LE, Relation.LT, Relation.GE, Relation.GT]
+    ))
+    bound = draw(st.integers(min_value=-20, max_value=20))
+    return NumericAtom(
+        LinearConstraint.make(LinearExpr.var(variable), relation, bound)
+    )
+
+
+@st.composite
+def discrete_atoms(draw):
+    return DiscreteAtom(
+        draw(_disc_vars), draw(_disc_values),
+        negated=draw(st.booleans()),
+    )
+
+
+@st.composite
+def membership_atoms(draw):
+    return MembershipAtom(
+        "epg", draw(st.sampled_from(["x", "y"])),
+        negated=draw(st.booleans()),
+    )
+
+
+@st.composite
+def window_atoms(draw):
+    start = draw(st.integers(min_value=0, max_value=23)) * 3600.0
+    end = draw(st.integers(min_value=0, max_value=24)) * 3600.0
+    return TimeWindowAtom(start, end)
+
+
+_atoms = st.one_of(numeric_atoms(), discrete_atoms(), membership_atoms(),
+                   window_atoms())
+
+
+@st.composite
+def condition_trees(draw, depth=2):
+    if depth == 0:
+        return draw(_atoms)
+    branch = draw(st.integers(min_value=0, max_value=2))
+    if branch == 0:
+        return draw(_atoms)
+    children = draw(st.lists(condition_trees(depth=depth - 1), min_size=1,
+                             max_size=3))
+    if branch == 1:
+        return AndCondition(children)
+    return OrCondition(children)
+
+
+@st.composite
+def contexts(draw):
+    return FakeContext(
+        numeric={
+            "t": float(draw(st.integers(min_value=-25, max_value=25))),
+            "h": float(draw(st.integers(min_value=-25, max_value=25))),
+        },
+        discrete={
+            "p1": draw(_disc_values),
+            "p2": draw(_disc_values),
+        },
+        sets={"epg": draw(st.sets(st.sampled_from(["x", "y"])))},
+        tod=float(draw(st.integers(min_value=0, max_value=86399))),
+    )
+
+
+# -- properties -----------------------------------------------------------------
+
+
+@given(condition_trees(), contexts())
+@settings(max_examples=300, deadline=None)
+def test_dnf_preserves_semantics(condition, ctx):
+    """evaluate(cond) must equal the DNF's disjunction-of-conjunctions."""
+    direct = condition.evaluate(ctx)
+    via_dnf = any(
+        all(atom.evaluate(ctx) for atom in conjunct)
+        for conjunct in condition.dnf()
+    )
+    assert direct == via_dnf
+
+
+@given(condition_trees(), contexts())
+@settings(max_examples=300, deadline=None)
+def test_witness_implies_satisfiable(condition, ctx):
+    """If some world state makes a conjunct true, the satisfiability
+    checker must not call it unsatisfiable (soundness of the
+    consistency check: no false 'inconsistent rule' warnings)."""
+    for conjunct in condition.dnf():
+        if all(atom.evaluate(ctx) for atom in conjunct):
+            assert conjunction_satisfiable(conjunct)
+
+
+@given(condition_trees())
+@settings(max_examples=200, deadline=None)
+def test_key_stability(condition):
+    """Keys are deterministic and equality-consistent."""
+    assert condition.key() == condition.key()
+    assert condition == condition
+    assert hash(condition) == hash(condition)
+
+
+@given(condition_trees(), condition_trees(), contexts())
+@settings(max_examples=200, deadline=None)
+def test_and_or_lattice(a, b, ctx):
+    """And is conjunction, Or is disjunction, under any context."""
+    both = AndCondition([a, b]).evaluate(ctx)
+    either = OrCondition([a, b]).evaluate(ctx)
+    assert both == (a.evaluate(ctx) and b.evaluate(ctx))
+    assert either == (a.evaluate(ctx) or b.evaluate(ctx))
+    assert not both or either  # and implies or
+
+
+@given(window_atoms(), st.integers(min_value=0, max_value=86399))
+@settings(max_examples=300, deadline=None)
+def test_window_arcs_match_evaluation(window, second):
+    """A window's arc decomposition covers exactly its true instants."""
+    ctx = FakeContext(tod=float(second))
+    in_arcs = any(lo <= second < hi for lo, hi in window.arcs())
+    assert window.evaluate(ctx) == in_arcs
+
+
+@given(window_atoms())
+@settings(max_examples=200, deadline=None)
+def test_window_arcs_within_day(window):
+    for lo, hi in window.arcs():
+        assert 0.0 <= lo < hi <= SECONDS_PER_DAY
+
+
+# -- arbitration properties ----------------------------------------------------------
+
+_owners = ["Tom", "Alan", "Emily", "Dana"]
+
+
+def _rule_for(owner, index):
+    return Rule(
+        name=f"{owner}-{index}",
+        owner=owner,
+        condition=TimeWindowAtom(0.0, SECONDS_PER_DAY),
+        action=ActionSpec(
+            device_udn="dev", device_name="dev", service_id="s",
+            action_name=f"Act{index}",
+        ),
+    )
+
+
+@given(
+    st.lists(st.sampled_from(_owners), min_size=1, max_size=4,
+             unique=True),
+    st.permutations(_owners),
+)
+@settings(max_examples=200, deadline=None)
+def test_arbitration_winner_is_top_ranked_competitor(competing_owners,
+                                                     ranking):
+    manager = PriorityManager()
+    manager.add_order(PriorityOrder("dev", tuple(ranking)))
+    rules = [_rule_for(owner, i) for i, owner in enumerate(competing_owners)]
+    winner, order = manager.arbitrate("dev", rules, FakeContext())
+    assert winner in rules
+    expected_owner = min(
+        competing_owners, key=lambda owner: ranking.index(owner)
+    )
+    assert winner.owner == expected_owner
+    assert (order is not None) == (len(rules) > 1)

@@ -1,0 +1,222 @@
+"""Tests for conjunction/condition satisfiability and the checkers."""
+
+import pytest
+
+from repro.core.condition import (
+    AndCondition,
+    DiscreteAtom,
+    DurationAtom,
+    EventAtom,
+    FalseAtom,
+    MembershipAtom,
+    OrCondition,
+    TimeWindowAtom,
+    TrueAtom,
+)
+from repro.core.consistency import ConsistencyChecker
+from repro.core.satisfiability import (
+    condition_satisfiable,
+    conditions_jointly_satisfiable,
+    conjunction_satisfiable,
+)
+from repro.errors import InconsistentRuleError
+from repro.sim.clock import hhmm
+from repro.solver.linear import Relation
+
+from tests.core.conftest import (
+    action,
+    humid_above,
+    in_room,
+    make_rule,
+    numeric_atom,
+    on_air,
+    temp_above,
+)
+
+
+class TestConjunctionSatisfiability:
+    def test_empty_conjunction(self):
+        assert conjunction_satisfiable(())
+
+    def test_false_atom_kills(self):
+        assert not conjunction_satisfiable((FalseAtom(), TrueAtom()))
+
+    def test_numeric_band(self):
+        sat = (temp_above(20), numeric_atom("thermo:t:temperature", Relation.LT, 30))
+        unsat = (temp_above(30), numeric_atom("thermo:t:temperature", Relation.LT, 20))
+        assert conjunction_satisfiable(sat)
+        assert not conjunction_satisfiable(unsat)
+
+    def test_discrete_same_value_ok(self):
+        assert conjunction_satisfiable((in_room("Tom"), in_room("Tom")))
+
+    def test_discrete_two_places_conflict(self):
+        atoms = (
+            DiscreteAtom("person:Tom:place", "living room"),
+            DiscreteAtom("person:Tom:place", "kitchen"),
+        )
+        assert not conjunction_satisfiable(atoms)
+
+    def test_discrete_positive_vs_negative(self):
+        atoms = (
+            DiscreteAtom("person:Tom:place", "living room"),
+            DiscreteAtom("person:Tom:place", "living room", negated=True),
+        )
+        assert not conjunction_satisfiable(atoms)
+
+    def test_discrete_negative_only_ok(self):
+        atoms = (
+            DiscreteAtom("person:Tom:place", "kitchen", negated=True),
+            DiscreteAtom("person:Tom:place", "hall", negated=True),
+        )
+        assert conjunction_satisfiable(atoms)
+
+    def test_two_persons_two_places_ok(self):
+        atoms = (in_room("Tom"), DiscreteAtom("person:Alan:place", "kitchen"))
+        assert conjunction_satisfiable(atoms)
+
+    def test_membership_two_keywords_ok(self):
+        assert conjunction_satisfiable((on_air("movie"), on_air("baseball game")))
+
+    def test_membership_contradiction(self):
+        atoms = (
+            on_air("movie"),
+            MembershipAtom("epg:guide:keywords", "movie", negated=True),
+        )
+        assert not conjunction_satisfiable(atoms)
+
+    def test_time_windows_overlap(self):
+        atoms = (
+            TimeWindowAtom(hhmm(17), hhmm(21)),
+            TimeWindowAtom(hhmm(20), hhmm(23)),
+        )
+        assert conjunction_satisfiable(atoms)
+
+    def test_time_windows_disjoint(self):
+        atoms = (
+            TimeWindowAtom(hhmm(6), hhmm(9)),
+            TimeWindowAtom(hhmm(17), hhmm(21)),
+        )
+        assert not conjunction_satisfiable(atoms)
+
+    def test_wrapping_window_overlaps_morning(self):
+        night = TimeWindowAtom(hhmm(21), hhmm(6))
+        morning = TimeWindowAtom(hhmm(5), hhmm(9))
+        assert conjunction_satisfiable((night, morning))
+
+    def test_weekday_disagreement(self):
+        atoms = (
+            TimeWindowAtom(0, hhmm(23, 59), weekday=0),
+            TimeWindowAtom(0, hhmm(23, 59), weekday=3),
+        )
+        assert not conjunction_satisfiable(atoms)
+
+    def test_weekday_agreement(self):
+        atoms = (
+            TimeWindowAtom(hhmm(6), hhmm(12), weekday=0),
+            TimeWindowAtom(hhmm(8), hhmm(10), weekday=0),
+        )
+        assert conjunction_satisfiable(atoms)
+
+    def test_events_and_durations_neutral(self):
+        atoms = (
+            EventAtom("returns home"),
+            DurationAtom(in_room("Tom"), 60.0),
+            in_room("Tom"),
+        )
+        assert conjunction_satisfiable(atoms)
+
+    def test_mixed_kind_independence(self):
+        atoms = (temp_above(28), in_room("Tom"), on_air("movie"),
+                 TimeWindowAtom(hhmm(17), hhmm(21)))
+        assert conjunction_satisfiable(atoms)
+
+
+class TestConditionSatisfiability:
+    def test_or_rescues_unsat_branch(self):
+        bad = AndCondition(
+            [temp_above(30), numeric_atom("thermo:t:temperature", Relation.LT, 20)]
+        )
+        cond = OrCondition([bad, in_room("Tom")])
+        assert condition_satisfiable(cond)
+
+    def test_all_branches_unsat(self):
+        bad1 = AndCondition(
+            [temp_above(30), numeric_atom("thermo:t:temperature", Relation.LT, 20)]
+        )
+        bad2 = AndCondition([
+            DiscreteAtom("person:Tom:place", "a"),
+            DiscreteAtom("person:Tom:place", "b"),
+        ])
+        assert not condition_satisfiable(OrCondition([bad1, bad2]))
+
+    def test_duration_inner_contradiction_propagates(self):
+        bad_inner = AndCondition(
+            [temp_above(30), numeric_atom("thermo:t:temperature", Relation.LT, 20)]
+        )
+        assert not condition_satisfiable(DurationAtom(bad_inner, 60.0))
+
+
+class TestJointSatisfiability:
+    def test_paper_hot_and_stuffy_overlap(self):
+        # Tom: T>26 & H>65; Alan: T>25 & H>60 — both can hold (conflict).
+        tom = AndCondition([temp_above(26), humid_above(65)])
+        alan = AndCondition([temp_above(25), humid_above(60)])
+        assert conditions_jointly_satisfiable(tom, alan)
+
+    def test_disjoint_bands_not_joint(self):
+        low = AndCondition(
+            [temp_above(10), numeric_atom("thermo:t:temperature", Relation.LT, 15)]
+        )
+        high = AndCondition(
+            [temp_above(20), numeric_atom("thermo:t:temperature", Relation.LT, 25)]
+        )
+        assert not conditions_jointly_satisfiable(low, high)
+
+    def test_different_rooms_not_joint(self):
+        tom_here = in_room("Tom", "living room")
+        tom_there = DiscreteAtom("person:Tom:place", "bedroom")
+        assert not conditions_jointly_satisfiable(tom_here, tom_there)
+
+    def test_or_branches_explored(self):
+        first = OrCondition([
+            DiscreteAtom("person:Tom:place", "a"),
+            DiscreteAtom("person:Tom:place", "b"),
+        ])
+        second = DiscreteAtom("person:Tom:place", "b")
+        assert conditions_jointly_satisfiable(first, second)
+
+
+class TestConsistencyChecker:
+    def _rule_with(self, condition, until=None):
+        return make_rule("r", "Tom", condition, action(), until=until)
+
+    def test_consistent_rule_passes(self):
+        checker = ConsistencyChecker()
+        rule = self._rule_with(AndCondition([temp_above(28), in_room("Tom")]))
+        assert checker.is_consistent(rule)
+        checker.require_consistent(rule)  # no raise
+
+    def test_inconsistent_rule_raises(self):
+        checker = ConsistencyChecker()
+        impossible = AndCondition(
+            [temp_above(30), numeric_atom("thermo:t:temperature", Relation.LT, 20)]
+        )
+        rule = self._rule_with(impossible)
+        assert not checker.is_consistent(rule)
+        with pytest.raises(InconsistentRuleError, match="trigger condition"):
+            checker.require_consistent(rule)
+
+    def test_inconsistent_until_raises(self):
+        checker = ConsistencyChecker()
+        impossible = AndCondition([
+            DiscreteAtom("x", "a"), DiscreteAtom("x", "b"),
+        ])
+        rule = self._rule_with(in_room("Tom"), until=impossible)
+        with pytest.raises(InconsistentRuleError, match="until"):
+            checker.require_consistent(rule)
+
+    def test_simplex_only_mode(self):
+        checker = ConsistencyChecker(prefer_intervals=False)
+        rule = self._rule_with(AndCondition([temp_above(28), humid_above(60)]))
+        assert checker.is_consistent(rule)

@@ -1,0 +1,167 @@
+"""Tests for the appliance models: actions, state, physical feedback."""
+
+import pytest
+
+from repro.errors import UPnPError
+from repro.home.appliances import (
+    AirConditioner,
+    Alarm,
+    DoorLock,
+    ElectricFan,
+    Lamp,
+    Stereo,
+    Television,
+    VideoRecorder,
+)
+from repro.home.environment import Room
+
+
+class TestTelevision:
+    def test_turn_on_with_channel_and_volume(self):
+        tv = Television()
+        tv.service("power").invoke("TurnOn", {"channel": 7, "volume": 40})
+        assert tv.is_on
+        assert tv.channel == 7.0
+        assert tv.get_state("power", "volume") == 40.0
+
+    def test_turn_on_defaults_keep_previous_channel(self):
+        tv = Television()
+        tv.service("power").invoke("SetChannel", {"channel": 3})
+        tv.service("power").invoke("TurnOn")
+        assert tv.channel == 3.0
+
+    def test_turn_off(self):
+        tv = Television()
+        tv.service("power").invoke("TurnOn")
+        tv.service("power").invoke("TurnOff")
+        assert not tv.is_on
+
+    def test_channel_range_enforced(self):
+        tv = Television()
+        with pytest.raises(UPnPError):
+            tv.service("power").invoke("TurnOn", {"channel": 10_000})
+
+
+class TestStereo:
+    def test_play_music_full_config(self):
+        stereo = Stereo()
+        stereo.service("player").invoke(
+            "PlayMusic",
+            {"genre": "jazz", "volume": 25, "output": "headphones",
+             "source": "music"},
+        )
+        assert stereo.is_on
+        assert stereo.get_state("player", "genre") == "jazz"
+        assert stereo.output == "headphones"
+
+    def test_set_output_while_playing(self):
+        stereo = Stereo()
+        stereo.service("player").invoke("PlayMusic", {"genre": "jazz"})
+        stereo.service("player").invoke("SetOutput", {"output": "headphones"})
+        assert stereo.is_on and stereo.output == "headphones"
+
+    def test_invalid_output_rejected(self):
+        stereo = Stereo()
+        with pytest.raises(UPnPError):
+            stereo.service("player").invoke("SetOutput",
+                                            {"output": "megaphone"})
+
+    def test_stop(self):
+        stereo = Stereo()
+        stereo.service("player").invoke("PlayMusic", {})
+        stereo.service("player").invoke("Stop")
+        assert not stereo.is_on
+
+
+class TestAirConditioner:
+    def test_setpoints(self):
+        aircon = AirConditioner()
+        aircon.service("climate").invoke(
+            "TurnOn", {"temperature": 24, "humidity": 50, "mode": "cool"}
+        )
+        assert aircon.is_on
+        assert aircon.target_temperature == 24.0
+        assert aircon.target_humidity == 50.0
+
+    def test_climate_effect_pulls_room(self):
+        room = Room("r", temperature=30.0, humidity=70.0)
+        aircon = AirConditioner(room=room)
+        aircon.service("climate").invoke(
+            "TurnOn", {"temperature": 24, "humidity": 50}
+        )
+        for _ in range(60):
+            aircon.climate_effect(room, 60.0)
+        assert room.temperature < 27.0
+        assert room.humidity < 62.0
+
+    def test_no_effect_when_off(self):
+        room = Room("r", temperature=30.0)
+        aircon = AirConditioner(room=room)
+        aircon.climate_effect(room, 3600.0)
+        assert room.temperature == 30.0
+
+    def test_setpoint_range_enforced(self):
+        aircon = AirConditioner()
+        with pytest.raises(UPnPError):
+            aircon.service("climate").invoke("TurnOn", {"temperature": 5})
+
+
+class TestLamp:
+    def test_turn_on_full_by_default(self):
+        lamp = Lamp("lamp")
+        lamp.service("power").invoke("TurnOn")
+        assert lamp.is_on and lamp.level == 100.0
+
+    def test_half_lighting(self):
+        lamp = Lamp("lamp", max_lux=150.0)
+        lamp.service("power").invoke("TurnOn", {"level": 50})
+        assert lamp.level == 50.0
+        assert lamp.light_output(Room("r")) == 75.0
+
+    def test_off_contributes_nothing(self):
+        lamp = Lamp("lamp")
+        assert lamp.light_output(Room("r")) == 0.0
+
+    def test_dim_preserves_power_state(self):
+        lamp = Lamp("lamp")
+        lamp.service("power").invoke("TurnOn")
+        lamp.service("power").invoke("Dim", {"level": 20})
+        assert lamp.is_on and lamp.level == 20.0
+
+
+class TestRecorderAlarmDoorFan:
+    def test_recorder_records_program(self):
+        recorder = VideoRecorder()
+        recorder.service("recorder").invoke(
+            "Record", {"channel": 4, "program": "baseball"}
+        )
+        assert recorder.is_recording
+        assert recorder.get_state("recorder", "program") == "baseball"
+        recorder.service("recorder").invoke("Stop")
+        assert not recorder.is_recording
+
+    def test_alarm_toggles(self):
+        alarm = Alarm()
+        alarm.service("alarm").invoke("TurnOn")
+        assert alarm.is_on
+        alarm.service("alarm").invoke("TurnOff")
+        assert not alarm.is_on
+
+    def test_door_open_unlocks_first(self):
+        door = DoorLock()
+        assert door.is_locked
+        door.service("lock").invoke("Open")
+        assert door.is_open and not door.is_locked
+
+    def test_door_lock_closes(self):
+        door = DoorLock()
+        door.service("lock").invoke("Open")
+        door.service("lock").invoke("Lock")
+        assert door.is_locked and not door.is_open
+
+    def test_fan_cools_mildly(self):
+        room = Room("r", temperature=30.0)
+        fan = ElectricFan()
+        fan.service("fan").invoke("TurnOn", {"speed": 100})
+        fan.climate_effect(room, 3600.0)
+        assert 29.3 < room.temperature < 30.0

@@ -1,0 +1,136 @@
+"""Tests for room physics and the environment tick."""
+
+import pytest
+
+from repro.errors import HomeModelError
+from repro.home.environment import (
+    Environment,
+    Room,
+    default_daylight,
+    default_outdoor_humidity,
+    default_outdoor_temperature,
+)
+from repro.sim.clock import hhmm
+from repro.sim.events import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def env(sim):
+    environment = Environment(sim, tick_period=60.0)
+    environment.add_room(Room("living room", temperature=22.0, humidity=55.0))
+    return environment
+
+
+class TestRooms:
+    def test_room_validation(self):
+        with pytest.raises(HomeModelError):
+            Room("")
+        with pytest.raises(HomeModelError):
+            Room("x", volume_factor=0.0)
+
+    def test_duplicate_room_rejected(self, env):
+        with pytest.raises(HomeModelError):
+            env.add_room(Room("living room"))
+
+    def test_unknown_room_raises(self, env):
+        with pytest.raises(HomeModelError):
+            env.room("attic")
+
+    def test_bad_tick_period(self, sim):
+        with pytest.raises(HomeModelError):
+            Environment(sim, tick_period=0.0)
+
+
+class TestDynamics:
+    def test_temperature_drifts_toward_ambient(self, sim, env):
+        env.outdoor_temperature = lambda tod: 35.0
+        env.outdoor_humidity = lambda tod: 55.0
+        room = env.room("living room")
+        start = room.temperature
+        env.start()
+        sim.run_until(2 * 3600.0)
+        assert room.temperature > start
+        assert room.temperature < 35.0  # asymptotic, not instant
+
+    def test_humidity_clamped(self, sim, env):
+        env.outdoor_humidity = lambda tod: 150.0  # absurd ambient
+        env.start()
+        sim.run_until(48 * 3600.0)
+        assert env.room("living room").humidity <= 100.0
+
+    def test_climate_actor_pulls_to_setpoint(self, sim, env):
+        class FixedCooler:
+            def climate_effect(self, room, dt):
+                room.temperature += (20.0 - room.temperature) * min(
+                    1.0, 2.0 * dt / 3600.0
+                )
+
+        env.outdoor_temperature = lambda tod: 30.0
+        env.add_climate_actor("living room", FixedCooler())
+        env.start()
+        sim.run_until(6 * 3600.0)
+        # Equilibrium sits between ambient pull and cooler pull, below
+        # the no-cooler value.
+        assert env.room("living room").temperature < 25.0
+
+    def test_light_actor_adds_illuminance(self, sim, env):
+        class FixedLamp:
+            def light_output(self, room):
+                return 123.0
+
+        env.daylight = lambda tod: 0.0
+        env.add_light_actor("living room", FixedLamp())
+        env.start()
+        sim.run_until(60.0)
+        assert env.room("living room").illuminance == 123.0
+
+    def test_windowless_room_gets_no_daylight(self, sim):
+        environment = Environment(sim, tick_period=60.0)
+        environment.add_room(Room("cave", has_window=False))
+        environment.daylight = lambda tod: 400.0
+        environment.start()
+        sim.run_until(60.0)
+        assert environment.room("cave").illuminance == 0.0
+
+    def test_sensors_sampled_each_tick(self, sim, env):
+        samples = []
+
+        class Probe:
+            def sample(self):
+                samples.append(sim.now)
+
+        env.add_sensor(Probe())
+        env.start()
+        sim.run_until(300.0)
+        assert samples == [60.0, 120.0, 180.0, 240.0, 300.0]
+
+    def test_stop_halts_ticks(self, sim, env):
+        env.start()
+        sim.run_until(120.0)
+        env.stop()
+        room = env.room("living room")
+        temp = room.temperature
+        sim.run_until(7200.0)
+        assert room.temperature == temp
+
+
+class TestAmbientProfiles:
+    def test_outdoor_temperature_peaks_afternoon(self):
+        assert default_outdoor_temperature(hhmm(14)) > \
+            default_outdoor_temperature(hhmm(4))
+
+    def test_outdoor_humidity_antiphase(self):
+        assert default_outdoor_humidity(hhmm(4)) > \
+            default_outdoor_humidity(hhmm(14))
+
+    def test_daylight_zero_at_night(self):
+        assert default_daylight(hhmm(2)) == 0.0
+        assert default_daylight(hhmm(22)) == 0.0
+
+    def test_daylight_positive_at_midday(self):
+        assert default_daylight(hhmm(13)) > 400.0

@@ -1,0 +1,179 @@
+"""Tests for sensor models, the EPG feed and resident avatars."""
+
+import pytest
+
+from repro.errors import HomeModelError
+from repro.home.environment import Room
+from repro.home.residents import Household
+from repro.home.sensors import (
+    EPGFeed,
+    Hygrometer,
+    LightSensor,
+    PersonLocator,
+    PresenceSensor,
+    Program,
+    Thermometer,
+)
+from repro.sim.events import Simulator
+
+
+class TestClimateSensors:
+    def test_thermometer_quantizes(self):
+        room = Room("r", temperature=23.4567)
+        thermometer = Thermometer("t", room)
+        thermometer.sample()
+        assert thermometer.reading == pytest.approx(23.5)
+
+    def test_hygrometer_quantizes(self):
+        room = Room("r", humidity=61.26)
+        hygrometer = Hygrometer("h", room)
+        hygrometer.sample()
+        assert hygrometer.reading == pytest.approx(61.5)
+
+    def test_light_sensor_rounds_to_lux(self):
+        room = Room("r")
+        room.illuminance = 87.6
+        sensor = LightSensor("l", room)
+        sensor.sample()
+        assert sensor.reading == 88.0
+
+    def test_location_inherited_from_room(self):
+        room = Room("study")
+        assert Thermometer("t", room).location == "study"
+
+
+class TestPresenceAndLocator:
+    def test_presence_tracks_occupants(self):
+        sensor = PresenceSensor("p", "living room")
+        sensor.person_entered("Tom")
+        sensor.person_entered("Alan")
+        assert sensor.get_state("presence", "occupied") is True
+        assert sensor.occupants() == {"Tom", "Alan"}
+        assert sensor.get_state("presence", "occupants") == "Alan,Tom"
+        sensor.person_left("Tom")
+        sensor.person_left("Alan")
+        assert sensor.get_state("presence", "occupied") is False
+
+    def test_leaving_when_absent_is_noop(self):
+        sensor = PresenceSensor("p", "living room")
+        sensor.person_left("Ghost")
+        assert sensor.occupants() == frozenset()
+
+    def test_locator_variables_per_resident(self):
+        locator = PersonLocator(["Tom", "Alan"])
+        assert locator.place_of("Tom") == "away"
+        locator.set_place("Tom", "kitchen")
+        locator.set_last_arrival("Tom", "work")
+        assert locator.place_of("Tom") == "kitchen"
+        assert locator.last_arrival_of("Tom") == "work"
+
+    def test_locator_unknown_resident(self):
+        locator = PersonLocator(["Tom"])
+        with pytest.raises(HomeModelError):
+            locator.set_place("Zorro", "kitchen")
+
+    def test_locator_needs_residents(self):
+        with pytest.raises(HomeModelError):
+            PersonLocator([])
+
+
+class TestEPG:
+    def test_program_validation(self):
+        with pytest.raises(HomeModelError):
+            Program("bad", 1, start=100.0, end=50.0)
+
+    def test_keywords_follow_schedule(self):
+        sim = Simulator()
+        epg = EPGFeed()
+        epg.schedule(Program("game", 4, start=100.0, end=200.0,
+                             keywords=("baseball", "sports")))
+        epg.start_feed(sim)
+        assert epg.get_state("guide", "keywords") == ""
+        sim.run_until(150.0)
+        assert set(epg.get_state("guide", "keywords").split(",")) == \
+            {"baseball", "sports"}
+        sim.run_until(250.0)
+        assert epg.get_state("guide", "keywords") == ""
+
+    def test_overlapping_programs_union_keywords(self):
+        sim = Simulator()
+        epg = EPGFeed()
+        epg.schedule(Program("a", 1, start=0.0, end=100.0, keywords=("x",)))
+        epg.schedule(Program("b", 2, start=50.0, end=150.0, keywords=("y",)))
+        epg.start_feed(sim)
+        sim.run_until(75.0)
+        assert set(epg.get_state("guide", "keywords").split(",")) == {"x", "y"}
+
+    def test_channel_showing(self):
+        sim = Simulator()
+        epg = EPGFeed()
+        epg.schedule(Program("game", 4, start=0.0, end=100.0,
+                             keywords=("baseball",)))
+        epg.start_feed(sim)
+        assert epg.channel_showing("baseball", 50.0) == 4
+        assert epg.channel_showing("baseball", 150.0) is None
+        assert epg.channel_showing("opera", 50.0) is None
+
+    def test_scheduling_after_start_arms_timers(self):
+        sim = Simulator()
+        epg = EPGFeed()
+        epg.start_feed(sim)
+        epg.schedule(Program("late", 9, start=50.0, end=100.0,
+                             keywords=("news",)))
+        sim.run_until(60.0)
+        assert "news" in epg.get_state("guide", "keywords")
+
+
+class TestHousehold:
+    def _household(self):
+        locator = PersonLocator(["Tom", "Alan"])
+        presence = {
+            "living room": PresenceSensor("p1", "living room"),
+            "hall": PresenceSensor("p2", "hall"),
+        }
+        events = []
+        household = Household(
+            locator, presence,
+            event_sink=lambda kind, who: events.append((kind, who)),
+        )
+        return household, locator, presence, events
+
+    def test_arrive_home_full_effects(self):
+        household, locator, presence, events = self._household()
+        household.arrive_home("Tom", "work", "living room")
+        assert locator.place_of("Tom") == "living room"
+        assert locator.last_arrival_of("Tom") == "work"
+        assert presence["living room"].occupants() == {"Tom"}
+        assert events == [("returns home", "Tom")]
+
+    def test_double_arrival_rejected(self):
+        household, _, _, _ = self._household()
+        household.arrive_home("Tom", "work", "living room")
+        with pytest.raises(HomeModelError, match="already home"):
+            household.arrive_home("Tom", "shopping", "hall")
+
+    def test_move_between_rooms(self):
+        household, locator, presence, _ = self._household()
+        household.arrive_home("Tom", "work", "living room")
+        household.move("Tom", "hall")
+        assert presence["living room"].occupants() == frozenset()
+        assert presence["hall"].occupants() == {"Tom"}
+        assert locator.place_of("Tom") == "hall"
+
+    def test_leave_home_clears_context(self):
+        household, locator, presence, _ = self._household()
+        household.arrive_home("Tom", "work", "living room")
+        household.leave_home("Tom")
+        assert locator.place_of("Tom") == "away"
+        assert locator.last_arrival_of("Tom") == "none"
+        assert presence["living room"].occupants() == frozenset()
+
+    def test_whereabouts(self):
+        household, _, _, _ = self._household()
+        household.arrive_home("Tom", "work", "hall")
+        assert household.whereabouts() == {"Tom": "hall", "Alan": "away"}
+
+    def test_unknown_resident(self):
+        household, _, _, _ = self._household()
+        with pytest.raises(HomeModelError):
+            household.move("Zorro", "hall")

@@ -1,0 +1,7 @@
+"""Integration-test fixtures (the Stack itself lives in tests/stack.py
+so support- and core-level tests can reuse it through the repository
+conftest)."""
+
+from tests.stack import Stack
+
+__all__ = ["Stack"]

@@ -1,0 +1,106 @@
+"""The paper's Fig. 1 control scenario, asserted snapshot by snapshot.
+
+The expected ownership sequence is read straight off the published
+time-chart: stereo s1 → s'1 → s3, TV t2 → t3, recorder r2 from *3,
+room light l1 then l3, air-conditioner a1 → a2 → a3.
+"""
+
+import pytest
+
+from repro.scenarios import run_fig1_scenario
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig1_scenario()
+
+
+class TestRegistrationPhase:
+    def test_all_rules_registered(self, result):
+        names = {rule.name for rule in result.server.database.all_rules()}
+        assert {
+            "tom-s1-jazz-speakers", "tom-s1p-jazz-headphones",
+            "tom-l1-half-lighting", "tom-a1-aircon",
+            "alan-t2-baseball", "alan-a2-aircon",
+            "emily-t3-movie", "emily-s3-movie-sound", "emily-l3-bright",
+            "emily-a3-aircon",
+        } <= names
+
+    def test_conflicts_detected_at_registration(self, result):
+        text = "\n".join(result.registration_conflicts)
+        # The TV is contested between Emily and Alan...
+        assert "emily-t3-movie" in text and "alan-t2-baseball" in text
+        # ...the stereo between Emily and Tom...
+        assert "emily-s3-movie-sound" in text
+        # ...and the air-conditioner among all three.
+        assert "alan-a2-aircon" in text and "emily-a3-aircon" in text
+
+
+class TestTimeChart:
+    def test_tom_alone_s1_l1_a1(self, result):
+        snap = result.snapshots["17:10 Tom home"]
+        assert snap.stereo_holder == "tom-s1-jazz-speakers"
+        assert snap.stereo_output == "speakers"
+        assert snap.tv_holder is None
+        assert snap.floor_lamp_level == 50.0       # half-lighting (l1)
+        assert snap.aircon_holder == "tom-a1-aircon"
+        assert snap.aircon_target == 25.0
+
+    def test_game_on_air_before_alan_nothing_changes(self, result):
+        snap = result.snapshots["17:35 game on air"]
+        assert snap.tv_holder is None              # Alan isn't home yet
+        assert snap.stereo_holder == "tom-s1-jazz-speakers"
+
+    def test_alan_home_t2_s1p_a2(self, result):
+        snap = result.snapshots["17:45 Alan home"]
+        assert snap.tv_holder == "alan-t2-baseball"       # t2
+        assert snap.tv_on and snap.tv_channel == 4.0
+        assert snap.stereo_holder == "tom-s1p-jazz-headphones"  # s'1
+        assert snap.stereo_output == "headphones"
+        assert snap.aircon_holder == "alan-a2-aircon"     # a2
+        assert snap.aircon_target == 24.0
+        assert snap.recorder_holder is None
+
+    def test_emily_home_t3_s3_r2_l3_a3(self, result):
+        snap = result.snapshots["18:32 Emily home"]
+        assert snap.tv_holder == "emily-t3-movie"         # t3 preempts t2
+        assert snap.tv_channel == 7.0
+        assert snap.stereo_holder == "emily-s3-movie-sound"  # s3
+        assert snap.stereo_source == "tv sound"
+        assert snap.recorder_holder == "alan-t2-baseball"  # r2 fallback
+        assert snap.recording
+        assert snap.fluorescent_on                         # l3
+        assert snap.aircon_holder == "emily-a3-aircon"     # a3
+        assert snap.aircon_target == 27.0
+
+    def test_evening_end_recorder_released_after_game(self, result):
+        snap = result.snapshots["20:00 evening ends"]
+        assert snap.tv_holder == "emily-t3-movie"   # movie runs to 20:30
+        assert snap.recorder_holder is None         # game ended 19:30
+
+    def test_aircon_ownership_sequence_a1_a2_a3(self, result):
+        fires = [
+            entry.rule for entry in result.trace
+            if entry.kind == "fire" and entry.rule.endswith("-aircon")
+        ]
+        # First-appearance order must be a1, a2, a3 (the chart's row).
+        first_seen = list(dict.fromkeys(fires))
+        assert first_seen[:3] == [
+            "tom-a1-aircon", "alan-a2-aircon", "emily-a3-aircon"
+        ]
+
+    def test_preemptions_recorded_in_trace(self, result):
+        preempts = [e for e in result.trace if e.kind == "preempt"]
+        preempted = {e.rule for e in preempts}
+        assert "alan-t2-baseball" in preempted   # Emily takes the TV
+        assert "tom-s1-jazz-speakers" in preempted or \
+            "tom-s1p-jazz-headphones" in preempted
+
+    def test_fallback_recorded_in_trace(self, result):
+        fallbacks = [e for e in result.trace if e.kind == "fallback"]
+        assert any(e.rule == "alan-t2-baseball" for e in fallbacks)
+
+    def test_timeline_rows_render(self, result):
+        rows = result.timeline_rows()
+        assert len(rows) == 6
+        assert all("TV=" in row for row in rows)

@@ -1,0 +1,162 @@
+"""Integration tests for lookup, guidance and rule import/export."""
+
+import pytest
+
+from repro.errors import LookupServiceError
+from repro.support.exchange import RuleExporter, RuleImporter, RulePackage
+from repro.support.guidance import GuidanceService
+from repro.support.lookup import LookupQuery, LookupService
+
+
+class TestLookupService:
+    @pytest.fixture
+    def lookup(self, stack):
+        session = stack.session("Tom")
+        session.submit(
+            "Let's call the condition that temperature is higher than 28 "
+            "degrees and humidity is over 60 percent hot and stuffy"
+        )
+        return LookupService(stack.server.control_point.registry,
+                             words=session.words)
+
+    def test_lookup_by_name(self, stack, lookup):
+        records = lookup.search(LookupQuery(name="thermometer"))
+        assert [r.friendly_name for r in records] == ["thermometer"]
+
+    def test_lookup_by_location(self, stack, lookup):
+        records = lookup.search(LookupQuery(location="living room"))
+        assert len(records) >= 8  # appliances + sensors of the living room
+
+    def test_lookup_by_keyword(self, stack, lookup):
+        records = lookup.search(LookupQuery(keyword="light"))
+        names = {r.friendly_name for r in records}
+        assert "floor lamp" in names
+        assert "fluorescent light" in names
+
+    def test_lookup_by_sensor_type_includes_appliances(self, stack, lookup):
+        # Paper: "the air-conditioner, the temperature meter and so on can
+        # be retrieved by specifying temperature as the sensor type".
+        records = lookup.search(LookupQuery(sensor_type="temperature"))
+        names = {r.friendly_name for r in records}
+        assert "thermometer" in names
+        assert "air conditioner" in names
+
+    def test_lookup_by_action(self, stack, lookup):
+        records = lookup.search(LookupQuery(action="Record"))
+        assert [r.friendly_name for r in records] == ["video recorder"]
+
+    def test_conjunctive_query(self, stack, lookup):
+        records = lookup.search(
+            LookupQuery(keyword="light", location="hall",
+                        category="appliance")
+        )
+        assert [r.friendly_name for r in records] == ["hall light"]
+
+    def test_lookup_by_user_word(self, stack, lookup):
+        # Paper: "sensors which can measure temperature and humidity can be
+        # retrieved by the word 'hot and stuffy'".
+        records = lookup.by_word("hot and stuffy")
+        names = {r.friendly_name for r in records}
+        assert "thermometer" in names
+        assert "hygrometer" in names
+
+    def test_unknown_word_raises(self, stack, lookup):
+        with pytest.raises(LookupServiceError):
+            lookup.by_word("unknown word")
+
+    def test_reverse_lookup_words_for_device(self, stack, lookup):
+        thermometer = stack.server.control_point.registry.by_name(
+            "thermometer")[0]
+        assert "hot and stuffy" in lookup.words_for_device(thermometer)
+
+    def test_empty_query_returns_all(self, stack, lookup):
+        assert len(lookup.search(LookupQuery())) == len(
+            stack.server.control_point.registry.all()
+        )
+
+
+class TestGuidanceService:
+    def test_allowed_actions(self, stack):
+        guidance = GuidanceService(stack.server.engine)
+        record = stack.server.control_point.registry.by_name(
+            "air conditioner")[0]
+        actions = {a.name for a in guidance.allowed_actions(record)}
+        assert actions == {"TurnOn", "TurnOff"}
+
+    def test_configuration_parameters(self, stack):
+        guidance = GuidanceService(stack.server.engine)
+        record = stack.server.control_point.registry.by_name(
+            "air conditioner")[0]
+        params = guidance.configuration_parameters(record)
+        assert set(params["TurnOn"]) == {"temperature", "humidity", "mode"}
+
+    def test_current_readings_reflect_world(self, stack):
+        guidance = GuidanceService(stack.server.engine)
+        stack.run_for(120.0)  # let a physics tick publish
+        record = stack.server.control_point.registry.by_name("thermometer")[0]
+        readings = guidance.current_readings(record)
+        temp = next(r for r in readings if r.variable == "temperature")
+        assert isinstance(temp.value, float)
+        assert temp.unit == "celsius"
+
+
+class TestRuleExchange:
+    def test_export_import_round_trip(self, stack):
+        tom = stack.session("Tom")
+        tom.submit(
+            "Let's call the condition that temperature is higher than 26 "
+            "degrees and humidity is over 65 percent hot and stuffy"
+        )
+        tom.submit(
+            'If the living room is "hot and stuffy", turn on the electric fan',
+            rule_name="tom-fan",
+        )
+        package = RuleExporter(tom).export_owner()
+        text = package.to_json()
+
+        # Emily imports Tom's package into her own session.
+        emily = stack.session("Emily")
+        results = RuleImporter(emily).import_package(
+            RulePackage.from_json(text)
+        )
+        assert len(results) == 1
+        imported = results[0].rule
+        assert imported.owner == "Emily"
+        assert imported.name != "tom-fan"  # fresh name, Emily's rule
+        assert emily.words.has_condition("hot and stuffy")
+
+    def test_import_words_only(self, stack):
+        tom = stack.session("Tom")
+        tom.submit(
+            'Let\'s call the configuration that 50 percent of level setting '
+            '"half-lighting"'
+        )
+        package = RuleExporter(tom).export_rules([])
+        alan = stack.session("Alan")
+        RuleImporter(alan).import_package(package, register_rules=False)
+        assert alan.words.has_configuration("half-lighting")
+
+    def test_bad_format_rejected(self):
+        import json
+
+        import pytest as _pytest
+
+        from repro.errors import RuleError
+
+        with _pytest.raises(RuleError, match="format"):
+            RulePackage.from_json(json.dumps({"format": "bogus/9"}))
+
+    def test_customization_before_registration(self, stack):
+        """The paper's workflow: import, tweak, register."""
+        tom = stack.session("Tom")
+        tom.submit(
+            "If temperature is higher than 28 degrees, turn on the electric "
+            "fan",
+            rule_name="tom-fan",
+        )
+        package = RuleExporter(tom).export_owner()
+        customized = package.rules[0].replace("28", "30")
+        alan = stack.session("Alan")
+        outcome = alan.submit(customized, rule_name="alan-fan")
+        assert outcome.rule.owner == "Alan"
+        assert "30" in outcome.rule.source_text

@@ -1,0 +1,89 @@
+"""Rules whose only trigger is the passage of time: the server's clock
+tick must fire window edges without any sensor traffic, across days and
+weekday restrictions."""
+
+import pytest
+
+from repro.sim.clock import SECONDS_PER_DAY, hhmm
+
+
+class TestClockDrivenWindows:
+    def test_window_opens_with_no_sensor_events(self, stack):
+        """Nobody moves, nothing changes — only the clock."""
+        stack.home.household.arrive_home("Tom", "work", "living room")
+        stack.session("Tom").submit(
+            "After 18:00, if I am in the living room, turn on the floor "
+            "lamp",
+            rule_name="evening-lamp",
+        )
+        stack.simulator.run_until(hhmm(17, 59))
+        assert not stack.home.floor_lamp.is_on
+        stack.simulator.run_until(hhmm(18, 2))
+        assert stack.home.floor_lamp.is_on
+
+    def test_window_closes_and_reopens_next_day(self, stack):
+        stack.home.household.arrive_home("Tom", "work", "living room")
+        stack.session("Tom").submit(
+            "After 18:00, if I am in the living room, turn on the floor "
+            "lamp",
+            rule_name="evening-lamp",
+        )
+        stack.simulator.run_until(hhmm(19))
+        assert stack.home.floor_lamp.is_on
+        # Past midnight the "after 18:00" window closes; the rule's
+        # condition falls and the claim is released (the lamp itself
+        # keeps its last state — there is no stop action).
+        stack.simulator.run_until(SECONDS_PER_DAY + hhmm(1))
+        assert stack.server.engine.holder_of(stack.home.floor_lamp.udn) is None
+        # It fires again the next evening (a fresh rising edge).
+        before = len([e for e in stack.server.engine.trace
+                      if e.kind == "fire"])
+        stack.simulator.run_until(SECONDS_PER_DAY + hhmm(18, 2))
+        after = len([e for e in stack.server.engine.trace
+                     if e.kind == "fire"])
+        assert after == before + 1
+
+    def test_weekday_restricted_rule(self, stack):
+        """'at every sunday' fires on Sunday (day 6), not Monday (day 0)."""
+        stack.home.household.arrive_home("Tom", "work", "living room")
+        stack.session("Tom").submit(
+            "At every sunday, if I am in the living room, turn on the "
+            "electric fan",
+            rule_name="sunday-fan",
+        )
+        # Day 0 is a Monday; nothing all week until Sunday.
+        stack.simulator.run_until(5 * SECONDS_PER_DAY + hhmm(12))
+        assert not stack.home.fan.is_on  # Saturday noon
+        stack.simulator.run_until(6 * SECONDS_PER_DAY + hhmm(0, 2))
+        assert stack.home.fan.is_on      # Sunday just after midnight
+
+    def test_night_window_wraps_midnight(self, stack):
+        # Arrive mid-morning: the wrapped night window [21:00, 06:00) is
+        # inactive (at t=0 it would already be "night").
+        stack.simulator.run_until(hhmm(9))
+        stack.home.household.arrive_home("Tom", "work", "living room")
+        stack.session("Tom").submit(
+            "At night, if I am in the living room, turn on the floor lamp",
+            rule_name="night-lamp",
+        )
+        stack.simulator.run_until(hhmm(20))
+        assert not stack.home.floor_lamp.is_on   # 20:00 is before night
+        stack.simulator.run_until(hhmm(21, 2))
+        assert stack.home.floor_lamp.is_on       # 21:00 night begins
+        # Still within the wrapped window at 03:00 the next day.
+        stack.simulator.run_until(SECONDS_PER_DAY + hhmm(3))
+        assert stack.server.engine.rule_truth("night-lamp")
+
+    def test_wrapped_window_active_at_simulation_start(self, stack):
+        """Midnight lies inside [21:00, 06:00): a night rule registered
+        at t=0 with its other conjuncts true fires immediately."""
+        stack.home.household.arrive_home("Tom", "work", "living room")
+        stack.session("Tom").submit(
+            "At night, if I am in the living room, turn on the floor lamp",
+            rule_name="night-lamp",
+        )
+        stack.run_for(1.0)
+        assert stack.home.floor_lamp.is_on
+        # The claim is released when night ends at 06:00.
+        stack.simulator.run_until(hhmm(6, 2))
+        assert stack.server.engine.holder_of(stack.home.floor_lamp.udn) is None

@@ -1,0 +1,206 @@
+"""Unit tests for the simulated network bus."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.bus import NetworkBus
+from repro.net.latency import FixedLatency, JitteredLatency, ZeroLatency
+from repro.net.message import Message
+from repro.sim.events import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def bus(sim):
+    return NetworkBus(sim)
+
+
+def collect(bus, address):
+    """Bind ``address`` and return the list its messages land in."""
+    inbox = []
+    bus.bind(address, inbox.append)
+    return inbox
+
+
+class TestBinding:
+    def test_bind_and_send_unicast(self, sim, bus):
+        inbox = collect(bus, "b")
+        bus.bind("a", lambda m: None)
+        bus.send(Message(source="a", destination="b", body={"x": 1}))
+        sim.run()
+        assert len(inbox) == 1
+        assert inbox[0].body == {"x": 1}
+
+    def test_duplicate_bind_rejected(self, bus):
+        bus.bind("a", lambda m: None)
+        with pytest.raises(NetworkError):
+            bus.bind("a", lambda m: None)
+
+    def test_unbind_then_rebind(self, bus):
+        bus.bind("a", lambda m: None)
+        bus.unbind("a")
+        bus.bind("a", lambda m: None)  # no error
+
+    def test_unbind_unknown_rejected(self, bus):
+        with pytest.raises(NetworkError):
+            bus.unbind("ghost")
+
+    def test_send_to_unknown_is_silent_drop(self, sim, bus):
+        bus.send(Message(source="a", destination="nowhere"))
+        sim.run()
+        assert bus.dropped_count == 1
+        assert bus.delivered_count == 0
+
+    def test_addresses_sorted(self, bus):
+        bus.bind("b", lambda m: None)
+        bus.bind("a", lambda m: None)
+        assert bus.addresses() == ["a", "b"]
+
+
+class TestMulticast:
+    def test_group_fanout(self, sim, bus):
+        inboxes = {name: collect(bus, name) for name in ("a", "b", "c")}
+        for name in inboxes:
+            bus.join_group(name, "grp")
+        bus.bind("sender", lambda m: None)
+        bus.send(Message(source="sender", destination="grp"))
+        sim.run()
+        assert all(len(inbox) == 1 for inbox in inboxes.values())
+
+    def test_no_loopback_to_sender(self, sim, bus):
+        inbox_a = collect(bus, "a")
+        inbox_b = collect(bus, "b")
+        bus.join_group("a", "grp")
+        bus.join_group("b", "grp")
+        bus.send(Message(source="a", destination="grp"))
+        sim.run()
+        assert len(inbox_a) == 0
+        assert len(inbox_b) == 1
+
+    def test_leave_group_stops_delivery(self, sim, bus):
+        inbox = collect(bus, "a")
+        bus.bind("s", lambda m: None)
+        bus.join_group("a", "grp")
+        bus.leave_group("a", "grp")
+        bus.send(Message(source="s", destination="grp"))
+        sim.run()
+        assert inbox == []
+
+    def test_unbind_removes_from_groups(self, sim, bus):
+        bus.bind("a", lambda m: None)
+        bus.join_group("a", "grp")
+        bus.unbind("a")
+        assert bus.group_members("grp") == []
+
+    def test_join_requires_bound_endpoint(self, bus):
+        with pytest.raises(NetworkError):
+            bus.join_group("ghost", "grp")
+
+
+class TestLatency:
+    def test_fixed_latency_delays_delivery(self, sim):
+        bus = NetworkBus(sim, latency=FixedLatency(0.5))
+        arrivals = []
+        bus.bind("b", lambda m: arrivals.append(sim.now))
+        bus.bind("a", lambda m: None)
+        bus.send(Message(source="a", destination="b"))
+        sim.run()
+        assert arrivals == [0.5]
+
+    def test_zero_latency_still_asynchronous(self, sim):
+        bus = NetworkBus(sim)
+        delivered = []
+        bus.bind("b", lambda m: delivered.append(m))
+        bus.bind("a", lambda m: None)
+        bus.send(Message(source="a", destination="b"))
+        assert delivered == []  # not synchronous
+        sim.run()
+        assert len(delivered) == 1
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(NetworkError):
+            FixedLatency(-0.1)
+
+    def test_jittered_latency_within_bounds(self):
+        model = JitteredLatency(base=0.1, jitter=0.05, seed=1)
+        for _ in range(100):
+            delay = model.delay("a", "b")
+            assert 0.1 <= delay <= 0.15
+
+    def test_jittered_latency_deterministic(self):
+        first = JitteredLatency(0.1, 0.05, seed=42)
+        second = JitteredLatency(0.1, 0.05, seed=42)
+        assert [first.delay("a", "b") for _ in range(10)] == [
+            second.delay("a", "b") for _ in range(10)
+        ]
+
+
+class TestFailureInjection:
+    def test_drop_rate_one_drops_everything(self, sim):
+        bus = NetworkBus(sim, drop_rate=1.0)
+        inbox = collect(bus, "b")
+        bus.bind("a", lambda m: None)
+        for _ in range(20):
+            bus.send(Message(source="a", destination="b"))
+        sim.run()
+        assert inbox == []
+        assert bus.dropped_count == 20
+
+    def test_drop_rate_partial_is_deterministic(self, sim):
+        bus = NetworkBus(sim, drop_rate=0.5, seed=7)
+        inbox = collect(bus, "b")
+        bus.bind("a", lambda m: None)
+        for _ in range(100):
+            bus.send(Message(source="a", destination="b"))
+        sim.run()
+        delivered_first = len(inbox)
+        assert 0 < delivered_first < 100
+
+        sim2 = Simulator()
+        bus2 = NetworkBus(sim2, drop_rate=0.5, seed=7)
+        inbox2 = []
+        bus2.bind("b", inbox2.append)
+        bus2.bind("a", lambda m: None)
+        for _ in range(100):
+            bus2.send(Message(source="a", destination="b"))
+        sim2.run()
+        assert len(inbox2) == delivered_first
+
+    def test_bad_drop_rate_rejected(self, sim):
+        with pytest.raises(NetworkError):
+            NetworkBus(sim, drop_rate=1.5)
+
+    def test_delivery_to_unbound_in_flight_counts_dropped(self, sim):
+        bus = NetworkBus(sim, latency=FixedLatency(1.0))
+        bus.bind("b", lambda m: None)
+        bus.bind("a", lambda m: None)
+        bus.send(Message(source="a", destination="b"))
+        bus.unbind("b")  # receiver leaves while message in flight
+        sim.run()
+        assert bus.dropped_count == 1
+
+
+class TestMessage:
+    def test_header_case_insensitive(self):
+        msg = Message(source="a", destination="b", headers={"Content-Type": "x"})
+        assert msg.header("content-type") == "x"
+        assert msg.header("CONTENT-TYPE") == "x"
+
+    def test_header_default(self):
+        msg = Message(source="a", destination="b")
+        assert msg.header("missing", "dflt") == "dflt"
+
+    def test_reply_swaps_addresses(self):
+        msg = Message(source="a", destination="b")
+        reply = msg.reply({"METHOD": "OK"})
+        assert reply.source == "b"
+        assert reply.destination == "a"
+
+    def test_message_ids_unique(self):
+        first = Message(source="a", destination="b")
+        second = Message(source="a", destination="b")
+        assert first.message_id != second.message_id

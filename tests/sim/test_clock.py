@@ -1,0 +1,116 @@
+"""Unit tests for the virtual clock and time-of-day helpers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import (
+    SECONDS_PER_DAY,
+    VirtualClock,
+    format_time_of_day,
+    hhmm,
+    parse_time_of_day,
+    weekday_index,
+)
+
+
+class TestHhmm:
+    def test_midnight_is_zero(self):
+        assert hhmm(0) == 0.0
+
+    def test_five_thirty_pm(self):
+        assert hhmm(17, 30) == 17 * 3600 + 30 * 60
+
+    def test_seconds_component(self):
+        assert hhmm(1, 2, 3.5) == 3600 + 120 + 3.5
+
+    @pytest.mark.parametrize("hours,minutes", [(24, 0), (-1, 0), (0, 60), (0, -5)])
+    def test_out_of_range_rejected(self, hours, minutes):
+        with pytest.raises(SimulationError):
+            hhmm(hours, minutes)
+
+
+class TestParseTimeOfDay:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("17:30", hhmm(17, 30)),
+            ("5pm", hhmm(17)),
+            ("5:30pm", hhmm(17, 30)),
+            ("12am", hhmm(0)),
+            ("12pm", hhmm(12)),
+            ("noon", hhmm(12)),
+            ("midnight", hhmm(0)),
+            ("evening", hhmm(17)),
+            ("night", hhmm(21)),
+            ("morning", hhmm(6)),
+            ("8AM", hhmm(8)),
+        ],
+    )
+    def test_accepted_forms(self, text, expected):
+        assert parse_time_of_day(text) == expected
+
+    def test_whitespace_tolerated(self):
+        assert parse_time_of_day("  9:15 pm ") == hhmm(21, 15)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SimulationError):
+            parse_time_of_day("half past never")
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        clock = VirtualClock()
+        assert clock.now == 0.0
+        assert clock.day == 0
+
+    def test_advance_moves_time(self):
+        clock = VirtualClock()
+        clock.advance_to(125.0)
+        assert clock.now == 125.0
+
+    def test_advance_backward_rejected(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(5.0)
+
+    def test_time_of_day_wraps_at_midnight(self):
+        clock = VirtualClock()
+        clock.advance_to(SECONDS_PER_DAY + hhmm(3, 0))
+        assert clock.time_of_day == hhmm(3, 0)
+        assert clock.day == 1
+
+    def test_weekday_advances_with_days(self):
+        clock = VirtualClock(start_weekday=5)  # Saturday
+        assert clock.weekday_name == "saturday"
+        clock.advance_to(2 * SECONDS_PER_DAY)
+        assert clock.weekday_name == "monday"
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock(start=-1.0)
+
+    def test_bad_weekday_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock(start_weekday=7)
+
+    def test_timestamp_format(self):
+        clock = VirtualClock()
+        clock.advance_to(SECONDS_PER_DAY + hhmm(17, 30, 9))
+        assert clock.timestamp() == "day 1 17:30:09"
+
+
+class TestFormatting:
+    def test_format_time_of_day(self):
+        assert format_time_of_day(hhmm(9, 5, 7)) == "09:05:07"
+
+    def test_format_wraps(self):
+        assert format_time_of_day(SECONDS_PER_DAY + 60) == "00:01:00"
+
+    def test_weekday_index(self):
+        assert weekday_index("Monday") == 0
+        assert weekday_index("sunday") == 6
+
+    def test_weekday_index_unknown(self):
+        with pytest.raises(SimulationError):
+            weekday_index("someday")

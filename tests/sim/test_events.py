@@ -1,0 +1,164 @@
+"""Unit tests for the event queue and simulator run loop."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(5.0, lambda: fired.append("late"))
+        queue.push(1.0, lambda: fired.append("early"))
+        assert queue.peek_time() == 1.0
+        queue.pop().callback()
+        assert fired == ["early"]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        first = queue.push(2.0, lambda: None)
+        second = queue.push(2.0, lambda: None)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        keeper = queue.push(2.0, lambda: None)
+        handle.cancel()
+        assert queue.peek_time() == 2.0
+        assert queue.pop() is keeper
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        handle.cancel()
+        assert len(queue) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+
+class TestSimulator:
+    def test_call_after_advances_clock(self):
+        sim = Simulator()
+        fired_at = []
+        sim.call_after(3.0, lambda: fired_at.append(sim.now))
+        sim.run()
+        assert fired_at == [3.0]
+
+    def test_call_at_absolute(self):
+        sim = Simulator()
+        fired_at = []
+        sim.call_at(7.5, lambda: fired_at.append(sim.now))
+        sim.run_until(10.0)
+        assert fired_at == [7.5]
+        assert sim.now == 10.0
+
+    def test_scheduling_in_past_rejected(self):
+        sim = Simulator()
+        sim.call_after(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().call_after(-1.0, lambda: None)
+
+    def test_run_until_fires_boundary_events(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(5.0, lambda: fired.append("exact"))
+        sim.run_until(5.0)
+        assert fired == ["exact"]
+
+    def test_run_until_does_not_fire_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(5.1, lambda: fired.append("later"))
+        sim.run_until(5.0)
+        assert fired == []
+        assert sim.pending_events() == 1
+
+    def test_cascading_events(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.call_after(1.0, lambda: order.append("second"))
+
+        sim.call_after(1.0, first)
+        sim.run()
+        assert order == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.call_after(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_next_event_time(self):
+        sim = Simulator()
+        assert sim.next_event_time() is None
+        sim.call_after(2.0, lambda: None)
+        assert sim.next_event_time() == 2.0
+
+    def test_deterministic_ordering_same_time(self):
+        sim = Simulator()
+        order = []
+        for label in ("a", "b", "c"):
+            sim.call_at(1.0, lambda label=label: order.append(label))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestPeriodicTask:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now))
+        sim.run_until(35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_start_after_override(self):
+        sim = Simulator()
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now), start_after=0.0)
+        sim.run_until(25.0)
+        assert times == [0.0, 10.0, 20.0]
+
+    def test_cancel_stops_future_firings(self):
+        sim = Simulator()
+        times = []
+        task = sim.every(10.0, lambda: times.append(sim.now))
+        sim.run_until(15.0)
+        task.cancel()
+        sim.run_until(50.0)
+        assert times == [10.0]
+
+    def test_cancel_from_within_callback(self):
+        sim = Simulator()
+        times = []
+
+        def tick():
+            times.append(sim.now)
+            if len(times) == 2:
+                task.cancel()
+
+        task = sim.every(5.0, tick)
+        sim.run_until(100.0)
+        assert times == [5.0, 10.0]
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().every(0.0, lambda: None)

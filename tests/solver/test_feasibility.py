@@ -1,0 +1,236 @@
+"""Feasibility tests: simplex, interval fast path, and their agreement.
+
+Includes hypothesis property tests establishing (1) a found-model check:
+whenever a random single-variable system has an integer model, both
+solvers say feasible; (2) simplex and interval propagation always agree
+on the single-variable fragment.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver import feasible
+from repro.solver.intervals import interval_feasible
+from repro.solver.linear import LinearConstraint, LinearExpr, Relation
+from repro.solver.simplex import simplex_feasible
+
+
+def le(var, bound):
+    return LinearConstraint.make(LinearExpr.var(var), Relation.LE, bound)
+
+
+def lt(var, bound):
+    return LinearConstraint.make(LinearExpr.var(var), Relation.LT, bound)
+
+
+def ge(var, bound):
+    return LinearConstraint.make(LinearExpr.var(var), Relation.GE, bound)
+
+
+def gt(var, bound):
+    return LinearConstraint.make(LinearExpr.var(var), Relation.GT, bound)
+
+
+def eq(var, bound):
+    return LinearConstraint.make(LinearExpr.var(var), Relation.EQ, bound)
+
+
+BACKENDS = [simplex_feasible, interval_feasible, feasible]
+BACKEND_IDS = ["simplex", "intervals", "dispatch"]
+
+
+@pytest.mark.parametrize("solve", BACKENDS, ids=BACKEND_IDS)
+class TestSingleVariableSystems:
+    def test_empty_conjunction_feasible(self, solve):
+        assert solve([]) in (True, None) or solve([]) is True
+
+    def test_satisfiable_band(self, solve):
+        assert solve([gt("t", 20), lt("t", 30)]) is True
+
+    def test_contradictory_band(self, solve):
+        assert solve([gt("t", 30), lt("t", 20)]) is False
+
+    def test_touching_weak_bounds_feasible(self, solve):
+        assert solve([ge("t", 5), le("t", 5)]) is True
+
+    def test_touching_strict_bounds_infeasible(self, solve):
+        assert solve([gt("t", 5), lt("t", 5)]) is False
+
+    def test_weak_meets_strict_at_point_infeasible(self, solve):
+        assert solve([ge("t", 5), lt("t", 5)]) is False
+
+    def test_equality_inside_band(self, solve):
+        assert solve([eq("t", 7), ge("t", 5), le("t", 10)]) is True
+
+    def test_equality_outside_band(self, solve):
+        assert solve([eq("t", 7), gt("t", 8)]) is False
+
+    def test_two_equalities_conflict(self, solve):
+        assert solve([eq("t", 7), eq("t", 8)]) is False
+
+    def test_independent_variables(self, solve):
+        system = [gt("t", 28), gt("h", 60), lt("t", 40), lt("h", 100)]
+        assert solve(system) is True
+
+    def test_paper_example_hot_and_stuffy_overlap(self, solve):
+        # Tom: T>26 & H>65 ; Alan: T>25 & H>60 — overlapping, so conflict.
+        system = [gt("temp", 26), gt("humid", 65), gt("temp", 25), gt("humid", 60)]
+        assert solve(system) is True
+
+    def test_disjoint_thresholds_still_overlap_upward(self, solve):
+        # Upward-open thresholds always intersect: (t>29) & (t>25) is sat.
+        assert solve([gt("t", 29), gt("t", 25)]) is True
+
+    def test_band_vs_band_disjoint(self, solve):
+        system = [ge("t", 10), le("t", 15), ge("t", 20), le("t", 25)]
+        assert solve(system) is False
+
+    def test_ground_false_constraint(self, solve):
+        bad = LinearConstraint.make(LinearExpr.const(3), Relation.LE, 2)
+        assert solve([bad, le("t", 5)]) is False
+
+    def test_ground_true_constraint_ignored(self, solve):
+        ok = LinearConstraint.make(LinearExpr.const(1), Relation.LE, 2)
+        assert solve([ok, le("t", 5)]) is True
+
+
+class TestMultiVariableSimplex:
+    """Systems the interval fast path must refuse and simplex must solve."""
+
+    def test_interval_declines_coupled_constraints(self):
+        coupled = LinearConstraint.make(
+            LinearExpr.var("a") + LinearExpr.var("b"), Relation.LE, 1
+        )
+        assert interval_feasible([coupled]) is None
+
+    def test_coupled_feasible(self):
+        system = [
+            LinearConstraint.make(
+                LinearExpr.var("a") + LinearExpr.var("b"), Relation.LE, 10
+            ),
+            ge("a", 2),
+            ge("b", 3),
+        ]
+        assert simplex_feasible(system) is True
+        assert feasible(system) is True
+
+    def test_coupled_infeasible(self):
+        system = [
+            LinearConstraint.make(
+                LinearExpr.var("a") + LinearExpr.var("b"), Relation.LE, 4
+            ),
+            ge("a", 2),
+            ge("b", 3),
+        ]
+        assert simplex_feasible(system) is False
+        assert feasible(system) is False
+
+    def test_coupled_strict_boundary(self):
+        # a + b < 5, a >= 2, b >= 3 touches only at (2,3): infeasible.
+        system = [
+            LinearConstraint.make(
+                LinearExpr.var("a") + LinearExpr.var("b"), Relation.LT, 5
+            ),
+            ge("a", 2),
+            ge("b", 3),
+        ]
+        assert simplex_feasible(system) is False
+
+    def test_equality_chain(self):
+        # a == b, b == c, a >= 1, c <= 0 is infeasible.
+        system = [
+            LinearConstraint.make(
+                LinearExpr.var("a") - LinearExpr.var("b"), Relation.EQ, 0
+            ),
+            LinearConstraint.make(
+                LinearExpr.var("b") - LinearExpr.var("c"), Relation.EQ, 0
+            ),
+            ge("a", 1),
+            le("c", 0),
+        ]
+        assert simplex_feasible(system) is False
+
+    def test_equality_chain_feasible(self):
+        system = [
+            LinearConstraint.make(
+                LinearExpr.var("a") - LinearExpr.var("b"), Relation.EQ, 0
+            ),
+            ge("a", 1),
+            le("b", 5),
+        ]
+        assert simplex_feasible(system) is True
+
+    def test_negative_coefficients(self):
+        # -2a <= -6 means a >= 3; with a < 3 infeasible.
+        system = [
+            LinearConstraint.make(LinearExpr.var("a", -2.0), Relation.LE, -6),
+            lt("a", 3),
+        ]
+        assert simplex_feasible(system) is False
+
+    def test_redundant_rows_tolerated(self):
+        system = [le("a", 5)] * 6 + [ge("a", 1)] * 6
+        assert simplex_feasible(system) is True
+
+    def test_degenerate_equalities(self):
+        # a == 1 stated twice plus a redundant equality combination.
+        system = [
+            eq("a", 1),
+            eq("a", 1),
+            LinearConstraint.make(
+                LinearExpr.var("a", 2.0), Relation.EQ, 2
+            ),
+        ]
+        assert simplex_feasible(system) is True
+
+
+# -- property-based agreement tests ------------------------------------------------
+
+_vars = st.sampled_from(["t", "h", "x"])
+_relations = st.sampled_from(
+    [Relation.LE, Relation.LT, Relation.GE, Relation.GT, Relation.EQ]
+)
+_bounds = st.integers(min_value=-50, max_value=50)
+
+
+@st.composite
+def single_var_constraint(draw):
+    return LinearConstraint.make(
+        LinearExpr.var(draw(_vars)), draw(_relations), draw(_bounds)
+    )
+
+
+@st.composite
+def single_var_system(draw):
+    return draw(st.lists(single_var_constraint(), min_size=1, max_size=8))
+
+
+@given(single_var_system())
+@settings(max_examples=200, deadline=None)
+def test_simplex_agrees_with_intervals(system):
+    """On the single-variable fragment the two backends must agree."""
+    via_intervals = interval_feasible(system)
+    assert via_intervals is not None
+    assert simplex_feasible(system) == via_intervals
+
+
+@given(single_var_system(), st.integers(min_value=-60, max_value=60),
+       st.integers(min_value=-60, max_value=60),
+       st.integers(min_value=-60, max_value=60))
+@settings(max_examples=200, deadline=None)
+def test_witness_implies_feasible(system, vt, vh, vx):
+    """If a sampled assignment satisfies the system, solvers say feasible."""
+    assignment = {"t": float(vt), "h": float(vh), "x": float(vx)}
+    if all(c.satisfied_by(assignment) for c in system):
+        assert simplex_feasible(system) is True
+        assert interval_feasible(system) is True
+
+
+@given(st.lists(single_var_constraint(), min_size=0, max_size=5))
+@settings(max_examples=100, deadline=None)
+def test_adding_constraints_never_creates_feasibility(system):
+    """Monotonicity: a superset of constraints cannot become feasible."""
+    if not simplex_feasible(system):
+        extra = LinearConstraint.make(LinearExpr.var("t"), Relation.LE, 100)
+        assert simplex_feasible(system + [extra]) is False

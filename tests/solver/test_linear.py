@@ -1,0 +1,135 @@
+"""Unit tests for the linear-expression/constraint IR."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.solver.linear import (
+    LinearConstraint,
+    LinearExpr,
+    Relation,
+    constraints_variables,
+)
+
+
+class TestLinearExpr:
+    def test_var_and_const(self):
+        t = LinearExpr.var("t")
+        assert t.as_dict() == {"t": 1.0}
+        assert LinearExpr.const(5).constant == 5.0
+
+    def test_addition_merges_coefficients(self):
+        expr = LinearExpr.var("t") + LinearExpr.var("t", 2.0) + 3
+        assert expr.as_dict() == {"t": 3.0}
+        assert expr.constant == 3.0
+
+    def test_subtraction(self):
+        expr = LinearExpr.var("a") - LinearExpr.var("b") - 1
+        assert expr.as_dict() == {"a": 1.0, "b": -1.0}
+        assert expr.constant == -1.0
+
+    def test_zero_coefficients_dropped(self):
+        expr = LinearExpr.var("t") - LinearExpr.var("t")
+        assert expr.as_dict() == {}
+        assert expr.variables() == set()
+
+    def test_scaling(self):
+        expr = (LinearExpr.var("t") + 1) * 2
+        assert expr.as_dict() == {"t": 2.0}
+        assert expr.constant == 2.0
+
+    def test_rmul(self):
+        expr = 3 * LinearExpr.var("t")
+        assert expr.as_dict() == {"t": 3.0}
+
+    def test_scale_by_non_number_rejected(self):
+        with pytest.raises(SolverError):
+            LinearExpr.var("t") * "two"
+
+    def test_evaluate(self):
+        expr = LinearExpr.var("a", 2.0) + LinearExpr.var("b", -1.0) + 4
+        assert expr.evaluate({"a": 3.0, "b": 1.0}) == 9.0
+
+    def test_evaluate_missing_variable(self):
+        with pytest.raises(SolverError):
+            LinearExpr.var("a").evaluate({})
+
+    def test_str_is_readable(self):
+        text = str(LinearExpr.var("t", 2.0) + 1)
+        assert "t" in text and "+1" in text
+
+
+class TestRelation:
+    def test_strictness(self):
+        assert Relation.LT.is_strict and Relation.GT.is_strict
+        assert not Relation.LE.is_strict and not Relation.EQ.is_strict
+
+    def test_flip(self):
+        assert Relation.LE.flipped() is Relation.GE
+        assert Relation.GT.flipped() is Relation.LT
+        assert Relation.EQ.flipped() is Relation.EQ
+
+    def test_negate(self):
+        assert Relation.LE.negated() is Relation.GT
+        assert Relation.GE.negated() is Relation.LT
+
+    def test_negate_eq_raises(self):
+        with pytest.raises(SolverError):
+            Relation.EQ.negated()
+
+
+class TestLinearConstraint:
+    def test_make_canonicalizes_ge_to_le(self):
+        # t >= 5  becomes  -t <= -5
+        c = LinearConstraint.make(LinearExpr.var("t"), Relation.GE, 5)
+        assert c.relation is Relation.LE
+        assert c.expr.as_dict() == {"t": -1.0}
+        assert c.bound == -5.0
+
+    def test_make_moves_rhs_expression(self):
+        # a <= b + 2  becomes  a - b <= 2
+        c = LinearConstraint.make(
+            LinearExpr.var("a"), Relation.LE, LinearExpr.var("b") + 2
+        )
+        assert c.expr.as_dict() == {"a": 1.0, "b": -1.0}
+        assert c.bound == 2.0
+
+    def test_satisfied_by(self):
+        c = LinearConstraint.make(LinearExpr.var("t"), Relation.GT, 28)
+        assert c.satisfied_by({"t": 30.0})
+        assert not c.satisfied_by({"t": 28.0})
+        assert not c.satisfied_by({"t": 20.0})
+
+    def test_eq_satisfaction_uses_tolerance(self):
+        c = LinearConstraint.make(LinearExpr.var("t"), Relation.EQ, 1.0)
+        assert c.satisfied_by({"t": 1.0 + 1e-12})
+        assert not c.satisfied_by({"t": 1.1})
+
+    def test_negation_round_trip(self):
+        c = LinearConstraint.make(LinearExpr.var("t"), Relation.LE, 5)
+        negation = c.negated()
+        assert not negation.satisfied_by({"t": 5.0})
+        assert negation.satisfied_by({"t": 5.1})
+
+    def test_negate_eq_raises(self):
+        c = LinearConstraint.make(LinearExpr.var("t"), Relation.EQ, 5)
+        with pytest.raises(SolverError):
+            c.negated()
+
+    def test_trivial_constraint(self):
+        c = LinearConstraint.make(LinearExpr.const(1), Relation.LE, 2)
+        assert c.is_trivial()
+        assert c.trivially_true()
+        c_false = LinearConstraint.make(LinearExpr.const(3), Relation.LE, 2)
+        assert not c_false.trivially_true()
+
+    def test_trivially_true_guard(self):
+        c = LinearConstraint.make(LinearExpr.var("t"), Relation.LE, 2)
+        with pytest.raises(SolverError):
+            c.trivially_true()
+
+    def test_constraints_variables_sorted_union(self):
+        cs = [
+            LinearConstraint.make(LinearExpr.var("b"), Relation.LE, 1),
+            LinearConstraint.make(LinearExpr.var("a"), Relation.LE, 1),
+        ]
+        assert constraints_variables(cs) == ["a", "b"]

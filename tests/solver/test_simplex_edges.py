@@ -1,0 +1,129 @@
+"""Edge cases and stress tests for the Simplex feasibility solver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.solver.linear import LinearConstraint, LinearExpr, Relation
+from repro.solver.simplex import simplex_feasible
+
+
+def c(expr, relation, bound):
+    return LinearConstraint.make(expr, relation, bound)
+
+
+def v(name, coefficient=1.0):
+    return LinearExpr.var(name, coefficient)
+
+
+class TestReservedAndDegenerate:
+    def test_reserved_gap_variable_rejected(self):
+        with pytest.raises(SolverError, match="reserved"):
+            simplex_feasible([c(v("__gap__"), Relation.LE, 1)])
+
+    def test_empty_system_feasible(self):
+        assert simplex_feasible([]) is True
+
+    def test_single_equality(self):
+        assert simplex_feasible([c(v("x"), Relation.EQ, 5)]) is True
+
+    def test_zero_coefficient_equality(self):
+        # x - x == 1 is ground-false after normalization.
+        expr = v("x") - v("x")
+        assert simplex_feasible([c(expr, Relation.EQ, 1)]) is False
+
+    def test_zero_coefficient_true(self):
+        expr = v("x") - v("x")
+        assert simplex_feasible([c(expr, Relation.EQ, 0)]) is True
+
+    def test_large_coefficients(self):
+        system = [
+            c(v("x", 1e6), Relation.LE, 1e9),
+            c(v("x", 1e6), Relation.GE, 1e3),
+        ]
+        assert simplex_feasible(system) is True
+
+    def test_tiny_band(self):
+        system = [
+            c(v("x"), Relation.GE, 1.0),
+            c(v("x"), Relation.LE, 1.0 + 1e-6),
+        ]
+        assert simplex_feasible(system) is True
+
+    def test_many_variables(self):
+        system = []
+        for i in range(20):
+            system.append(c(v(f"x{i}"), Relation.GE, i))
+            system.append(c(v(f"x{i}"), Relation.LE, i + 1))
+        assert simplex_feasible(system) is True
+
+    def test_chained_sum_constraint(self):
+        total = LinearExpr.from_mapping({f"x{i}": 1.0 for i in range(10)})
+        system = [c(total, Relation.LE, 5)]
+        system += [c(v(f"x{i}"), Relation.GE, 1) for i in range(10)]
+        assert simplex_feasible(system) is False  # sum >= 10 > 5
+
+
+class TestStrictBoundaries:
+    def test_strict_wedge_with_interior(self):
+        # x + y < 10, x > 0, y > 0 has interior points.
+        system = [
+            c(v("x") + v("y"), Relation.LT, 10),
+            c(v("x"), Relation.GT, 0),
+            c(v("y"), Relation.GT, 0),
+        ]
+        assert simplex_feasible(system) is True
+
+    def test_strict_wedge_degenerate_to_point(self):
+        # x + y < 2, x > 1, y > 1 touches only at (1,1): empty interior.
+        system = [
+            c(v("x") + v("y"), Relation.LT, 2),
+            c(v("x"), Relation.GT, 1),
+            c(v("y"), Relation.GT, 1),
+        ]
+        assert simplex_feasible(system) is False
+
+    def test_strict_against_equality(self):
+        system = [c(v("x"), Relation.EQ, 5), c(v("x"), Relation.LT, 5)]
+        assert simplex_feasible(system) is False
+
+    def test_strict_with_slack_from_equality(self):
+        system = [c(v("x"), Relation.EQ, 5), c(v("x"), Relation.LT, 6)]
+        assert simplex_feasible(system) is True
+
+
+@st.composite
+def random_two_var_system(draw):
+    """Small random systems over two variables, mixing couplings."""
+    constraints = []
+    for _ in range(draw(st.integers(min_value=1, max_value=6))):
+        a = draw(st.integers(min_value=-3, max_value=3))
+        b = draw(st.integers(min_value=-3, max_value=3))
+        if a == 0 and b == 0:
+            a = 1
+        expr = LinearExpr.from_mapping({"x": float(a), "y": float(b)})
+        relation = draw(st.sampled_from(
+            [Relation.LE, Relation.LT, Relation.GE, Relation.GT, Relation.EQ]
+        ))
+        bound = draw(st.integers(min_value=-10, max_value=10))
+        constraints.append(c(expr, relation, bound))
+    return constraints
+
+
+@given(random_two_var_system(),
+       st.integers(min_value=-12, max_value=12),
+       st.integers(min_value=-12, max_value=12))
+@settings(max_examples=300, deadline=None)
+def test_simplex_never_refutes_a_witness(system, x, y):
+    """Soundness on coupled systems: an integer witness forces SAT."""
+    assignment = {"x": float(x), "y": float(y)}
+    if all(constraint.satisfied_by(assignment) for constraint in system):
+        assert simplex_feasible(system) is True
+
+
+@given(random_two_var_system())
+@settings(max_examples=200, deadline=None)
+def test_simplex_deterministic(system):
+    """Same system, same verdict, every time (no RNG inside)."""
+    assert simplex_feasible(system) == simplex_feasible(system)

@@ -1,0 +1,40 @@
+"""The full-stack test harness shared by integration and support tests."""
+
+from repro.cadel.binding import HomeDirectory
+from repro.cadel.words import WordDictionary
+from repro.core.server import HomeServer
+from repro.home.builder import build_demo_home
+from repro.net.bus import NetworkBus
+from repro.sim.events import Simulator
+from repro.support.authoring import AuthoringSession
+
+
+class Stack:
+    """A fully wired home: simulator, bus, server, home, sessions."""
+
+    def __init__(self):
+        self.simulator = Simulator()
+        self.bus = NetworkBus(self.simulator)
+        self.server = HomeServer(self.simulator, self.bus)
+        self.home = build_demo_home(
+            self.simulator, self.bus, event_sink=self.server.post_event
+        )
+        self.server.discover()
+        self.directory = HomeDirectory(
+            users=list(self.home.locator.residents),
+            locator_udn=self.home.locator.udn,
+            epg_udn=self.home.epg.udn,
+        )
+        self.shared_words = WordDictionary()
+        self._sessions = {}
+
+    def session(self, user: str) -> AuthoringSession:
+        if user not in self._sessions:
+            self._sessions[user] = AuthoringSession(
+                self.server, user, self.directory,
+                shared_words=self.shared_words,
+            )
+        return self._sessions[user]
+
+    def run_for(self, seconds: float) -> None:
+        self.simulator.run_until(self.simulator.now + seconds)

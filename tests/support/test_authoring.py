@@ -1,0 +1,135 @@
+"""Unit tests for authoring sessions and the layered word dictionary."""
+
+import pytest
+
+from repro.errors import CadelBindingError
+
+
+class TestSubmitRouting:
+    def test_conddef_routes_to_dictionary(self, stack):
+        session = stack.session("Tom")
+        result = session.submit(
+            "Let's call the condition that temperature is higher than 28 "
+            "degrees toasty"
+        )
+        assert result.kind == "condition-word"
+        assert session.words.has_condition("toasty")
+
+    def test_confdef_routes_to_dictionary(self, stack):
+        session = stack.session("Tom")
+        result = session.submit(
+            'Let\'s call the configuration that 30 percent of level setting '
+            '"mood lighting"'
+        )
+        assert result.kind == "configuration-word"
+        assert session.words.has_configuration("mood lighting")
+
+    def test_rule_gets_auto_name_with_owner_prefix(self, stack):
+        result = stack.session("Emily").submit("turn on the alarm")
+        assert result.rule.name.startswith("emily-rule-")
+        assert result.rule.owner == "Emily"
+
+
+class TestWordLayering:
+    def test_personal_words_shadow_shared(self, stack):
+        tom = stack.session("Tom")
+        alan = stack.session("Alan")
+        # A shared definition everyone sees...
+        tom.shared_words.define_condition(
+            "cozy", tom.parser.parse_condition(
+                "temperature is higher than 20 degrees")
+        )
+        assert alan.words.has_condition("cozy")
+        # ...until Alan defines his own stricter version.
+        alan.submit(
+            "Let's call the condition that temperature is higher than 23 "
+            "degrees cozy"
+        )
+        personal = alan.personal_words.condition("cozy")
+        resolved = alan.words.condition("cozy")
+        assert resolved is personal
+
+    def test_personal_words_are_private(self, stack):
+        stack.session("Tom").submit(
+            "Let's call the condition that temperature is higher than 26 "
+            "degrees just mine"
+        )
+        assert not stack.session("Alan").words.has_condition("just mine")
+
+    def test_shared_word_usable_in_rules_by_everyone(self, stack):
+        tom = stack.session("Tom")
+        tom.shared_words.define_condition(
+            "sweltering", tom.parser.parse_condition(
+                "temperature is higher than 30 degrees")
+        )
+        outcome = stack.session("Emily").submit(
+            'If the living room is "sweltering", turn on the electric fan',
+            rule_name="emily-fan",
+        )
+        assert outcome.rule is not None
+
+    def test_longest_match_across_layers(self, stack):
+        tom = stack.session("Tom")
+        tom.shared_words.define_condition(
+            "hot", tom.parser.parse_condition(
+                "temperature is higher than 28 degrees")
+        )
+        tom.submit(
+            "Let's call the condition that temperature is higher than 26 "
+            "degrees and humidity is over 65 percent hot and stuffy"
+        )
+        # "hot and stuffy ..." must resolve to the longer personal word,
+        # not shared "hot" followed by a dangling "and stuffy".
+        expr = tom.parser.parse_condition("hot and stuffy")
+        from repro.cadel.ast import UserCondRef
+
+        assert isinstance(expr, UserCondRef)
+        assert expr.word == "hot and stuffy"
+
+
+class TestContextsAndPriorities:
+    def test_compile_context(self, stack):
+        condition = stack.session("Alan").compile_context(
+            "alan got home from work"
+        )
+        from repro.core.condition import DiscreteAtom
+
+        assert isinstance(condition, DiscreteAtom)
+        assert condition.value == "work"
+
+    def test_set_priority_registers_order(self, stack):
+        order = stack.session("Alan").set_priority(
+            "TV", ["Alan", "Tom"], context="alan got home from work"
+        )
+        tv = stack.server.control_point.registry.by_name("TV")[0]
+        assert stack.server.priorities.orders_for_device(tv.udn) == [order]
+        assert order.label == "alan got home from work"
+
+    def test_set_priority_unknown_device_raises(self, stack):
+        from repro.errors import UPnPError
+
+        with pytest.raises(UPnPError):
+            stack.session("Alan").set_priority("jacuzzi", ["Alan"])
+
+    def test_i_binds_per_session(self, stack):
+        tom_rule = stack.session("Tom").submit(
+            "If I am in the living room, turn on the electric fan",
+            rule_name="tom-i",
+        ).rule
+        alan_rule = stack.session("Alan").submit(
+            "If I am in the living room, turn on the electric fan",
+            rule_name="alan-i",
+        ).rule
+        tom_vars = tom_rule.condition.referenced_variables()
+        alan_vars = alan_rule.condition.referenced_variables()
+        assert any("Tom_place" in v for v in tom_vars)
+        assert any("Alan_place" in v for v in alan_vars)
+
+    def test_known_words_listing(self, stack):
+        session = stack.session("Tom")
+        session.submit(
+            "Let's call the condition that temperature is higher than 28 "
+            "degrees toasty"
+        )
+        words = session.known_words()
+        assert "toasty" in words["conditions"]

@@ -1,0 +1,133 @@
+"""Tests for the text front-end (the GUI stand-in)."""
+
+import pytest
+
+from repro.cadel.binding import HomeDirectory
+from repro.core.server import HomeServer
+from repro.home import build_demo_home
+from repro.net.bus import NetworkBus
+from repro.sim.events import Simulator
+from repro.support.authoring import AuthoringSession
+from repro.support.console import (
+    ConsoleFrontend,
+    render_device_list,
+    render_guidance,
+    render_priority_dialog,
+)
+from repro.support.guidance import GuidanceService
+from repro.support.lookup import LookupQuery, LookupService
+
+
+@pytest.fixture
+def frontend():
+    simulator = Simulator()
+    bus = NetworkBus(simulator)
+    server = HomeServer(simulator, bus)
+    home = build_demo_home(simulator, bus, event_sink=server.post_event)
+    server.discover()
+    directory = HomeDirectory(
+        users=list(home.locator.residents),
+        locator_udn=home.locator.udn,
+        epg_udn=home.epg.udn,
+    )
+    session = AuthoringSession(server, "Tom", directory)
+    output = []
+    return ConsoleFrontend(session, emit=output.append), output, home
+
+
+class TestConsoleFrontend:
+    def test_rule_submission(self, frontend):
+        console, output, _ = frontend
+        console.submit_line(
+            "If temperature is higher than 28 degrees, turn on the "
+            "electric fan"
+        )
+        assert any("registered:" in line for line in output)
+
+    def test_word_definition(self, frontend):
+        console, output, _ = frontend
+        console.submit_line(
+            "Let's call the condition that temperature is higher than 28 "
+            "degrees hot and stuffy"
+        )
+        assert any("condition word" in line and "hot and stuffy" in line
+                   for line in output)
+
+    def test_conflict_reported(self, frontend):
+        console, output, _ = frontend
+        console.submit_line(
+            "If temperature is higher than 25 degrees, turn on the air "
+            "conditioner with 24 degrees of temperature setting"
+        )
+        console.submit_line(
+            "If temperature is higher than 26 degrees, turn on the air "
+            "conditioner with 25 degrees of temperature setting"
+        )
+        assert any("conflict:" in line for line in output)
+
+    def test_syntax_error_surfaced_not_raised(self, frontend):
+        console, output, _ = frontend
+        console.submit_line("flibber the jabberwock")
+        assert any("error:" in line for line in output)
+
+    def test_lookup_query(self, frontend):
+        console, output, _ = frontend
+        console.submit_line("? keyword=light location=hall")
+        text = "\n".join(output)
+        assert "hall light" in text
+
+    def test_lookup_bare_keyword(self, frontend):
+        console, output, _ = frontend
+        console.submit_line("? temperature")
+        assert "thermometer" in "\n".join(output)
+
+    def test_guidance_query(self, frontend):
+        console, output, _ = frontend
+        console.submit_line("! air conditioner")
+        text = "\n".join(output)
+        assert "TurnOn" in text and "temperature" in text
+
+    def test_blank_line_ignored(self, frontend):
+        console, output, _ = frontend
+        console.submit_line("   ")
+        assert output == []
+
+
+class TestRenderers:
+    def test_render_device_list_empty(self, frontend):
+        console, _, _ = frontend
+        lookup = LookupService(
+            console.session.server.control_point.registry,
+            words=console.session.words,
+        )
+        text = render_device_list(lookup, LookupQuery(name="missing"))
+        assert "no devices" in text
+
+    def test_render_guidance_unknown_device(self, frontend):
+        console, _, _ = frontend
+        lookup = LookupService(
+            console.session.server.control_point.registry,
+            words=console.session.words,
+        )
+        guidance = GuidanceService(console.session.server.engine)
+        assert "no device" in render_guidance(guidance, lookup, "teleporter")
+
+    def test_render_priority_dialog(self, frontend):
+        console, _, home = frontend
+        session = console.session
+        server = session.server
+        session.submit(
+            "If temperature is higher than 25 degrees, turn on the air "
+            "conditioner with 24 degrees of temperature setting",
+            rule_name="first",
+        )
+        outcome = session.submit(
+            "If temperature is higher than 26 degrees, turn on the air "
+            "conditioner with 25 degrees of temperature setting",
+            rule_name="second",
+        )
+        text = render_priority_dialog(
+            server, outcome.rule, outcome.conflicts
+        )
+        assert "Priority setup" in text
+        assert "first" in text or "Tom" in text

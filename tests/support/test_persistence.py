@@ -1,0 +1,125 @@
+"""Tests for household persistence across a simulated server restart."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.support.persistence import (
+    restore_household,
+    save_household,
+)
+from tests.stack import Stack
+
+
+def populated_stack():
+    stack = Stack()
+    tom = stack.session("Tom")
+    tom.submit(
+        "Let's call the condition that temperature is higher than 26 "
+        "degrees and humidity is over 65 percent hot and stuffy"
+    )
+    tom.submit(
+        'If I am in the living room and the living room is "hot and '
+        'stuffy", turn on the air conditioner with 25 degrees of '
+        "temperature setting",
+        rule_name="tom-climate",
+    )
+    alan = stack.session("Alan")
+    alan.submit(
+        "If I am in the living room, play the stereo with opera of genre "
+        "setting",
+        rule_name="alan-opera",
+    )
+    alan.set_priority("stereo", ["Alan", "Tom"],
+                      context="alan got home from work")
+    tom.shared_words.define_condition(
+        "sweltering",
+        tom.parser.parse_condition("temperature is higher than 30 degrees"),
+    )
+    return stack
+
+
+class TestSaveRestore:
+    def test_round_trip_restores_everything(self):
+        old = populated_stack()
+        sessions = {name: old.session(name) for name in ("Tom", "Alan")}
+        archive = save_household(old.server, sessions)
+
+        fresh = Stack()  # the "rebooted" server: new UDNs everywhere
+        fresh_sessions = {name: fresh.session(name)
+                          for name in ("Tom", "Alan")}
+        report = restore_household(fresh_sessions, archive)
+
+        assert report.ok()
+        assert report.rules_restored == 2
+        assert report.priorities_restored == 1
+        assert "tom-climate" in fresh.server.database
+        assert "alan-opera" in fresh.server.database
+        # Personal word survived and is usable.
+        assert fresh.session("Tom").words.has_condition("hot and stuffy")
+        # Shared word survived.
+        assert fresh.session("Alan").words.has_condition("sweltering")
+        # Priority order re-bound to the *new* stereo UDN.
+        stereo_udn = fresh.home.stereo.udn
+        orders = fresh.server.priorities.orders_for_device(stereo_udn)
+        assert len(orders) == 1
+        assert orders[0].ranking == ("Alan", "Tom")
+
+    def test_restored_rules_execute(self):
+        old = populated_stack()
+        archive = save_household(
+            old.server, {name: old.session(name) for name in ("Tom", "Alan")}
+        )
+        fresh = Stack()
+        restore_household(
+            {name: fresh.session(name) for name in ("Tom", "Alan")}, archive
+        )
+        living = fresh.home.environment.room("living room")
+        living.temperature, living.humidity = 31.0, 80.0
+        fresh.home.household.arrive_home("Tom", "school", "living room")
+        fresh.run_for(180.0)
+        assert fresh.home.aircon.is_on
+        assert fresh.home.aircon.target_temperature == 25.0
+
+    def test_missing_user_reported_not_fatal(self):
+        old = populated_stack()
+        archive = save_household(
+            old.server, {name: old.session(name) for name in ("Tom", "Alan")}
+        )
+        fresh = Stack()
+        report = restore_household({"Tom": fresh.session("Tom")}, archive)
+        assert not report.ok()
+        assert ("alan-opera", "no session for user 'Alan'") in [
+            (name, reason) for name, reason in report.rules_failed
+        ]
+        assert report.rules_restored == 1
+
+    def test_bad_format_rejected(self):
+        fresh = Stack()
+        with pytest.raises(RuleError, match="format"):
+            restore_household({"Tom": fresh.session("Tom")},
+                              '{"format": "bogus"}')
+
+    def test_unbindable_rule_reported(self):
+        """A rule naming a device the new home lacks fails cleanly."""
+        import json
+
+        fresh = Stack()
+        archive = json.dumps({
+            "format": "cadel-household/1",
+            "users": {
+                "Tom": {
+                    "rules": [
+                        {"name": "ghost", "text": "turn on the jacuzzi"}
+                    ],
+                    "condition_words": {},
+                    "configuration_words": {},
+                }
+            },
+            "shared_condition_words": {},
+            "shared_configuration_words": {},
+            "priorities": [],
+        })
+        report = restore_household({"Tom": fresh.session("Tom")}, archive)
+        assert not report.ok()
+        assert report.rules_failed[0][0] == "ghost"
+        assert "no device" in report.rules_failed[0][1]

@@ -1,0 +1,89 @@
+"""Shared fixtures: a small device population on a fresh bus."""
+
+import pytest
+
+from repro.net.bus import NetworkBus
+from repro.sim.events import Simulator
+from repro.upnp.control_point import ControlPoint
+from repro.upnp.device import UPnPDevice
+from repro.upnp.service import Action, Service, StateVariable
+
+
+def make_lamp(name: str, location: str = "living room") -> UPnPDevice:
+    """A minimal switchable lamp with a dimmer, used across UPnP tests."""
+    device = UPnPDevice(
+        name,
+        "urn:repro:device:Lamp:1",
+        location=location,
+        keywords=("light", "lamp"),
+        category="appliance",
+    )
+    service = Service("urn:repro:service:SwitchPower:1", "power")
+    service.add_variable(StateVariable("on", "boolean", value=False))
+    service.add_variable(
+        StateVariable("level", "number", value=0.0, minimum=0.0, maximum=100.0,
+                      unit="%")
+    )
+
+    def turn_on(args):
+        service.set_variable("on", True)
+        service.set_variable("level", float(args.get("level", 100.0)))
+        return {"on": True}
+
+    def turn_off(args):
+        service.set_variable("on", False)
+        service.set_variable("level", 0.0)
+        return {"on": False}
+
+    service.add_action(Action("TurnOn", turn_on, in_args=("level",),
+                              out_args=("on",), description="switch the lamp on"))
+    service.add_action(Action("TurnOff", turn_off, out_args=("on",),
+                              description="switch the lamp off"))
+    device.add_service(service)
+    return device
+
+
+def make_thermometer(name: str, location: str = "living room") -> UPnPDevice:
+    """A temperature sensor whose reading is evented."""
+    device = UPnPDevice(
+        name,
+        "urn:repro:device:Thermometer:1",
+        location=location,
+        keywords=("temperature", "sensor"),
+        category="sensor",
+    )
+    service = Service("urn:repro:service:TemperatureSensor:1", "temperature")
+    service.add_variable(
+        StateVariable("temperature", "number", value=20.0, unit="celsius")
+    )
+    device.add_service(service)
+    return device
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def bus(sim):
+    return NetworkBus(sim)
+
+
+@pytest.fixture
+def lamp(sim, bus):
+    device = make_lamp("floor lamp")
+    device.attach(bus, sim)
+    return device
+
+
+@pytest.fixture
+def thermometer(sim, bus):
+    device = make_thermometer("thermometer")
+    device.attach(bus, sim)
+    return device
+
+
+@pytest.fixture
+def control_point(sim, bus):
+    return ControlPoint(bus, sim, name="test-cp")

@@ -1,0 +1,169 @@
+"""Action invocation and eventing tests for the UPnP substrate."""
+
+import pytest
+
+from repro.errors import SubscriptionError, UPnPError
+from repro.upnp import ssdp
+
+
+class TestInvoke:
+    def test_invoke_runs_action_and_returns_outputs(self, sim, bus, lamp,
+                                                    control_point):
+        control_point.search(ssdp.ST_ALL)
+        outputs = control_point.invoke(lamp.udn, "power", "TurnOn", {"level": 40.0})
+        assert outputs == {"on": True}
+        assert lamp.get_state("power", "on") is True
+        assert lamp.get_state("power", "level") == 40.0
+
+    def test_invoke_unknown_action_raises(self, sim, bus, lamp, control_point):
+        control_point.search(ssdp.ST_ALL)
+        with pytest.raises(UPnPError, match="no such action"):
+            control_point.invoke(lamp.udn, "power", "Explode")
+
+    def test_invoke_unknown_service_raises(self, sim, bus, lamp, control_point):
+        control_point.search(ssdp.ST_ALL)
+        with pytest.raises(UPnPError):
+            control_point.invoke(lamp.udn, "ghost", "TurnOn")
+
+    def test_invoke_with_unknown_args_rejected(self, sim, bus, lamp, control_point):
+        control_point.search(ssdp.ST_ALL)
+        with pytest.raises(UPnPError, match="unknown arguments"):
+            control_point.invoke(lamp.udn, "power", "TurnOn", {"wattage": 60})
+
+    def test_invoke_unknown_udn_raises(self, sim, bus, control_point):
+        with pytest.raises(UPnPError):
+            control_point.invoke("ghost", "power", "TurnOn")
+
+
+class TestEventing:
+    def test_initial_notify_carries_snapshot(self, sim, bus, thermometer,
+                                             control_point):
+        control_point.search(ssdp.ST_ALL)
+        events = []
+        control_point.subscribe(
+            thermometer.udn, "temperature",
+            lambda udn, svc, changes: events.append(changes),
+        )
+        assert events == [{"temperature": 20.0}]
+
+    def test_change_notifies_subscriber(self, sim, bus, thermometer, control_point):
+        control_point.search(ssdp.ST_ALL)
+        events = []
+        control_point.subscribe(
+            thermometer.udn, "temperature",
+            lambda udn, svc, changes: events.append(changes),
+        )
+        thermometer.set_state("temperature", "temperature", 28.5)
+        sim.run_until(sim.now + 1.0)
+        assert events[-1] == {"temperature": 28.5}
+
+    def test_no_notify_when_value_unchanged(self, sim, bus, thermometer,
+                                            control_point):
+        control_point.search(ssdp.ST_ALL)
+        events = []
+        control_point.subscribe(
+            thermometer.udn, "temperature",
+            lambda udn, svc, changes: events.append(changes),
+        )
+        thermometer.set_state("temperature", "temperature", 20.0)  # same value
+        sim.run_until(sim.now + 1.0)
+        assert len(events) == 1  # only the initial snapshot
+
+    def test_unsubscribe_stops_events(self, sim, bus, thermometer, control_point):
+        control_point.search(ssdp.ST_ALL)
+        events = []
+        sid = control_point.subscribe(
+            thermometer.udn, "temperature",
+            lambda udn, svc, changes: events.append(changes),
+        )
+        control_point.unsubscribe(sid)
+        sim.run_until(sim.now + 1.0)
+        thermometer.set_state("temperature", "temperature", 30.0)
+        sim.run_until(sim.now + 1.0)
+        assert events == [{"temperature": 20.0}]
+
+    def test_subscription_expires_without_renewal(self, sim, bus, thermometer,
+                                                  control_point):
+        control_point.search(ssdp.ST_ALL)
+        events = []
+        control_point.subscribe(
+            thermometer.udn, "temperature",
+            lambda udn, svc, changes: events.append(changes),
+            timeout=10.0,
+            auto_renew=False,
+        )
+        sim.run_until(sim.now + 11.0)
+        thermometer.set_state("temperature", "temperature", 30.0)
+        sim.run_until(sim.now + 1.0)
+        assert events == [{"temperature": 20.0}]
+
+    def test_renewal_extends_subscription(self, sim, bus, thermometer,
+                                          control_point):
+        control_point.search(ssdp.ST_ALL)
+        events = []
+        sid = control_point.subscribe(
+            thermometer.udn, "temperature",
+            lambda udn, svc, changes: events.append(changes),
+            timeout=10.0,
+            auto_renew=False,
+        )
+        sim.run_until(sim.now + 8.0)
+        control_point.renew(sid, timeout=10.0)
+        sim.run_until(sim.now + 8.0)  # 16s after subscribe, inside renewed window
+        thermometer.set_state("temperature", "temperature", 30.0)
+        sim.run_until(sim.now + 1.0)
+        assert events[-1] == {"temperature": 30.0}
+
+    def test_subscribe_to_unknown_service_raises(self, sim, bus, thermometer,
+                                                 control_point):
+        control_point.search(ssdp.ST_ALL)
+        with pytest.raises(SubscriptionError):
+            control_point.subscribe(
+                thermometer.udn, "ghost", lambda udn, svc, changes: None
+            )
+
+    def test_renew_unknown_sid_raises(self, sim, bus, thermometer, control_point):
+        with pytest.raises(SubscriptionError):
+            control_point.renew("uuid:sub-bogus")
+
+    def test_two_subscribers_both_notified(self, sim, bus, thermometer,
+                                           control_point):
+        from repro.upnp.control_point import ControlPoint
+
+        second = ControlPoint(bus, sim, name="second-cp")
+        control_point.search(ssdp.ST_ALL)
+        second.search(ssdp.ST_ALL)
+        first_events, second_events = [], []
+        control_point.subscribe(
+            thermometer.udn, "temperature",
+            lambda udn, svc, ch: first_events.append(ch),
+        )
+        second.subscribe(
+            thermometer.udn, "temperature",
+            lambda udn, svc, ch: second_events.append(ch),
+        )
+        thermometer.set_state("temperature", "temperature", 25.0)
+        sim.run_until(sim.now + 1.0)
+        assert first_events[-1] == {"temperature": 25.0}
+        assert second_events[-1] == {"temperature": 25.0}
+
+
+class TestServiceValidation:
+    def test_number_range_enforced(self, lamp):
+        with pytest.raises(UPnPError):
+            lamp.set_state("power", "level", 150.0)
+
+    def test_boolean_type_enforced(self, lamp):
+        with pytest.raises(UPnPError):
+            lamp.set_state("power", "on", "yes")
+
+    def test_detach_requires_attached(self, sim, bus):
+        from tests.upnp.conftest import make_lamp
+
+        device = make_lamp("unattached")
+        with pytest.raises(UPnPError):
+            device.detach()
+
+    def test_double_attach_rejected(self, sim, bus, lamp):
+        with pytest.raises(UPnPError):
+            lamp.attach(bus, sim)

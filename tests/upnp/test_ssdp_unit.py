@@ -1,0 +1,62 @@
+"""Unit tests for SSDP message construction and target matching."""
+
+import pytest
+
+from repro.upnp import ssdp
+
+
+class TestTargetMatching:
+    UDN = "dev-00042"
+    DEVICE_TYPE = "urn:repro:device:Lamp:1"
+    SERVICES = ["urn:repro:service:SwitchPower:1"]
+
+    def match(self, target):
+        return ssdp.target_matches(target, self.UDN, self.DEVICE_TYPE,
+                                   self.SERVICES)
+
+    def test_ssdp_all_matches_with_device_type(self):
+        assert self.match(ssdp.ST_ALL) == self.DEVICE_TYPE
+
+    def test_root_device_matches(self):
+        assert self.match(ssdp.ST_ROOT_DEVICE) == self.DEVICE_TYPE
+
+    def test_uuid_target(self):
+        assert self.match(f"uuid:{self.UDN}") == f"uuid:{self.UDN}"
+
+    def test_wrong_uuid_silent(self):
+        assert self.match("uuid:other") is None
+
+    def test_device_type_target(self):
+        assert self.match(self.DEVICE_TYPE) == self.DEVICE_TYPE
+
+    def test_service_type_target(self):
+        assert self.match(self.SERVICES[0]) == self.SERVICES[0]
+
+    def test_unrelated_target_silent(self):
+        assert self.match("urn:repro:device:Toaster:1") is None
+
+
+class TestMessageBuilders:
+    def test_msearch_headers(self):
+        message = ssdp.msearch("cp:x", "ssdp:all", search_id=7)
+        assert message.destination == ssdp.MULTICAST_GROUP
+        assert message.header("METHOD") == ssdp.METHOD_MSEARCH
+        assert message.header("ST") == "ssdp:all"
+        assert message.header("SEARCH-ID") == 7
+
+    def test_msearch_response_echoes_search_id(self):
+        request = ssdp.msearch("cp:x", "ssdp:all", search_id=9)
+        response = ssdp.msearch_response(request, "dev:d1", "d1",
+                                         "urn:repro:device:Lamp:1")
+        assert response.destination == "cp:x"
+        assert response.header("SEARCH-ID") == 9
+        assert response.header("UDN") == "d1"
+        assert response.header("USN").startswith("uuid:d1::")
+        assert response.header("LOCATION") == "dev:d1"
+
+    def test_notify_alive_and_byebye(self):
+        alive = ssdp.notify("dev:d1", "d1", ssdp.NTS_ALIVE, "type")
+        byebye = ssdp.notify("dev:d1", "d1", ssdp.NTS_BYEBYE, "type")
+        assert alive.destination == ssdp.MULTICAST_GROUP
+        assert alive.header("NTS") == ssdp.NTS_ALIVE
+        assert byebye.header("NTS") == ssdp.NTS_BYEBYE
