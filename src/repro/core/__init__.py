@@ -7,7 +7,10 @@ This package is the paper's home-server brain (Fig. 3):
   :mod:`repro.core.rule` — the *rule object* representation CADEL
   sentences compile into ("the rule execution module does not execute
   rules by interpreting CADEL descriptions" — Sect. 4.1).
-* :mod:`repro.core.database` — indexed rule storage.
+* :mod:`repro.core.plan` — compiled condition plans (deduplicated atom
+  slots + DNF clause bitmasks), the incremental-evaluation IR.
+* :mod:`repro.core.database` — indexed rule storage, including the
+  atom-level subscription index that drives incremental evaluation.
 * :mod:`repro.core.consistency` — the inconsistency check run at
   registration time (condition can never hold → warn the user).
 * :mod:`repro.core.conflict` — same-device extraction + joint
@@ -39,6 +42,7 @@ from repro.core.conflict import ConflictChecker, ConflictReport
 from repro.core.consistency import ConsistencyChecker
 from repro.core.database import RuleDatabase
 from repro.core.engine import RuleEngine
+from repro.core.plan import CompiledPlan, compile_condition
 from repro.core.priority import PriorityManager, PriorityOrder
 from repro.core.rule import Rule
 from repro.core.server import HomeServer
@@ -65,6 +69,8 @@ __all__ = [
     "ConsistencyChecker",
     "RuleDatabase",
     "RuleEngine",
+    "CompiledPlan",
+    "compile_condition",
     "PriorityManager",
     "PriorityOrder",
     "Rule",

@@ -68,6 +68,19 @@ Conjunction = tuple["Atom", ...]
 """One conjunct of a DNF: a conjunction of atoms."""
 
 
+def _memo(condition: "Condition", attr: str, compute):
+    """Per-instance memo that also works on frozen dataclass atoms.
+
+    Conditions are immutable once built, so key/dnf/variable queries can
+    be computed once; ``object.__setattr__`` bypasses the frozen guard.
+    """
+    value = condition.__dict__.get(attr)
+    if value is None:
+        value = compute()
+        object.__setattr__(condition, attr, value)
+    return value
+
+
 class Condition(ABC):
     """Base class of the condition IR."""
 
@@ -88,22 +101,29 @@ class Condition(ABC):
     def describe(self) -> str:
         """Human-readable rendering for dialogs and logs."""
 
-    def numeric_variables(self) -> set[str]:
-        names: set[str] = set()
-        for conjunction in self.dnf():
-            for atom in conjunction:
-                names |= atom.referenced_numeric_variables()
-        return names
+    def numeric_variables(self) -> frozenset[str]:
+        def compute() -> frozenset[str]:
+            names: set[str] = set()
+            for conjunction in self.dnf():
+                for atom in conjunction:
+                    names |= atom.referenced_numeric_variables()
+            return frozenset(names)
 
-    def referenced_variables(self) -> set[str]:
+        return _memo(self, "_memo_numeric_vars", compute)
+
+    def referenced_variables(self) -> frozenset[str]:
         """Every variable (numeric, discrete or set) the condition reads;
         the engine uses this to know which rules to re-evaluate when a
-        sensor value changes."""
-        names: set[str] = set()
-        for conjunction in self.dnf():
-            for atom in conjunction:
-                names |= atom.referenced_variables()
-        return names
+        sensor value changes.  Returns a shared memoized frozenset —
+        callers must not mutate it."""
+        def compute() -> frozenset[str]:
+            names: set[str] = set()
+            for conjunction in self.dnf():
+                for atom in conjunction:
+                    names |= atom.referenced_variables()
+            return frozenset(names)
+
+        return _memo(self, "_memo_referenced_vars", compute)
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Condition) and self.key() == other.key()
@@ -176,7 +196,21 @@ class NumericAtom(Atom):
         return self.constraint.satisfied_by(assignment)
 
     def key(self) -> str:
-        return f"num({self.constraint})"
+        # Exact identity: repr() round-trips floats, while the display
+        # string's %g formatting (6 significant digits) would collide
+        # distinct thresholds — fatal now that keys drive atom dedup.
+        def compute() -> str:
+            constraint = self.constraint
+            terms = ",".join(
+                f"{coef!r}*{name}"
+                for name, coef in constraint.expr.coefficients
+            )
+            return (
+                f"num({terms};{constraint.expr.constant!r}"
+                f"{constraint.relation.value}{constraint.bound!r})"
+            )
+
+        return _memo(self, "_memo_key", compute)
 
     def describe(self) -> str:
         return self.text or str(self.constraint)
@@ -366,10 +400,16 @@ class DurationAtom(Atom):
         # For satisfiability, "inner held for d" requires inner to hold,
         # so each inner conjunct is extended with this marker atom (the
         # marker itself imposes no further static constraint).
-        return [conj + (self,) for conj in self.inner.dnf()]
+        return _memo(
+            self, "_memo_dnf",
+            lambda: [conj + (self,) for conj in self.inner.dnf()],
+        )
 
     def key(self) -> str:
-        return f"held({self.inner.key()},{self.seconds})"
+        return _memo(
+            self, "_memo_key",
+            lambda: f"held({self.inner.key()},{self.seconds})",
+        )
 
     def describe(self) -> str:
         return f"{self.inner.describe()} for {self.seconds:g} seconds"
@@ -408,6 +448,9 @@ class AndCondition(Condition):
         return all(child.evaluate(ctx) for child in self.children)
 
     def dnf(self) -> list[Conjunction]:
+        return _memo(self, "_memo_dnf", self._expand_dnf)
+
+    def _expand_dnf(self) -> list[Conjunction]:
         product: list[Conjunction] = [()]
         for child in self.children:
             expansion: list[Conjunction] = []
@@ -423,7 +466,10 @@ class AndCondition(Condition):
         return product
 
     def key(self) -> str:
-        return "and(" + ",".join(sorted(c.key() for c in self.children)) + ")"
+        return _memo(
+            self, "_memo_key",
+            lambda: "and(" + ",".join(sorted(c.key() for c in self.children)) + ")",
+        )
 
     def describe(self) -> str:
         return " and ".join(
@@ -446,6 +492,9 @@ class OrCondition(Condition):
         return any(child.evaluate(ctx) for child in self.children)
 
     def dnf(self) -> list[Conjunction]:
+        return _memo(self, "_memo_dnf", self._expand_dnf)
+
+    def _expand_dnf(self) -> list[Conjunction]:
         result: list[Conjunction] = []
         for child in self.children:
             result.extend(child.dnf())
@@ -456,7 +505,10 @@ class OrCondition(Condition):
         return result
 
     def key(self) -> str:
-        return "or(" + ",".join(sorted(c.key() for c in self.children)) + ")"
+        return _memo(
+            self, "_memo_key",
+            lambda: "or(" + ",".join(sorted(c.key() for c in self.children)) + ")",
+        )
 
     def describe(self) -> str:
         return " or ".join(c.describe() for c in self.children)

@@ -19,17 +19,47 @@ action when it has one (Alan's "if it is impossible to use the TV,
 record the game with the video recorder"); when the contested device is
 later released, standing rules are re-arbitrated so the strongest
 claimant upgrades back to its primary action.
+
+Evaluation strategy (the incremental core)
+------------------------------------------
+
+By default the engine runs **incrementally**: each rule's condition is
+compiled into a :class:`~repro.core.plan.CompiledPlan` and the engine
+keeps a per-rule atom-truth bitset.  An ``ingest()`` asks the database's
+atom-level index for the atoms whose truth *may* have crossed (sorted
+threshold lists for numeric atoms, value/member keys for discrete and
+membership atoms), verifies each candidate once, flips the subscribed
+bits and re-derives truth from the cached DNF clause masks — work
+proportional to what changed, not to how many rules read the variable.
+
+Three small watch sets preserve the seed semantics exactly:
+
+* ``DENIED`` rules retry arbitration on *any* relevant change, flipped
+  atom or not, so they are watched per variable while denied;
+* ``ACTIVE``/``FALLBACK`` rules with an ``until`` evaluate it on any
+  relevant change, so they are watched per variable while holding;
+* stateful plans (duration atoms, whose ``held()`` bookkeeping is a
+  side effect of tree-walk order) and plans with volatile time/event
+  atoms wake on any referenced-variable change via the database's
+  variable-watch index and keep their original evaluation order.
+
+Constructing the engine with ``incremental=False`` restores the seed's
+full re-evaluation path unchanged (the A5 ablation baseline): every
+ingest re-walks the condition tree of every rule reading the variable.
+Both modes produce identical truth values, states, holders and traces.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
 
 from repro.core.action import ActionSpec
-from repro.core.condition import Condition, DurationAtom
+from repro.core.condition import DurationAtom
 from repro.core.database import RuleDatabase
+from repro.core.plan import CompiledPlan
 from repro.core.priority import PriorityManager, PriorityOrder
 from repro.core.rule import Rule
 from repro.errors import ReproError, RuleError
@@ -41,6 +71,10 @@ PromptPolicy = Callable[[str, list[Rule]], Rule | None]
 competing rules) → chosen rule, or None to keep the status quo."""
 
 _HELD_EPSILON = 1e-6
+
+DEFAULT_MAX_TRACE = 100_000
+"""Default trace ring-buffer capacity — generous enough for scenario
+time-charts, bounded so long-running homes don't grow without limit."""
 
 
 class RuleState(enum.Enum):
@@ -157,6 +191,9 @@ class RuleEngine:
         dispatch: Dispatch,
         prompt_policy: PromptPolicy | None = None,
         access_check: Callable[[Rule, ActionSpec], None] | None = None,
+        *,
+        incremental: bool = True,
+        max_trace: int | None = DEFAULT_MAX_TRACE,
     ) -> None:
         self.database = database
         self.priorities = priorities
@@ -164,13 +201,37 @@ class RuleEngine:
         self.dispatch = dispatch
         self.prompt_policy = prompt_policy or keep_status_quo_policy
         self.access_check = access_check
+        self.incremental = incremental
         self.world = WorldState(simulator)
         self.world.on_held_armed = self._arm_held_timer
-        self.trace: list[TraceEntry] = []
+        if max_trace is not None and max_trace <= 0:
+            raise RuleError(f"max_trace must be positive: {max_trace}")
+        self.trace: deque[TraceEntry] = deque(maxlen=max_trace)
         self._truth: dict[str, bool] = {}
         self._state: dict[str, RuleState] = {}
         self._holders: dict[str, tuple[str, ActionSpec]] = {}  # udn -> (rule, spec)
         self._held_atom_rules: dict[str, set[str]] = {}  # atom key -> rule names
+        # -- incremental-evaluation state ----------------------------------------
+        # Engine-side plan map, not a shortcut for database.plan_of():
+        # rule_removed() runs after the database entry is gone and still
+        # needs the plan to prune atom-truth caches.
+        self._plans: dict[str, CompiledPlan] = {}        # rule name -> plan
+        self._bits: dict[str, int] = {}                  # rule name -> atom bits
+        self._atom_truth: dict[str, bool] = {}           # atom key -> cached truth
+        self._watch_vars: dict[str, frozenset[str]] = {}  # rule -> cond+until vars
+        self._has_until: set[str] = set()
+        # Rules skipped while disabled: the seed path re-examines them on
+        # any relevant change once re-enabled, so they must be woken even
+        # when no atom flips (their bits may have gone stale meanwhile).
+        self._disabled_dirty: set[str] = set()
+        if incremental:
+            # Attach-to-populated-database pattern: rules registered
+            # before the engine existed still need plans/bits/watches or
+            # delta propagation would silently never wake them.
+            for rule in database.all_rules():
+                self._index_rule(rule)
+        self._denied_watch: dict[str, set[str]] = {}     # variable -> DENIED rules
+        self._until_watch: dict[str, set[str]] = {}      # variable -> holding rules
 
     # -- rule registration hooks ------------------------------------------------------
 
@@ -178,44 +239,177 @@ class RuleEngine:
         """Index duration atoms and evaluate the rule against the current
         state (a rule whose condition is already true fires immediately,
         which is what a user expects right after registering it)."""
-        for conjunction in rule.condition.dnf():
-            for atom in conjunction:
-                if isinstance(atom, DurationAtom):
-                    self._held_atom_rules.setdefault(atom.key(), set()).add(rule.name)
+        self._index_rule(rule)
         self._truth[rule.name] = False
         self._state[rule.name] = RuleState.IDLE
         self.reevaluate([rule.name])
 
+    def _index_rule(self, rule: Rule) -> None:
+        plan = self.database.plan_of(rule.name)
+        for atom in plan.atoms:
+            if isinstance(atom, DurationAtom):
+                self._held_atom_rules.setdefault(atom.key(), set()).add(rule.name)
+        if self.incremental:
+            self._plans[rule.name] = plan
+            watch = set(plan.variables)
+            if rule.until is not None:
+                self._has_until.add(rule.name)
+                watch |= rule.until.referenced_variables()
+            self._watch_vars[rule.name] = frozenset(watch)
+            self._refresh_static_bits(rule.name)
+
     def rule_removed(self, rule_name: str) -> None:
         self._truth.pop(rule_name, None)
         state = self._state.pop(rule_name, None)
-        for rules in self._held_atom_rules.values():
-            rules.discard(rule_name)
+        if state is RuleState.DENIED:
+            self._unwatch(self._denied_watch, rule_name)
+        elif state in (RuleState.ACTIVE, RuleState.FALLBACK):
+            self._unwatch(self._until_watch, rule_name)
+        plan = self._plans.pop(rule_name, None)
+        self._bits.pop(rule_name, None)
+        self._watch_vars.pop(rule_name, None)
+        self._has_until.discard(rule_name)
+        self._disabled_dirty.discard(rule_name)
+        for key in [k for k, rules in self._held_atom_rules.items()
+                    if rule_name in rules]:
+            bucket = self._held_atom_rules[key]
+            bucket.discard(rule_name)
+            if not bucket:
+                del self._held_atom_rules[key]
+        if plan is not None:
+            # Drop truth caches for atoms no other rule subscribes to.
+            for atom in plan.atoms:
+                key = atom.key()
+                if key in self._atom_truth and not self.database.has_atom(key):
+                    del self._atom_truth[key]
         if state in (RuleState.ACTIVE, RuleState.FALLBACK):
             self._release_holdings(rule_name)
+
+    # -- state bookkeeping -------------------------------------------------------------
+
+    def _set_state(self, rule_name: str, state: RuleState) -> None:
+        """State transition, maintaining the per-variable watch sets the
+        incremental path needs for DENIED retries and until checks."""
+        if not self.incremental:
+            self._state[rule_name] = state
+            return
+        previous = self._state.get(rule_name)
+        if previous is state:
+            return
+        holding = (RuleState.ACTIVE, RuleState.FALLBACK)
+        if previous is RuleState.DENIED:
+            self._unwatch(self._denied_watch, rule_name)
+        elif previous in holding and state not in holding:
+            self._unwatch(self._until_watch, rule_name)
+        if state is RuleState.DENIED:
+            self._watch(self._denied_watch, rule_name)
+        elif state in holding and previous not in holding \
+                and rule_name in self._has_until:
+            self._watch(self._until_watch, rule_name)
+        self._state[rule_name] = state
+
+    def _watch(self, index: dict[str, set[str]], rule_name: str) -> None:
+        for variable in self._watch_vars.get(rule_name, ()):
+            index.setdefault(variable, set()).add(rule_name)
+
+    def _unwatch(self, index: dict[str, set[str]], rule_name: str) -> None:
+        for variable in self._watch_vars.get(rule_name, ()):
+            bucket = index.get(variable)
+            if bucket is not None:
+                bucket.discard(rule_name)
+                if not bucket:
+                    del index[variable]
 
     # -- world-state ingestion ----------------------------------------------------------
 
     def ingest(self, variable: str, value: Any) -> None:
         """Update one variable from a sensor event and re-evaluate the
-        rules whose conditions read it."""
+        rules whose conditions read it.
+
+        In incremental mode the rules woken are exactly those whose
+        observable behaviour can change: subscribers of atoms whose truth
+        flipped, plus the DENIED/until/variable-watch sets."""
+        candidates: list | None = None
         if isinstance(value, bool):
-            changed = self.world.set_discrete(variable, "true" if value else "false")
+            value = "true" if value else "false"
+        if isinstance(value, str):
+            old_discrete = self.world.discrete(variable)
+            if not self.world.set_discrete(variable, value):
+                return
+            if self.incremental:
+                candidates = self.database.discrete_candidates(
+                    variable, old_discrete, value)
         elif isinstance(value, (int, float)):
-            changed = self.world.set_numeric(variable, float(value))
-        elif isinstance(value, frozenset):
-            changed = self.world.set_set(variable, value)
-        elif isinstance(value, (set, list, tuple)):
-            changed = self.world.set_set(variable, frozenset(value))
-        elif isinstance(value, str):
-            changed = self.world.set_discrete(variable, value)
+            old_numeric = self.world.numeric(variable)
+            new_numeric = float(value)
+            if not self.world.set_numeric(variable, new_numeric):
+                return
+            if self.incremental:
+                candidates = self.database.numeric_candidates(
+                    variable, old_numeric, new_numeric)
+        elif isinstance(value, (frozenset, set, list, tuple)):
+            old_members = self.world.set_members(variable)
+            new_members = value if isinstance(value, frozenset) \
+                else frozenset(value)
+            if not self.world.set_set(variable, new_members):
+                return
+            if self.incremental:
+                candidates = self.database.set_candidates(
+                    variable, old_members, new_members)
         elif value is None:
             return
         else:
             raise RuleError(f"cannot ingest value of type {type(value).__name__}")
-        if changed:
+
+        if not self.incremental:
             dirty = [r.name for r in self.database.rules_reading_variable(variable)]
-            self.reevaluate(dirty)
+            self._evaluate_rules(dirty, full=False)
+            return
+        self._propagate_deltas(variable, candidates)
+
+    def _propagate_deltas(self, variable: str,
+                          candidates: Iterable) -> None:
+        """Verify candidate atoms, flip subscriber bits, wake watchers."""
+        dirty: set[str] = set()
+        bits = self._bits
+        truth_cache = self._atom_truth
+        for entry in candidates:
+            new_truth = entry.atom.evaluate(self.world)
+            if truth_cache.get(entry.key, False) == new_truth:
+                continue
+            truth_cache[entry.key] = new_truth
+            if new_truth:
+                for name, bit in entry.subscribers.items():
+                    current = bits.get(name)
+                    if current is not None:
+                        bits[name] = current | bit
+                        dirty.add(name)
+            else:
+                for name, bit in entry.subscribers.items():
+                    current = bits.get(name)
+                    if current is not None:
+                        bits[name] = current & ~bit
+                        dirty.add(name)
+        watchers = self.database.variable_watchers(variable)
+        if watchers:
+            dirty.update(watchers)
+        denied = self._denied_watch.get(variable)
+        if denied:
+            dirty.update(denied)
+        holding = self._until_watch.get(variable)
+        if holding:
+            dirty.update(holding)
+        if self._disabled_dirty:
+            for name in list(self._disabled_dirty):
+                watch = self._watch_vars.get(name)
+                if watch is not None and variable in watch:
+                    self._refresh_static_bits(name)
+                    dirty.add(name)
+        if not dirty:
+            return
+        database = self.database
+        ordered = sorted(dirty, key=lambda name: database.get(name).rule_id)
+        self._evaluate_rules(ordered, full=False)
 
     def post_event(self, event_type: str, subject: str | None = None) -> None:
         """Fire an instantaneous event ("returns home"); rules whose
@@ -235,28 +429,77 @@ class RuleEngine:
             if name not in self.database:
                 continue
             rule = self.database.get(name)
-            truth = rule.condition.evaluate(self.world)
+            truth = self._compute_truth(name, rule, full=True)
             if self._truth.get(name, False) and not truth:
                 self._truth[name] = False
                 if self._state.get(name) in (RuleState.ACTIVE, RuleState.FALLBACK):
                     # Fire-and-forget: drop the bookkeeping claim quietly.
-                    self._state[name] = RuleState.IDLE
+                    self._set_state(name, RuleState.IDLE)
                     self._release_holdings(name)
                 else:
-                    self._state[name] = RuleState.IDLE
+                    self._set_state(name, RuleState.IDLE)
 
     # -- evaluation ------------------------------------------------------------------------
 
     def reevaluate(self, rule_names: list[str]) -> None:
         """Recompute the truth of the given rules, firing edges."""
+        self._evaluate_rules(rule_names, full=True)
+
+    def reevaluate_all(self) -> None:
+        self.reevaluate([rule.name for rule in self.database.all_rules()])
+
+    def _compute_truth(self, name: str, rule: Rule, full: bool) -> bool:
+        """Current condition truth.
+
+        ``full`` recomputes every atom slot (registration, explicit
+        reevaluation, clock ticks); otherwise the cached bits — already
+        updated by delta propagation — are combined with freshly
+        evaluated volatile atoms.  Stateful plans and the non-incremental
+        baseline walk the condition tree exactly as the seed engine did.
+        """
+        if not self.incremental:
+            return rule.condition.evaluate(self.world)
+        plan = self._plans.get(name)
+        if plan is None or plan.has_duration:
+            return rule.condition.evaluate(self.world)
+        if full:
+            bits = self._refresh_static_bits(name)
+        else:
+            bits = self._bits.get(name, 0)
+        if plan.volatile_slots:
+            bits |= plan.volatile_bits(self.world)
+        return plan.truth(bits)
+
+    def _refresh_static_bits(self, name: str) -> int:
+        """Recompute a fast rule's static atom bits from the world (pure;
+        never touches duration state)."""
+        plan = self._plans.get(name)
+        if plan is None or plan.has_duration:
+            return 0
+        bits = 0
+        truth_cache = self._atom_truth
+        for bit, key, atom in plan.static_slots:
+            atom_truth = atom.evaluate(self.world)
+            if atom_truth:
+                bits |= bit
+            truth_cache[key] = atom_truth
+        self._bits[name] = bits
+        return bits
+
+    def _evaluate_rules(self, rule_names: Iterable[str], full: bool) -> None:
+        """Shared edge-firing loop of both evaluation paths."""
         rising: list[Rule] = []
         for name in rule_names:
             if name not in self.database:
                 continue
             rule = self.database.get(name)
             if not rule.enabled:
+                if self.incremental:
+                    self._disabled_dirty.add(name)
                 continue
-            truth = rule.condition.evaluate(self.world)
+            if self._disabled_dirty:
+                self._disabled_dirty.discard(name)
+            truth = self._compute_truth(name, rule, full)
             previous = self._truth.get(name, False)
             self._truth[name] = truth
             if truth and not previous:
@@ -274,9 +517,6 @@ class RuleEngine:
                 self._stop_rule(rule, reason="until condition met")
         if rising:
             self._process_requests(rising)
-
-    def reevaluate_all(self) -> None:
-        self.reevaluate([rule.name for rule in self.database.all_rules()])
 
     # -- request processing & arbitration -----------------------------------------------------
 
@@ -334,7 +574,9 @@ class RuleEngine:
     def _grant(self, rule: Rule, spec: ActionSpec, is_primary: bool,
                order: PriorityOrder | None) -> None:
         self._holders[spec.device_udn] = (rule.name, spec)
-        self._state[rule.name] = RuleState.ACTIVE if is_primary else RuleState.FALLBACK
+        self._set_state(
+            rule.name, RuleState.ACTIVE if is_primary else RuleState.FALLBACK
+        )
         detail = spec.describe()
         if order is not None:
             detail += f" (order: {order.describe()})"
@@ -354,7 +596,7 @@ class RuleEngine:
                         f"lost {spec.device_name!r} to {winner.name!r}; "
                         f"trying {rule.fallback.describe()}")
             return [(rule, rule.fallback, False)]
-        self._state[rule.name] = RuleState.DENIED
+        self._set_state(rule.name, RuleState.DENIED)
         self._trace("deny", rule.name, udn, f"lost to {winner.name!r}")
         return []
 
@@ -372,7 +614,7 @@ class RuleEngine:
             self._trace("fallback", holder_name, udn,
                         f"preempted; trying {holder_rule.fallback.describe()}")
             return [(holder_rule, holder_rule.fallback, False)]
-        self._state[holder_name] = RuleState.DENIED
+        self._set_state(holder_name, RuleState.DENIED)
         return []
 
     # -- stopping & release ----------------------------------------------------------------------
@@ -381,13 +623,13 @@ class RuleEngine:
         if self._state.get(rule.name) in (RuleState.ACTIVE, RuleState.FALLBACK):
             self._stop_rule(rule, reason="condition no longer holds")
         else:
-            self._state[rule.name] = RuleState.IDLE
+            self._set_state(rule.name, RuleState.IDLE)
 
     def _stop_rule(self, rule: Rule, reason: str) -> None:
         self._trace("stop", rule.name, detail=reason)
         if rule.stop_action is not None:
             self._dispatch_safely(rule, rule.stop_action)
-        self._state[rule.name] = RuleState.IDLE
+        self._set_state(rule.name, RuleState.IDLE)
         self._release_holdings(rule.name)
 
     def _dispatch_safely(self, rule: Rule, spec: ActionSpec) -> None:

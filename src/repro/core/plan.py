@@ -1,0 +1,212 @@
+"""Compiled condition plans — the incremental-evaluation IR.
+
+A registered condition is compiled **once** into a :class:`CompiledPlan`:
+a deduplicated table of atom slots plus DNF clause bitmasks.  Rule truth
+then reduces to ``any((bits & mask) == mask for mask in clauses)`` over a
+per-rule atom-truth bitset, and the engine only touches the bits that an
+ingest actually flipped (driven by the atom-level index in
+:mod:`repro.core.database`).
+
+Atoms fall into three behavioural classes:
+
+static
+    :class:`NumericAtom`, :class:`DiscreteAtom`, :class:`MembershipAtom`
+    — truth is a pure function of stored world variables.  Their truth
+    is cached globally (atoms are deduplicated by key across rules) and
+    flipped by the database's threshold / value-keyed indexes.
+volatile
+    :class:`TimeWindowAtom`, :class:`EventAtom` — truth depends on
+    ambient context (the clock, the current event set) that changes
+    without any ingest.  They are re-evaluated fresh on every truth
+    computation; evaluation is cheap arithmetic and the atoms are
+    deduplicated, so this stays O(atoms-per-rule).
+stateful
+    A plan containing a :class:`DurationAtom` is *stateful*: ``held()``
+    bookkeeping is a side effect of recursive evaluation order, so such
+    plans keep the original tree evaluator to stay bit-exact with the
+    seed semantics.  The engine wakes them through the variable-watch
+    index instead of atom deltas.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.condition import (
+    Atom,
+    Condition,
+    DurationAtom,
+    EvaluationContext,
+    EventAtom,
+    FalseAtom,
+    NumericAtom,
+    TimeWindowAtom,
+    TrueAtom,
+)
+from repro.solver.linear import Relation
+
+VOLATILE_ATOM_TYPES = (TimeWindowAtom, EventAtom)
+
+
+class CompiledPlan:
+    """Flat, immutable evaluation plan for one condition.
+
+    Attributes:
+        source_key: the compiled condition's :meth:`Condition.key`.
+        atoms: deduplicated atom table; slot ``i`` owns bit ``1 << i``.
+        clauses: one bitmask per surviving DNF conjunction, subsumption-
+            reduced (a clause implied by a shorter clause is dropped).
+        static_slots: ``(bit, atom_key, atom)`` triples for atoms whose
+            truth the engine caches and the database indexes.
+        volatile_slots: ``(bit, atom)`` pairs re-evaluated fresh on every
+            truth computation.
+        has_duration: the plan is stateful (see module docstring).
+        variables / numeric_variables: cached variable footprints.
+    """
+
+    __slots__ = (
+        "source_key", "atoms", "clauses", "static_slots", "volatile_slots",
+        "has_duration", "variables", "numeric_variables",
+    )
+
+    def __init__(
+        self,
+        source_key: str,
+        atoms: tuple[Atom, ...],
+        clauses: tuple[int, ...],
+        static_slots: tuple[tuple[int, str, Atom], ...],
+        volatile_slots: tuple[tuple[int, Atom], ...],
+        has_duration: bool,
+        variables: frozenset[str],
+        numeric_variables: frozenset[str],
+    ) -> None:
+        self.source_key = source_key
+        self.atoms = atoms
+        self.clauses = clauses
+        self.static_slots = static_slots
+        self.volatile_slots = volatile_slots
+        self.has_duration = has_duration
+        self.variables = variables
+        self.numeric_variables = numeric_variables
+
+    def truth(self, bits: int) -> bool:
+        """Condition truth given an atom-truth bitset."""
+        for mask in self.clauses:
+            if (bits & mask) == mask:
+                return True
+        return False
+
+    def volatile_bits(self, ctx: EvaluationContext) -> int:
+        bits = 0
+        for bit, atom in self.volatile_slots:
+            if atom.evaluate(ctx):
+                bits |= bit
+        return bits
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompiledPlan atoms={len(self.atoms)} "
+            f"clauses={len(self.clauses)} stateful={self.has_duration}>"
+        )
+
+
+def _reduce_clauses(clauses: Iterable[int]) -> tuple[int, ...]:
+    """Deduplicate and subsumption-reduce clause masks.
+
+    Clause masks are conjunctions: if ``small ⊆ big`` then ``big`` implies
+    ``small`` and can be dropped.  Sorting by popcount makes one pass
+    sufficient.
+    """
+    kept: list[int] = []
+    for mask in sorted(set(clauses), key=lambda m: (bin(m).count("1"), m)):
+        if any((mask & prior) == prior for prior in kept):
+            continue
+        kept.append(mask)
+    return tuple(kept)
+
+
+def compile_condition(condition: Condition) -> CompiledPlan:
+    """Compile a condition into a :class:`CompiledPlan`.
+
+    ``TrueAtom`` contributes no slot (its bit would always be set) and a
+    conjunction containing ``FalseAtom`` is dropped entirely; a plan with
+    no surviving clauses is constant-false, a plan containing an empty
+    clause mask is constant-true.
+    """
+    slot_of: dict[str, int] = {}
+    atoms: list[Atom] = []
+    clauses: list[int] = []
+    for conjunction in condition.dnf():
+        mask = 0
+        dead = False
+        for atom in conjunction:
+            if isinstance(atom, TrueAtom):
+                continue
+            if isinstance(atom, FalseAtom):
+                dead = True
+                break
+            key = atom.key()
+            slot = slot_of.get(key)
+            if slot is None:
+                slot = len(atoms)
+                slot_of[key] = slot
+                atoms.append(atom)
+            mask |= 1 << slot
+        if not dead:
+            clauses.append(mask)
+
+    static_slots: list[tuple[int, str, Atom]] = []
+    volatile_slots: list[tuple[int, Atom]] = []
+    has_duration = False
+    for slot, atom in enumerate(atoms):
+        bit = 1 << slot
+        if isinstance(atom, DurationAtom):
+            has_duration = True
+        elif isinstance(atom, VOLATILE_ATOM_TYPES):
+            volatile_slots.append((bit, atom))
+        else:
+            static_slots.append((bit, atom.key(), atom))
+
+    return CompiledPlan(
+        source_key=condition.key(),
+        atoms=tuple(atoms),
+        clauses=_reduce_clauses(clauses),
+        static_slots=tuple(static_slots),
+        volatile_slots=tuple(volatile_slots),
+        has_duration=has_duration,
+        variables=frozenset(condition.referenced_variables()),
+        numeric_variables=frozenset(condition.numeric_variables()),
+    )
+
+
+def numeric_threshold(
+    atom: NumericAtom,
+) -> tuple[str, str, float, float] | None:
+    """Threshold-index descriptor for a single-variable inequality atom.
+
+    Returns ``(variable, kind, threshold, guard)`` where ``kind`` is
+    ``"below"`` when the atom is true for values *below* the threshold
+    and ``"above"`` otherwise, and ``guard`` widens the bisect window so
+    the comparison tolerance of :meth:`LinearConstraint.satisfied_by`
+    can never hide a flip.  Returns ``None`` for atoms that need generic
+    rechecking (multi-variable constraints and equalities).
+    """
+    constraint = atom.constraint
+    coefficients = constraint.expr.coefficients
+    if len(coefficients) != 1:
+        return None
+    relation = constraint.relation
+    if relation is Relation.EQ:
+        return None
+    variable, coefficient = coefficients[0]
+    if coefficient == 0.0:
+        return None
+    # make() folds the constant into the bound, but a directly-built
+    # constraint may still carry one: coef*v + c REL bound.
+    threshold = (constraint.bound - constraint.expr.constant) / coefficient
+    guard = 1e-9 / abs(coefficient) + 1e-12
+    if relation in (Relation.LE, Relation.LT):
+        kind = "below" if coefficient > 0 else "above"
+    else:  # GE/GT only appear when a constraint bypassed make()
+        kind = "above" if coefficient > 0 else "below"
+    return variable, kind, threshold, guard

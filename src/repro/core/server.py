@@ -30,7 +30,7 @@ from repro.core.access import AccessPolicy
 from repro.core.conflict import ConflictChecker, ConflictReport
 from repro.core.consistency import ConsistencyChecker
 from repro.core.database import RuleDatabase
-from repro.core.engine import PromptPolicy, RuleEngine
+from repro.core.engine import DEFAULT_MAX_TRACE, PromptPolicy, RuleEngine
 from repro.core.priority import PriorityManager, PriorityOrder
 from repro.core.rule import Rule
 from repro.errors import RuleError
@@ -63,6 +63,8 @@ class HomeServer:
         prompt_policy: PromptPolicy | None = None,
         conflict_policy: ConflictPolicy | None = None,
         clock_tick_period: float = 60.0,
+        incremental: bool = True,
+        max_trace: int | None = DEFAULT_MAX_TRACE,
     ) -> None:
         self.simulator = simulator
         self.control_point = ControlPoint(bus, simulator, name=name)
@@ -83,6 +85,8 @@ class HomeServer:
                 rule.owner, spec.device_udn, spec.device_name,
                 spec.action_name,
             ),
+            incremental=incremental,
+            max_trace=max_trace,
         )
         self.conflict_policy = conflict_policy
         self.conflict_log: list[ConflictReport] = []

@@ -12,15 +12,36 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.action import ActionSpec, Setting
-from repro.core.condition import AndCondition, NumericAtom
+from repro.core.condition import (
+    AndCondition,
+    Condition,
+    DiscreteAtom,
+    MembershipAtom,
+    NumericAtom,
+    OrCondition,
+    TimeWindowAtom,
+)
 from repro.core.database import RuleDatabase
 from repro.core.rule import Rule
+from repro.sim.clock import hhmm
 from repro.sim.rng import seeded_rng
 from repro.solver.linear import LinearConstraint, LinearExpr, Relation
 
 SENSOR_VARIABLES = (
     "sensor:temperature", "sensor:humidity", "sensor:illuminance",
     "sensor:noise", "sensor:co2", "sensor:pressure",
+)
+
+ROOMS = ("living room", "kitchen", "bedroom", "hall", "study")
+
+EPG_KEYWORDS = ("baseball", "news", "movie", "jazz", "drama", "weather")
+
+# A handful of canonical windows so time atoms deduplicate across rules.
+TIME_WINDOWS = (
+    (hhmm(6), hhmm(9), "in the morning"),
+    (hhmm(17), hhmm(21), "in the evening"),
+    (hhmm(21), hhmm(6), "at night"),
+    (hhmm(12), hhmm(13), "at lunchtime"),
 )
 
 
@@ -96,4 +117,98 @@ def build_rule_population(
         probe_rule=probe,
         total_rules=total_rules,
         same_device_rules=same_device_rules,
+    )
+
+
+# -- mixed-atom populations (A5 incremental-evaluation workload) ---------------
+
+
+@dataclass
+class MixedPopulation:
+    """A mixed-atom rule database for the incremental-engine benchmarks.
+
+    ``hot_variable`` is a shared sensor variable read by the numeric bulk
+    of the population — the variable an A5 probe ingests so the seed
+    full-re-eval path scales with rule count.
+    """
+
+    database: RuleDatabase
+    hot_variable: str
+    zone_count: int
+    total_rules: int
+
+
+def _zone_numeric(zone: str, rng) -> NumericAtom:
+    relation = rng.choice((Relation.GT, Relation.LT))
+    bound = rng.uniform(0.0, 100.0)
+    return NumericAtom(
+        LinearConstraint.make(
+            LinearExpr.var(f"{zone}:sensor:temperature"), relation, bound
+        )
+    )
+
+
+def _mixed_condition(index: int, rng, zone_count: int) -> Condition:
+    """One of four archetypes, weighted toward the paper's numeric shape.
+
+    The discrete / membership / time-window archetypes read per-zone and
+    per-person variables, which is what per-home sharding looks like at
+    scale; only the numeric bulk reads the shared sensor feed.
+    """
+    zone = f"zone-{rng.randrange(zone_count):04d}"
+    kind = index % 10
+    if kind < 7:
+        # The E2 shape: conjunction of two shared-sensor inequalities.
+        return _two_inequality_condition(rng)
+    if kind == 7:
+        person = f"person:resident-{index % 23}:place"
+        return AndCondition([
+            DiscreteAtom(person, rng.choice(ROOMS),
+                         negated=rng.random() < 0.2),
+            _zone_numeric(zone, rng),
+        ])
+    if kind == 8:
+        return AndCondition([
+            OrCondition([
+                MembershipAtom("epg:guide:keywords", rng.choice(EPG_KEYWORDS),
+                               negated=rng.random() < 0.2),
+                DiscreteAtom(f"{zone}:occupancy:present", "true"),
+            ]),
+            _zone_numeric(zone, rng),
+        ])
+    # index % 10 == 9 here, so cycle windows on index // 10 to reach all
+    # four shapes (including the midnight-wrapping "at night").
+    start, end, label = TIME_WINDOWS[(index // 10) % len(TIME_WINDOWS)]
+    return AndCondition([
+        TimeWindowAtom(start, end, label=label),
+        DiscreteAtom(f"{zone}:occupancy:present", "true"),
+    ])
+
+
+def build_mixed_population(
+    total_rules: int = 10_000,
+    zone_count: int | None = None,
+    seed: int | str = "a5-mixed",
+) -> MixedPopulation:
+    """Build a mixed-atom database: 70% shared-sensor numeric rules plus
+    discrete, membership and time-window archetypes over per-zone
+    variables.  Each rule drives its own device so benchmark probes
+    measure evaluation, not arbitration contention."""
+    if zone_count is None:
+        zone_count = max(8, total_rules // 50)
+    rng = seeded_rng(seed)
+    database = RuleDatabase()
+    for index in range(total_rules):
+        rule = Rule(
+            name=f"mixed-{index:05d}",
+            owner=f"user-{index % 7}",
+            condition=_mixed_condition(index, rng, zone_count),
+            action=_action_on(f"mixed-dev-{index:05d}", rng),
+        )
+        database.add(rule)
+    return MixedPopulation(
+        database=database,
+        hot_variable="sensor:temperature",
+        zone_count=zone_count,
+        total_rules=total_rules,
     )

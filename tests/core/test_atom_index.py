@@ -1,0 +1,362 @@
+"""Tests for the database's atom-level subscription index and the
+engine's incremental bookkeeping (trace ring buffer, watch-set and
+bucket pruning)."""
+
+import pytest
+
+from repro.core.condition import AndCondition, DiscreteAtom, DurationAtom
+from repro.core.database import RuleDatabase
+from repro.core.engine import RuleEngine, RuleState
+from repro.core.priority import PriorityManager, PriorityOrder
+from repro.sim.events import Simulator
+
+from tests.core.conftest import (
+    action,
+    in_room,
+    make_rule,
+    numeric_atom,
+    on_air,
+    temp_above,
+)
+from repro.solver.linear import Relation
+
+TEMP = "thermo:t:temperature"
+
+
+def add(db, name, condition, device="tv-1", **kwargs):
+    rule = make_rule(name, "Tom", condition,
+                     action(device=device), **kwargs)
+    db.add(rule)
+    return rule
+
+
+class TestThresholdIndex:
+    def test_candidates_narrow_to_crossed_thresholds(self):
+        db = RuleDatabase()
+        for i, bound in enumerate((10.0, 20.0, 30.0, 40.0)):
+            add(db, f"r{i}", temp_above(bound), device=f"d{i}")
+        from repro.core.plan import numeric_threshold
+        crossed = db.numeric_candidates(TEMP, 15.0, 35.0)
+        thresholds = sorted(numeric_threshold(e.atom)[2] for e in crossed)
+        assert thresholds == [20.0, 30.0]
+
+    def test_first_ingest_considers_everything(self):
+        db = RuleDatabase()
+        add(db, "r0", temp_above(10.0), device="d0")
+        add(db, "r1", numeric_atom(TEMP, Relation.LT, 50.0), device="d1")
+        assert len(db.numeric_candidates(TEMP, None, 25.0)) == 2
+
+    def test_exact_boundary_is_candidate(self):
+        db = RuleDatabase()
+        add(db, "r0", temp_above(28.0))
+        assert db.numeric_candidates(TEMP, 28.0, 28.5)
+        assert db.numeric_candidates(TEMP, 27.5, 28.0)
+
+    def test_equality_and_multivar_always_rechecked(self):
+        from repro.solver.linear import LinearConstraint, LinearExpr
+        from repro.core.condition import NumericAtom
+        db = RuleDatabase()
+        eq_atom = NumericAtom(LinearConstraint.make(
+            LinearExpr.var(TEMP), Relation.EQ, 42.0))
+        add(db, "eq", eq_atom, device="d0")
+        # A change far away from 42 must still recheck the equality atom.
+        assert len(db.numeric_candidates(TEMP, 1.0, 2.0)) == 1
+
+    def test_shared_atom_single_entry_two_subscribers(self):
+        db = RuleDatabase()
+        add(db, "a", temp_above(28.0), device="d0")
+        add(db, "b", AndCondition([temp_above(28.0), in_room("Tom")]),
+            device="d1")
+        entries = db.numeric_candidates(TEMP, 27.0, 29.0)
+        assert len(entries) == 1
+        assert set(entries[0].subscribers) == {"a", "b"}
+
+
+class TestDiscreteAndSetIndex:
+    def test_discrete_candidates_keyed_by_value(self):
+        db = RuleDatabase()
+        add(db, "lr", in_room("Tom", "living room"), device="d0")
+        add(db, "kt", in_room("Tom", "kitchen"), device="d1")
+        add(db, "bed", in_room("Tom", "bedroom"), device="d2")
+        candidates = db.discrete_candidates(
+            "person:Tom:place", "living room", "kitchen")
+        values = {e.atom.value for e in candidates}
+        assert values == {"living room", "kitchen"}
+
+    def test_negated_discrete_waking(self):
+        db = RuleDatabase()
+        add(db, "r", DiscreteAtom("person:Tom:place", "kitchen",
+                                  negated=True))
+        assert db.discrete_candidates("person:Tom:place",
+                                      "kitchen", "hall")
+        assert not db.discrete_candidates("person:Tom:place",
+                                          "hall", "bedroom")
+
+    def test_membership_candidates_from_symmetric_difference(self):
+        db = RuleDatabase()
+        add(db, "ball", on_air("baseball"), device="d0")
+        add(db, "news", on_air("news"), device="d1")
+        candidates = db.set_candidates(
+            "epg:guide:keywords",
+            frozenset({"baseball"}), frozenset({"baseball", "news"}))
+        assert {e.atom.member for e in candidates} == {"news"}
+
+
+class TestPlanSharingAndPruning:
+    def test_equal_conditions_share_one_plan(self):
+        db = RuleDatabase()
+        add(db, "a", temp_above(28.0), device="d0")
+        add(db, "b", temp_above(28.0), device="d1")
+        assert db.plan_of("a") is db.plan_of("b")
+
+    def test_removal_prunes_every_index(self):
+        db = RuleDatabase()
+        add(db, "a", AndCondition([temp_above(28.0), in_room("Tom"),
+                                   on_air("baseball")]), device="d0")
+        add(db, "b", numeric_atom(TEMP, Relation.LT, 10.0), device="d1")
+        db.remove("a")
+        db.remove("b")
+        assert not db._atom_entries
+        assert not db._numeric_bands
+        assert not db._discrete_bands
+        assert not db._set_bands
+        assert not db._plans
+        assert not db._plan_refs
+        assert not db._var_watch
+        assert len(db._by_variable) == 0
+        assert len(db._by_device) == 0
+        assert len(db._by_owner) == 0
+
+    def test_shared_atom_survives_partial_removal(self):
+        db = RuleDatabase()
+        add(db, "a", temp_above(28.0), device="d0")
+        add(db, "b", temp_above(28.0), device="d1")
+        db.remove("a")
+        entries = db.numeric_candidates(TEMP, 27.0, 29.0)
+        assert len(entries) == 1
+        assert set(entries[0].subscribers) == {"b"}
+
+    def test_var_watch_registers_stateful_and_volatile_rules(self):
+        db = RuleDatabase()
+        add(db, "held", DurationAtom(in_room("Tom"), 60.0), device="d0")
+        assert "held" in db.variable_watchers("person:Tom:place")
+        add(db, "plain", in_room("Alan"), device="d1")
+        assert "plain" not in db.variable_watchers("person:Alan:place")
+
+    def test_presorted_bucket_tracks_mutation(self):
+        db = RuleDatabase()
+        r0 = add(db, "a", temp_above(28.0), device="d0")
+        r1 = add(db, "b", temp_above(20.0), device="d1")
+        assert db.rules_reading_variable(TEMP) == [r0, r1]
+        db.remove("a")
+        assert db.rules_reading_variable(TEMP) == [r1]
+        r2 = add(db, "c", temp_above(25.0), device="d2")
+        assert db.rules_reading_variable(TEMP) == [r1, r2]
+
+
+class Harness:
+    def __init__(self, **engine_kwargs):
+        self.simulator = Simulator()
+        self.database = RuleDatabase()
+        self.priorities = PriorityManager()
+        self.dispatched = []
+        self.engine = RuleEngine(
+            self.database, self.priorities, self.simulator,
+            dispatch=self.dispatched.append, **engine_kwargs,
+        )
+
+    def add_rule(self, rule):
+        self.database.add(rule)
+        self.engine.rule_added(rule)
+        return rule
+
+
+class TestEngineBookkeeping:
+    def test_trace_is_a_capped_ring_buffer(self):
+        harness = Harness(max_trace=5)
+        harness.add_rule(make_rule("r", "Tom", temp_above(28.0), action()))
+        for i in range(10):
+            harness.engine.ingest(TEMP, 30.0 + i)  # no-op edges
+            harness.engine.ingest(TEMP, 20.0)      # falling
+            harness.engine.ingest(TEMP, 30.0)      # rising
+        assert len(harness.engine.trace) == 5
+        # Newest entries survive.
+        assert harness.engine.trace[-1].kind in ("fire", "stop")
+
+    def test_max_trace_must_be_positive(self):
+        from repro.errors import RuleError
+        with pytest.raises(RuleError):
+            Harness(max_trace=0)
+
+    def test_held_buckets_pruned_on_removal(self):
+        harness = Harness()
+        rule = make_rule(
+            "alarm", "Tom",
+            DurationAtom(DiscreteAtom("door:lock:locked", "false"), 60.0),
+            action(device="alarm-1"),
+        )
+        harness.add_rule(rule)
+        assert harness.engine._held_atom_rules
+        harness.database.remove("alarm")
+        harness.engine.rule_removed("alarm")
+        assert not harness.engine._held_atom_rules
+
+    def test_engine_state_pruned_on_removal(self):
+        harness = Harness()
+        harness.add_rule(make_rule("r", "Tom", temp_above(28.0), action()))
+        harness.engine.ingest(TEMP, 30.0)
+        harness.database.remove("r")
+        harness.engine.rule_removed("r")
+        assert not harness.engine._plans
+        assert not harness.engine._bits
+        assert not harness.engine._atom_truth
+        assert not harness.engine._watch_vars
+        assert not harness.engine._denied_watch
+        assert not harness.engine._until_watch
+
+    def test_denied_watch_follows_state(self):
+        harness = Harness()
+        harness.priorities.add_order(PriorityOrder("tv-1", ("Alan", "Tom")))
+        harness.add_rule(make_rule("tom", "Tom", in_room("Tom"), action()))
+        harness.add_rule(
+            make_rule("alan", "Alan", in_room("Alan"),
+                      action(act="ShowBaseball")))
+        harness.engine.ingest("person:Alan:place", "living room")
+        harness.engine.ingest("person:Tom:place", "living room")
+        assert harness.engine.rule_state("tom") is RuleState.DENIED
+        assert any("tom" in bucket
+                   for bucket in harness.engine._denied_watch.values())
+        harness.engine.ingest("person:Tom:place", "kitchen")
+        assert not any("tom" in bucket
+                       for bucket in harness.engine._denied_watch.values())
+
+    def test_until_watch_follows_holding_state(self):
+        harness = Harness()
+        harness.add_rule(
+            make_rule("r", "Tom", in_room("Tom"), action(),
+                      until=temp_above(30.0),
+                      stop_action=action(act="TurnOff")))
+        harness.engine.ingest("person:Tom:place", "living room")
+        assert any("r" in bucket
+                   for bucket in harness.engine._until_watch.values())
+        harness.engine.ingest(TEMP, 31.0)  # until fires, rule stops
+        assert harness.engine.rule_state("r") is RuleState.IDLE
+        assert not any("r" in bucket
+                       for bucket in harness.engine._until_watch.values())
+
+    def test_nan_ingest_flips_threshold_atoms(self):
+        """NaN defeats the bisect window ordering; it must fall back to
+        rechecking every atom so active rules stop like the seed path."""
+        for incremental in (True, False):
+            harness = Harness(incremental=incremental)
+            harness.add_rule(
+                make_rule("r", "Tom", temp_above(28.0), action()))
+            harness.engine.ingest(TEMP, 35.0)
+            assert harness.engine.rule_truth("r") is True
+            harness.engine.ingest(TEMP, float("nan"))
+            assert harness.engine.rule_truth("r") is False, incremental
+            assert harness.engine.holder_of("tv-1") is None
+            harness.engine.ingest(TEMP, 35.0)
+            assert harness.engine.rule_truth("r") is True, incremental
+
+    def test_reenabled_rule_fires_like_seed_path(self):
+        """A rule whose atoms flipped while it was disabled must fire on
+        the next relevant change after re-enabling, as the seed does."""
+        results = {}
+        for incremental in (True, False):
+            harness = Harness(incremental=incremental)
+            rule = make_rule("r", "Tom", temp_above(26.0), action())
+            harness.add_rule(rule)
+            harness.engine.ingest(TEMP, 20.0)
+            rule.enabled = False
+            harness.engine.ingest(TEMP, 30.0)  # flips while disabled
+            assert harness.engine.rule_truth("r") is False
+            rule.enabled = True
+            harness.engine.ingest(TEMP, 31.0)  # no flip, but relevant
+            results[incremental] = (
+                harness.engine.rule_truth("r"),
+                harness.engine.rule_state("r"),
+                len(harness.dispatched),
+            )
+        assert results[True] == results[False]
+        assert results[True] == (True, RuleState.ACTIVE, 1)
+
+    def test_rule_registered_disabled_then_enabled(self):
+        """Registered-disabled rules start with empty bitsets; enabling
+        them must still see the current world on the next wake."""
+        results = {}
+        for incremental in (True, False):
+            harness = Harness(incremental=incremental)
+            harness.engine.ingest(TEMP, 30.0)  # already hot
+            rule = make_rule("r", "Tom", temp_above(26.0), action())
+            rule.enabled = False
+            harness.add_rule(rule)
+            rule.enabled = True
+            harness.engine.ingest(TEMP, 30.5)  # relevant, no flip
+            results[incremental] = (
+                harness.engine.rule_truth("r"),
+                len(harness.dispatched),
+            )
+        assert results[True] == results[False] == (True, 1)
+
+    def test_direct_constraint_with_constant_indexes_correctly(self):
+        """Constraints built without LinearConstraint.make may carry an
+        expr constant; the threshold must account for it."""
+        from repro.core.condition import NumericAtom
+        from repro.core.plan import numeric_threshold
+        from repro.solver.linear import LinearConstraint, LinearExpr, Relation
+        atom = NumericAtom(LinearConstraint(
+            expr=LinearExpr(coefficients=((TEMP, 2.0),), constant=3.0),
+            relation=Relation.LE, bound=10.0,
+        ))  # 2t + 3 <= 10  <=>  t <= 3.5
+        _, kind, threshold, _ = numeric_threshold(atom)
+        assert (kind, threshold) == ("below", pytest.approx(3.5))
+        harness = Harness()
+        harness.add_rule(make_rule("r", "Tom", atom, action()))
+        harness.engine.ingest(TEMP, 3.0)
+        assert harness.engine.rule_truth("r") is True
+        harness.engine.ingest(TEMP, 4.0)  # crosses 3.5, not bound/coef=5.0
+        assert harness.engine.rule_truth("r") is False
+
+    def test_nearby_thresholds_never_share_identity(self):
+        """Atom keys must be exact: %g display formatting collides at 6
+        significant digits and would evaluate one rule with another
+        rule's constraint."""
+        low, high = 28.1234559, 28.1234561
+        atom_low, atom_high = temp_above(low), temp_above(high)
+        assert atom_low.key() != atom_high.key()
+        results = {}
+        for incremental in (True, False):
+            harness = Harness(incremental=incremental)
+            harness.add_rule(make_rule("low", "Tom", temp_above(low),
+                                       action(device="d0")))
+            harness.add_rule(make_rule("high", "Tom", temp_above(high),
+                                       action(device="d1")))
+            harness.engine.ingest(TEMP, 28.1234560)
+            results[incremental] = (harness.engine.rule_truth("low"),
+                                    harness.engine.rule_truth("high"))
+        assert results[True] == results[False] == (True, False)
+
+    def test_engine_attached_to_prepopulated_database(self):
+        """The seed pattern of constructing an engine over an existing
+        database must work incrementally too — no silent dead engine."""
+        results = {}
+        for incremental in (True, False):
+            database = RuleDatabase()
+            for i, bound in enumerate((10.0, 20.0, 30.0)):
+                database.add(make_rule(f"r{i}", "Tom", temp_above(bound),
+                                       action(device=f"d{i}")))
+            engine = RuleEngine(database, PriorityManager(), Simulator(),
+                                dispatch=lambda spec: None,
+                                incremental=incremental)
+            engine.ingest(TEMP, 25.0)
+            results[incremental] = [engine.rule_truth(f"r{i}")
+                                    for i in range(3)]
+        assert results[True] == results[False] == [True, True, False]
+
+    def test_incremental_flag_off_restores_seed_path(self):
+        harness = Harness(incremental=False)
+        harness.add_rule(make_rule("r", "Tom", temp_above(28.0), action()))
+        harness.engine.ingest(TEMP, 30.0)
+        assert harness.engine.rule_truth("r") is True
+        assert not harness.engine._plans  # no incremental state kept
