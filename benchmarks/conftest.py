@@ -6,19 +6,64 @@ paper's reported numbers next to ours (EXPERIMENTS.md records a full
 run).  Absolute values are expected to differ — the paper ran on a 2005
 Athlon 2200+ with a C Simplex library; the *shape* (single-digit-ms
 retrieval/extraction, sub-ms batched feasibility) is the target.
+
+Besides printing, :func:`report` appends every measured row to
+``BENCH_results.json`` at the repository root (``experiment``, ``row``,
+``measured_ms``), so the perf trajectory is machine-readable across PRs
+instead of living only in scrollback.
+
+Set ``REPRO_BENCH_SMOKE=1`` to shrink the scaling sweeps (A5/A6) to CI
+smoke sizes; the shape assertions adapt to the smaller ratios.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_results.json"
+
+# One stamp per pytest process: rows of the same run group together, so
+# the ledger stays reconstructible when several runs append over time.
+RUN_STAMP = time.strftime("%Y-%m-%dT%H:%M:%S")
+
+BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") \
+    not in ("", "0", "false", "no")
+
+
+def record_result(experiment: str, row: str, measured_ms: float) -> None:
+    """Append one row to the repo-root ``BENCH_results.json`` ledger."""
+    rows: list[dict] = []
+    if RESULTS_PATH.exists():
+        try:
+            loaded = json.loads(RESULTS_PATH.read_text())
+            if isinstance(loaded, list):
+                rows = loaded
+        except (OSError, ValueError):
+            rows = []  # a corrupt ledger must never fail a benchmark
+    rows.append({
+        "experiment": experiment,
+        "row": row,
+        "measured_ms": round(measured_ms, 6),
+        "run": RUN_STAMP,
+    })
+    try:
+        RESULTS_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    except OSError:
+        pass  # read-only checkout: keep the printed row at least
+
 
 def report(experiment: str, row: str, paper: str, measured_s: float) -> None:
-    """Print one paper-vs-measured comparison row."""
+    """Print one paper-vs-measured comparison row and record it."""
     measured_ms = measured_s * 1e3
     print(
         f"\n  [{experiment}] {row}\n"
         f"    paper:    {paper}\n"
         f"    measured: {measured_ms:.3f} ms"
     )
+    record_result(experiment, row, measured_ms)
 
 
 def median_seconds(benchmark) -> float:

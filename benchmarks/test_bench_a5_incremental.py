@@ -18,13 +18,18 @@ asserts the scaling shapes both ways.
 
 import pytest
 
-from benchmarks.conftest import median_seconds, report
+from benchmarks.conftest import BENCH_SMOKE, median_seconds, report
 from repro.core.engine import RuleEngine
 from repro.core.priority import PriorityManager
 from repro.sim.events import Simulator
 from repro.workloads.rules import build_mixed_population
 
-SWEEP = (1_000, 5_000, 20_000, 50_000)
+# Smoke mode (REPRO_BENCH_SMOKE=1, the CI fail-fast job) shrinks the
+# sweep; the shape assertions scale with the sweep ratio below.
+SWEEP = (1_000, 10_000) if BENCH_SMOKE else (1_000, 5_000, 20_000, 50_000)
+
+# Full sweep: 50x rules ⇒ baseline ≥5x; smoke: 10x rules ⇒ ≥2x.
+BASELINE_GROWTH_FLOOR = max(2.0, (SWEEP[-1] / SWEEP[0]) / 10.0)
 
 MEDIANS: dict[tuple[str, int], float] = {}
 
@@ -100,8 +105,9 @@ def test_baseline_full_reeval_ingest(benchmark, setups, count):
 
 
 def test_scaling_shape():
-    """Acceptance: incremental stays ~flat 1k → 50k (≤3× its 1k median)
-    while the seed path grows ~linearly (50× rules ⇒ ≥5× cost)."""
+    """Acceptance: incremental stays ~flat over the sweep (≤3× its
+    smallest-size median) while the seed path grows ~linearly with the
+    population (ratio floor scaled to the sweep size)."""
     needed = [(mode, count) for mode in ("incremental", "baseline")
               for count in (SWEEP[0], SWEEP[-1])]
     if any(key not in MEDIANS for key in needed):
@@ -123,7 +129,8 @@ def test_scaling_shape():
         f"incremental ingest grew x{incremental_ratio:.2f} from "
         f"{SWEEP[0]} to {SWEEP[-1]} rules (expected ~flat)"
     )
-    assert baseline_ratio >= 5.0, (
-        f"baseline full re-eval grew only x{baseline_ratio:.2f}; "
+    assert baseline_ratio >= BASELINE_GROWTH_FLOOR, (
+        f"baseline full re-eval grew only x{baseline_ratio:.2f} "
+        f"(floor x{BASELINE_GROWTH_FLOOR:.1f}); "
         "the ablation should scale with population"
     )

@@ -1,0 +1,187 @@
+"""A6 — cluster sharding: ingest throughput vs shard count, and the
+batched/coalescing ingest bus vs per-event dispatch.
+
+The ROADMAP's production target is millions of users; no single engine
+serves that, so the cluster layer fans homes out across independent
+shards.  Two shapes are measured:
+
+* **Shard scaling** — the same fleet-wide event stream is routed to 1,
+  2, 4 and 8 shards and each shard's drain is timed separately.  Shards
+  share no mutable state, so in a real deployment they drain on
+  separate cores; the aggregate throughput is therefore governed by the
+  *critical path* — the slowest shard — which this benchmark reports.
+  With homes spread by consistent hashing, the critical path shrinks
+  ~linearly as shards are added.
+* **Batched drain vs per-event dispatch** — a bursty stream (chatty
+  sensors emitting runs of readings) through the batching/coalescing
+  bus versus the per-event ablation (one scheduler callback per
+  reading).  Coalescing collapses each run to its settled value, so the
+  batched bus wins on exactly the streams that hurt most.
+
+Sizes shrink under ``REPRO_BENCH_SMOKE=1`` (the CI fail-fast job); the
+shape assertions adapt.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SMOKE, report
+from repro.cluster import ClusterServer
+from repro.sim.events import Simulator
+from repro.workloads.fleet import build_home_fleet, fleet_event_stream
+
+if BENCH_SMOKE:
+    FLEET_HOMES, RULES_PER_HOME = 16, 40
+    SHARD_SWEEP = (1, 4)
+    SCALING_EVENTS, BURSTY_EVENTS = 600, 1_200
+    SCALING_FLOOR = 1.6     # 16 homes hash unevenly over 4 shards
+else:
+    FLEET_HOMES, RULES_PER_HOME = 64, 125
+    SHARD_SWEEP = (1, 2, 4, 8)
+    SCALING_EVENTS, BURSTY_EVENTS = 2_000, 3_200
+    SCALING_FLOOR = 4.0     # ~linear: ≥4x aggregate throughput at 8 shards
+
+ROUNDS = 5
+BURST = 16
+
+THROUGHPUTS: dict[int, float] = {}
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return build_home_fleet(FLEET_HOMES, RULES_PER_HOME, seed="a6-fleet")
+
+
+def _build_cluster(fleet, shard_count, *, coalesce, batch=True):
+    cluster = ClusterServer(
+        Simulator(), shard_count=shard_count,
+        coalesce=coalesce, batch=batch, max_trace=10_000,
+    )
+    for rule in fleet.all_rules():
+        cluster.register_rule(rule, validate=False)
+    # Prime every sensor once so the sweep measures steady state, not
+    # the one-time "first reading of this variable" fan-out.
+    for home in fleet.homes:
+        for variable in fleet.sensors_by_home[home]:
+            cluster.ingest(variable, 50.0)
+    cluster.flush()
+    # flush() only drains queues; batch=False primes are scheduled
+    # directly on the simulator and must be run to apply.
+    cluster.simulator.run_until(cluster.simulator.now)
+    return cluster
+
+
+@pytest.mark.parametrize("shard_count", SHARD_SWEEP)
+def test_shard_scaling(fleet, shard_count):
+    """Publish one fleet-wide stream, then time each shard's drain in
+    isolation; the critical path (max shard drain) sets the aggregate
+    throughput of a one-core-per-shard deployment."""
+    cluster = _build_cluster(fleet, shard_count, coalesce=False)
+    stream = fleet_event_stream(
+        fleet, events=SCALING_EVENTS, burst=1, seed="a6-scaling"
+    )
+    criticals = []
+    for round_index in range(ROUNDS):
+        offset = 0.013 * (round_index + 1)  # every write changes value
+        for variable, value in stream:
+            cluster.ingest(variable, value + offset)
+        shard_times = []
+        for index in range(shard_count):
+            start = time.perf_counter()
+            cluster.bus.flush(shard=index)
+            shard_times.append(time.perf_counter() - start)
+        criticals.append(max(shard_times))
+    criticals.sort()
+    critical = criticals[len(criticals) // 2]
+    throughput = SCALING_EVENTS / critical
+    THROUGHPUTS[shard_count] = throughput
+    report(
+        "A6",
+        f"ingest critical path @ {shard_count} shards "
+        f"({FLEET_HOMES} homes, {fleet.total_rules} rules; "
+        f"{throughput:,.0f} events/s aggregate)",
+        "n/a (scaling experiment)",
+        critical,
+    )
+    cluster.shutdown()
+
+
+def test_shard_scaling_shape():
+    """Acceptance: aggregate ingest throughput grows ~linearly with the
+    shard count (within consistent-hash balance), because shards share
+    nothing and the critical path shrinks with the largest home share."""
+    if any(count not in THROUGHPUTS for count in SHARD_SWEEP):
+        pytest.skip("shard sweep did not run (filtered?)")
+    base = THROUGHPUTS[SHARD_SWEEP[0]]
+    top = THROUGHPUTS[SHARD_SWEEP[-1]]
+    ratio = top / base
+    print(
+        f"\n  [A6] aggregate throughput scaling "
+        f"{SHARD_SWEEP[0]} -> {SHARD_SWEEP[-1]} shards: x{ratio:.2f}"
+    )
+    assert ratio >= SCALING_FLOOR, (
+        f"aggregate throughput grew only x{ratio:.2f} from "
+        f"{SHARD_SWEEP[0]} to {SHARD_SWEEP[-1]} shards "
+        f"(floor x{SCALING_FLOOR:.1f})"
+    )
+    for small, large in zip(SHARD_SWEEP, SHARD_SWEEP[1:]):
+        assert THROUGHPUTS[large] > THROUGHPUTS[small], (
+            f"throughput did not improve from {small} to {large} shards"
+        )
+
+
+def test_batched_drain_beats_per_event_dispatch(fleet):
+    """Acceptance: on bursty streams the batching/coalescing bus beats
+    per-event dispatch (one simulator callback per reading)."""
+    shard_count = SHARD_SWEEP[-1] // 2 or 1
+    batched = _build_cluster(fleet, shard_count, coalesce=True, batch=True)
+    per_event = _build_cluster(fleet, shard_count, coalesce=False, batch=False)
+    stream = fleet_event_stream(
+        fleet, events=BURSTY_EVENTS, burst=BURST, seed="a6-bursty"
+    )
+
+    def run(cluster, offset):
+        start = time.perf_counter()
+        for variable, value in stream:
+            cluster.ingest(variable, value + offset)
+        cluster.flush()
+        simulator = cluster.simulator
+        simulator.run_until(simulator.now)  # settles per-event dispatches
+        return time.perf_counter() - start
+
+    batched_times, per_event_times = [], []
+    for round_index in range(ROUNDS):
+        offset = 0.013 * (round_index + 1)
+        batched_times.append(run(batched, offset))
+        per_event_times.append(run(per_event, offset))
+    batched_times.sort()
+    per_event_times.sort()
+    batched_median = batched_times[len(batched_times) // 2]
+    per_event_median = per_event_times[len(per_event_times) // 2]
+    speedup = per_event_median / batched_median
+
+    stats = batched.stats()
+    report(
+        "A6",
+        f"batched+coalesced drain, bursts of {BURST} "
+        f"(applied {stats.applied}/{stats.published} writes)",
+        "n/a (bus ablation)",
+        batched_median,
+    )
+    report(
+        "A6",
+        f"per-event dispatch, bursts of {BURST} (x{speedup:.2f} slower)",
+        "n/a (bus ablation)",
+        per_event_median,
+    )
+    batched.shutdown()
+    per_event.shutdown()
+
+    assert stats.coalesced > 0, "bursty stream never coalesced a write"
+    assert speedup >= 1.3, (
+        f"batched drain only x{speedup:.2f} vs per-event dispatch "
+        "(expected a clear win on bursty streams)"
+    )

@@ -1,0 +1,26 @@
+"""Cluster layer: sharded multi-home serving over the single-home core.
+
+The ROADMAP's path from "one household" to "millions of users" starts
+here: a consistent-hash :class:`ShardRouter` maps home-prefixed
+variable ids onto N independent :class:`EngineShard`\\ s (each a full
+database + incremental engine), an :class:`IngestBus` decouples sensor
+ingestion from arbitration with per-shard FIFO batch drains and safe
+write coalescing, and the :class:`ClusterServer` facade keeps the
+single-home `HomeServer` API shape so applications scale by swapping
+the facade.
+"""
+
+from repro.cluster.bus import BusStats, IngestBus
+from repro.cluster.router import ShardRouter, home_key, stable_hash
+from repro.cluster.server import ClusterServer
+from repro.cluster.shard import EngineShard
+
+__all__ = [
+    "BusStats",
+    "ClusterServer",
+    "EngineShard",
+    "IngestBus",
+    "ShardRouter",
+    "home_key",
+    "stable_hash",
+]

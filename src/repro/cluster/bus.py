@@ -1,0 +1,255 @@
+"""Batched asynchronous ingest bus.
+
+Sensor events are *published* to per-shard FIFO queues and *applied*
+later by a drain callback scheduled on the shared discrete-event
+:class:`~repro.sim.events.Simulator` — ingestion is decoupled from
+arbitration exactly as a production front door decouples accept from
+process.  Three properties matter:
+
+FIFO per shard
+    A shard's queue preserves publish order across writes *and*
+    instantaneous events, so the engine observes the same sequence a
+    synchronous caller would have produced — the incremental/seed
+    equivalence from PR 1 carries over to the cluster unchanged.
+
+Batch drain
+    The first publish to an idle shard schedules one drain; every
+    further publish before it runs joins the same batch.  A burst of M
+    events costs one scheduler round-trip instead of M.
+
+Write coalescing
+    A write whose variable matches the *tail* of the pending queue
+    merges into that entry (latest value wins) — runs of consecutive
+    writes from one chatty sensor collapse to their settled value.
+    Only consecutive writes merge: skipping the intermediate values of
+    an unbroken run can only suppress world states the synchronous
+    path also visited, never combine one variable's stale value with
+    another's fresh one (which batch-wide merging would, firing rules
+    on states that never existed).  Even then a variable must be
+    *coalesce-safe* per its owning shard
+    (:meth:`~repro.cluster.shard.EngineShard.coalesce_safe`): no
+    until-postconditions, no duration atoms, no contested devices among
+    the readers.  Unsafe variables are applied write-for-write, so
+    history-dependent semantics never observe a skipped value.  An
+    instantaneous event breaks any run, so writes never merge across
+    it.
+
+``batch=False`` turns the bus into a per-event dispatcher (one
+simulator callback per publish) — the ablation baseline benchmark A6
+measures batching against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Collection, Sequence
+
+from repro.cluster.router import ShardRouter
+from repro.cluster.shard import EngineShard
+from repro.sim.events import EventHandle, Simulator
+
+
+class _Write:
+    """A queued sensor write (mutable: coalescing updates ``value``)."""
+
+    __slots__ = ("variable", "value")
+
+    def __init__(self, variable: str, value: Any) -> None:
+        self.variable = variable
+        self.value = value
+
+
+class _Event:
+    """A queued instantaneous event (a coalescing barrier).
+
+    ``only`` is a *live* rule-name collection (or None for unscoped):
+    the publisher hands in its per-home membership set, so rule churn
+    between publish and drain is reflected at apply time — matching the
+    synchronous path, where churn always happens between applications.
+    """
+
+    __slots__ = ("event_type", "subject", "only")
+
+    def __init__(
+        self,
+        event_type: str,
+        subject: str | None,
+        only: Collection[str] | None = None,
+    ) -> None:
+        self.event_type = event_type
+        self.subject = subject
+        self.only = only
+
+
+@dataclass
+class BusStats:
+    """Observability counters for dashboards and the A6 benchmark."""
+
+    published: int = 0   # writes accepted
+    events: int = 0      # instantaneous events accepted (per target shard)
+    coalesced: int = 0   # writes merged into a pending entry
+    applied: int = 0     # engine ingests actually performed
+    batches: int = 0     # drain callbacks that applied at least one entry
+
+    def describe(self) -> str:
+        return (
+            f"published={self.published} events={self.events} "
+            f"coalesced={self.coalesced} applied={self.applied} "
+            f"batches={self.batches}"
+        )
+
+
+class IngestBus:
+    """Queues sensor events per shard and drains them in batches."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        shards: Sequence[EngineShard],
+        router: ShardRouter,
+        *,
+        coalesce: bool = True,
+        batch: bool = True,
+        drain_delay: float = 0.0,
+    ) -> None:
+        self.simulator = simulator
+        self.shards = list(shards)
+        self.router = router
+        self.coalesce = coalesce
+        self.batch = batch
+        self.drain_delay = drain_delay
+        self.stats = BusStats()
+        count = len(self.shards)
+        self._queues: list[list[_Write | _Event]] = [[] for _ in range(count)]
+        self._drain_handles: list[EventHandle | None] = [None] * count
+        self._closed = False
+        # variable → coalesce-safety, valid for the recorded shard epoch.
+        self._safety_epochs: list[int] = [-1] * count
+        self._safety: list[dict[str, bool]] = [{} for _ in range(count)]
+
+    # -- publishing ------------------------------------------------------------
+
+    def publish(self, variable: str, value: Any) -> int:
+        """Queue one sensor write; returns the owning shard index."""
+        index = self.router.shard_of(variable)
+        self.stats.published += 1
+        if not self.batch:
+            self._schedule_single(index, _Write(variable, value))
+            return index
+        if self.coalesce:
+            queue = self._queues[index]
+            tail = queue[-1] if queue else None
+            if (
+                isinstance(tail, _Write)
+                and tail.variable == variable
+                and self._coalesce_safe(index, variable)
+            ):
+                tail.value = value
+                self.stats.coalesced += 1
+                return index
+        self._queues[index].append(_Write(variable, value))
+        self._schedule_drain(index)
+        return index
+
+    def publish_event(
+        self,
+        event_type: str,
+        subject: str | None = None,
+        *,
+        shard: int | None = None,
+        only: Collection[str] | None = None,
+    ) -> None:
+        """Queue an instantaneous event for one shard (optionally scoped
+        to the ``only`` rule names) or broadcast to all shards (a
+        home-less event — e.g. a whole-building alarm — must reach every
+        shard's rules)."""
+        targets = range(len(self.shards)) if shard is None else (shard,)
+        for index in targets:
+            self.stats.events += 1
+            entry = _Event(event_type, subject, only)
+            if not self.batch:
+                self._schedule_single(index, entry)
+                continue
+            # The event becomes the queue tail, so it naturally breaks
+            # any coalescible run of writes.
+            self._queues[index].append(entry)
+            self._schedule_drain(index)
+
+    # -- draining --------------------------------------------------------------
+
+    def pending(self, shard: int) -> int:
+        """Entries queued but not yet applied for one shard."""
+        return len(self._queues[shard])
+
+    def flush(self, shard: int | None = None) -> None:
+        """Apply pending batches immediately (all shards by default)."""
+        targets = range(len(self.shards)) if shard is None else (shard,)
+        for index in targets:
+            handle = self._drain_handles[index]
+            if handle is not None:
+                handle.cancel()
+                self._drain_handles[index] = None
+            self._drain(index)
+
+    def shutdown(self) -> None:
+        """Cancel scheduled drains; queued entries are dropped — and so
+        are per-event (``batch=False``) applies already sitting on the
+        simulator, which the closed flag intercepts."""
+        self._closed = True
+        for index, handle in enumerate(self._drain_handles):
+            if handle is not None:
+                handle.cancel()
+                self._drain_handles[index] = None
+            self._queues[index].clear()
+
+    def _schedule_drain(self, index: int) -> None:
+        if self._drain_handles[index] is None:
+            self._drain_handles[index] = self.simulator.call_after(
+                self.drain_delay, lambda: self._run_drain(index)
+            )
+
+    def _run_drain(self, index: int) -> None:
+        self._drain_handles[index] = None
+        self._drain(index)
+
+    def _drain(self, index: int) -> None:
+        queue = self._queues[index]
+        if not queue:
+            return
+        # Detach before applying: ingests can publish follow-up events
+        # re-entrantly; those join a fresh batch with a fresh drain.
+        self._queues[index] = []
+        self.stats.batches += 1
+        shard = self.shards[index]
+        for entry in queue:
+            self._apply(shard, entry)
+
+    def _schedule_single(self, index: int, entry: _Write | _Event) -> None:
+        """Per-event dispatch (``batch=False``): one callback per entry.
+        FIFO still holds — the simulator breaks time ties by insertion
+        order."""
+        self.simulator.call_after(
+            self.drain_delay, lambda: self._apply(self.shards[index], entry)
+        )
+
+    def _apply(self, shard: EngineShard, entry: _Write | _Event) -> None:
+        if self._closed:
+            return
+        if isinstance(entry, _Write):
+            shard.ingest(entry.variable, entry.value)
+            self.stats.applied += 1
+        else:
+            shard.post_event(entry.event_type, entry.subject,
+                             only=entry.only)
+
+    def _coalesce_safe(self, index: int, variable: str) -> bool:
+        shard = self.shards[index]
+        if self._safety_epochs[index] != shard.epoch:
+            self._safety_epochs[index] = shard.epoch
+            self._safety[index] = {}
+        cache = self._safety[index]
+        safe = cache.get(variable)
+        if safe is None:
+            safe = shard.coalesce_safe(variable)
+            cache[variable] = safe
+        return safe

@@ -1,0 +1,141 @@
+"""Consistent-hash routing of home-prefixed identifiers onto shards.
+
+The canonical variable naming scheme
+(:func:`repro.core.server.variable_id`, ``"<udn>:<service_id>:<variable>"``)
+already carries a device prefix; multi-home deployments extend it with a
+home segment — ``"home-0007/thermo:svc:temperature"`` — so one string
+names both the home and the sensor.  The router hashes the *home key*
+(by default everything before the first ``/`` of the first ``:``
+segment) onto a ring of shard points, guaranteeing that every variable
+and device of one home lands on the same shard no matter how many
+shards exist.
+
+Consistent hashing (each shard owns many virtual points on a ring)
+keeps the home→shard map stable when the shard count changes: growing
+from N to N+1 shards moves only ~1/(N+1) of the homes, which is what a
+production resharding wants.  The hash is :mod:`hashlib`-based, so
+routing is stable across processes and ``PYTHONHASHSEED`` values —
+a replayed event log routes identically on every run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Callable, Iterable
+
+from repro.errors import RuleError
+
+AMBIENT_PREFIXES = frozenset({"clock", "event"})
+"""Pseudo-variable prefixes with no home identity (the simulated clock
+and instantaneous events); they never constrain rule placement."""
+
+
+def home_key(identifier: str) -> str:
+    """Extract the home/zone key from a variable id or device UDN.
+
+    ``"home-0007/thermo:svc:temperature"`` → ``"home-0007"``;
+    ``"home-0007/aircon"`` → ``"home-0007"``; ids without a home segment
+    fall back to their leading UDN token (``"thermo:t:temp"`` →
+    ``"thermo"``), which still routes deterministically.
+    """
+    return identifier.split(":", 1)[0].split("/", 1)[0]
+
+
+def stable_hash(text: str) -> int:
+    """64-bit process-independent hash (ring positions, key lookup)."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardRouter:
+    """Maps home keys onto ``shard_count`` shards via a hash ring.
+
+    Args:
+        shard_count: number of shards (≥ 1).
+        replicas: virtual points per shard; more points smooth the
+            per-shard load at the cost of a larger (static) ring.
+        key_of: identifier → home-key extractor, replaceable for naming
+            schemes the default cannot parse.
+    """
+
+    def __init__(
+        self,
+        shard_count: int,
+        *,
+        replicas: int = 128,
+        key_of: Callable[[str], str] = home_key,
+    ) -> None:
+        if shard_count < 1:
+            raise RuleError(f"shard_count must be >= 1: {shard_count}")
+        if replicas < 1:
+            raise RuleError(f"replicas must be >= 1: {replicas}")
+        self.shard_count = shard_count
+        self.key_of = key_of
+        points = sorted(
+            (stable_hash(f"shard-{shard}#{replica}"), shard)
+            for shard in range(shard_count)
+            for replica in range(replicas)
+        )
+        self._ring_positions = [position for position, _ in points]
+        self._ring_shards = [shard for _, shard in points]
+
+    # -- routing ---------------------------------------------------------------
+
+    def shard_of_key(self, key: str) -> int:
+        """Shard owning a home key (first ring point at or after its hash)."""
+        index = bisect_right(self._ring_positions, stable_hash(key))
+        if index == len(self._ring_positions):
+            index = 0  # wrap around the ring
+        return self._ring_shards[index]
+
+    def shard_of(self, identifier: str) -> int:
+        """Shard owning a variable id / device UDN (via its home key)."""
+        return self.shard_of_key(self.key_of(identifier))
+
+    # -- rule placement --------------------------------------------------------
+
+    def placement_key(
+        self,
+        variables: Iterable[str],
+        devices: Iterable[str],
+        *,
+        rule_name: str = "",
+    ) -> str:
+        """The single home key a rule belongs to.
+
+        A rule lands on the shard owning its condition/until variables
+        and its action devices (the footprint the compiled plan reports
+        via :meth:`~repro.core.plan.CompiledPlan.referenced_variables`).
+        Ambient pseudo-variables (clock, events) carry no home identity
+        and are ignored.  A rule whose footprint spans more than one
+        home key cannot be arbitrated by any single shard and is
+        rejected — cross-shard rule placement is a recorded ROADMAP
+        follow-on, not a silent wrong answer.
+        """
+        keys = {
+            key
+            for key in (self.key_of(variable) for variable in variables)
+            if key not in AMBIENT_PREFIXES
+        }
+        keys.update(self.key_of(udn) for udn in devices)
+        if len(keys) > 1:
+            label = f"rule {rule_name!r}" if rule_name else "rule"
+            raise RuleError(
+                f"{label} spans multiple homes ({', '.join(sorted(keys))}); "
+                "rules must reference variables and devices of a single "
+                "home key to be placed on one shard"
+            )
+        if not keys:
+            label = f"rule {rule_name!r}" if rule_name else "rule"
+            raise RuleError(
+                f"{label} references no home-keyed variable or device; "
+                "cannot derive a shard placement"
+            )
+        return keys.pop()
+
+    def describe(self) -> str:
+        return (
+            f"ShardRouter({self.shard_count} shards, "
+            f"{len(self._ring_positions)} ring points)"
+        )

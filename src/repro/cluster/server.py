@@ -1,0 +1,270 @@
+"""The cluster facade: multi-home serving behind one `HomeServer`-shaped API.
+
+A :class:`ClusterServer` owns a :class:`~repro.cluster.router.ShardRouter`,
+N independent :class:`~repro.cluster.shard.EngineShard`\\ s and one
+:class:`~repro.cluster.bus.IngestBus`, and mirrors the single-home
+:class:`~repro.core.server.HomeServer` surface — ``register_rule``,
+``remove_rule``, ``ingest``, ``post_event``, ``trace``, ``shutdown`` —
+so application code written against one home scales to a fleet by
+swapping the facade.
+
+Placement: a rule lands on the shard owning its home key, derived from
+the compiled plan's variable footprint
+(:meth:`~repro.core.plan.CompiledPlan.referenced_variables`) plus its
+until-condition variables and action devices.  Rules spanning homes are
+rejected with a :class:`~repro.errors.RuleError` (cross-shard rule
+placement is a recorded ROADMAP follow-on).
+
+Ingestion: ``ingest``/``post_event`` publish to the bus, which applies
+them on the simulator in per-shard FIFO batches; call :meth:`flush` (or
+run the simulator) to settle.  With coalescing on, bursty repeated
+writes collapse to their latest value wherever the owning shard proves
+that safe.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.cluster.bus import BusStats, IngestBus
+from repro.cluster.router import ShardRouter
+from repro.cluster.shard import EngineShard
+from repro.core.action import ActionSpec
+from repro.core.conflict import ConflictReport
+from repro.core.engine import DEFAULT_MAX_TRACE, PromptPolicy, RuleState, TraceEntry
+from repro.core.plan import compile_condition
+from repro.core.priority import PriorityOrder
+from repro.core.rule import Rule
+from repro.core.server import ConflictPolicy, coerce_reading
+from repro.errors import DuplicateRuleError, UnknownRuleError
+from repro.sim.events import Simulator
+
+
+class ClusterServer:
+    """Sharded multi-home rule serving with a batched async ingest bus."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        shard_count: int = 4,
+        router: ShardRouter | None = None,
+        dispatch: Callable[[ActionSpec], None] | None = None,
+        coalesce: bool = True,
+        batch: bool = True,
+        drain_delay: float = 0.0,
+        prompt_policy: PromptPolicy | None = None,
+        conflict_policy: ConflictPolicy | None = None,
+        prefer_intervals: bool = True,
+        incremental: bool = True,
+        max_trace: int | None = DEFAULT_MAX_TRACE,
+        clock_tick_period: float = 60.0,
+    ) -> None:
+        self.simulator = simulator
+        self.router = router if router is not None else ShardRouter(shard_count)
+        self.shards = [
+            EngineShard(
+                index,
+                simulator,
+                dispatch=dispatch,
+                prompt_policy=prompt_policy,
+                conflict_policy=conflict_policy,
+                prefer_intervals=prefer_intervals,
+                incremental=incremental,
+                max_trace=max_trace,
+                clock_tick_period=clock_tick_period,
+            )
+            for index in range(self.router.shard_count)
+        ]
+        self.bus = IngestBus(
+            simulator, self.shards, self.router,
+            coalesce=coalesce, batch=batch, drain_delay=drain_delay,
+        )
+        self._shard_of_rule: dict[str, int] = {}
+        self._home_of_rule: dict[str, str] = {}
+        self._variable_units: dict[str, str] = {}
+        # Live membership sets handed to home-scoped events (see
+        # IngestBus._Event.only); pruned on removal.
+        self._rules_of_home: dict[str, set[str]] = {}
+        # Trace attribution that survives removal *and* name reuse:
+        # (registration time, home) spans per rule name — an entry
+        # belongs to the home whose span covers its timestamp.
+        self._home_spans: dict[str, list[tuple[float, str]]] = {}
+
+    # -- rule lifecycle --------------------------------------------------------
+
+    def home_of(self, rule: Rule) -> str:
+        """The home key a rule would be placed under (raises
+        :class:`~repro.errors.RuleError` for rules spanning homes).
+
+        The footprint comes from the compiled plan — the same artifact
+        the shard's database and engine index — plus the until
+        variables and action devices; compilation here is cheap because
+        the condition's dnf/key walks are memoized."""
+        plan = compile_condition(rule.condition)
+        variables = set(plan.referenced_variables())
+        if rule.until is not None:
+            variables |= rule.until.referenced_variables()
+        return self.router.placement_key(
+            variables, rule.devices(), rule_name=rule.name
+        )
+
+    def register_rule(
+        self, rule: Rule, *, validate: bool = True
+    ) -> list[ConflictReport]:
+        """Place and register a rule on the shard owning its home.
+
+        Runs the same registration pipeline as `HomeServer` (access,
+        consistency, conflict extraction, priority prompt); the conflict
+        scope is naturally per-home because every rule of a home lives
+        on one shard.  ``validate=False`` is the bulk-load path.
+        """
+        if rule.name in self._shard_of_rule:
+            raise DuplicateRuleError(
+                f"rule name already registered in the cluster: {rule.name!r}"
+            )
+        home = self.home_of(rule)
+        index = self.router.shard_of_key(home)
+        # Registration is an ingest barrier: pending batches settle
+        # first, so a write coalesced while this rule did not exist can
+        # never hide an intermediate value from it (a new until/duration
+        # /contesting rule would retroactively invalidate the merge).
+        self.bus.flush(shard=index)
+        reports = self.shards[index].register_rule(rule, validate=validate)
+        self._shard_of_rule[rule.name] = index
+        self._home_of_rule[rule.name] = home
+        self._rules_of_home.setdefault(home, set()).add(rule.name)
+        self._home_spans.setdefault(rule.name, []).append(
+            (self.simulator.now, home)
+        )
+        return reports
+
+    def remove_rule(self, name: str) -> Rule:
+        index = self._shard_of_rule.pop(name, None)
+        if index is None:
+            raise UnknownRuleError(f"no rule named {name!r} in the cluster")
+        self.bus.flush(shard=index)  # apply what the rule should still see
+        members = self._rules_of_home.get(self._home_of_rule[name])
+        if members is not None:
+            members.discard(name)
+        return self.shards[index].remove_rule(name)
+
+    def add_priority_order(self, order: PriorityOrder) -> PriorityOrder:
+        """Route a priority order to the shard owning its device's home
+        (after settling that shard's pending batch, so the new order
+        only governs arbitration from this point on)."""
+        index = self.router.shard_of(order.device_udn)
+        self.bus.flush(shard=index)
+        return self.shards[index].add_priority_order(order)
+
+    # -- world-state feeds -----------------------------------------------------
+
+    def set_variable_unit(self, variable: str, unit: str) -> None:
+        """Declare a variable's unit, mirroring what `HomeServer` learns
+        from UPnP discovery — ``"set"`` variables then accept the
+        comma-joined string form on :meth:`ingest`."""
+        self._variable_units[variable] = unit
+
+    def ingest(self, variable: str, value: Any) -> None:
+        """Publish one sensor reading onto the ingest bus (applied on the
+        next drain; call :meth:`flush` or run the simulator to settle).
+        Readings are unit-coerced exactly like `HomeServer.ingest`."""
+        self.bus.publish(
+            variable, coerce_reading(value, self._variable_units.get(variable))
+        )
+
+    def post_event(
+        self, event_type: str, subject: str | None = None,
+        *, home: str | None = None,
+    ) -> None:
+        """Publish an instantaneous event — scoped to one home's rules
+        when ``home`` is given (a shard hosts several homes, and Alan
+        returning to one apartment must not light the neighbours'
+        halls), broadcast to every shard otherwise."""
+        if home is None:
+            self.bus.publish_event(event_type, subject)
+            return
+        members = self._rules_of_home.get(home)
+        if members is None:
+            return  # no rules ever registered for this home: a no-op,
+            # exactly like posting an unmatched event to a HomeServer
+        self.bus.publish_event(
+            event_type, subject,
+            shard=self.router.shard_of_key(home),
+            only=members,
+        )
+
+    def flush(self) -> None:
+        """Drain every shard's pending ingest batch immediately."""
+        self.bus.flush()
+
+    # -- introspection ---------------------------------------------------------
+
+    def shard_of_rule(self, name: str) -> int:
+        index = self._shard_of_rule.get(name)
+        if index is None:
+            raise UnknownRuleError(f"no rule named {name!r} in the cluster")
+        return index
+
+    def rule_truth(self, name: str) -> bool:
+        return self.shards[self.shard_of_rule(name)].engine.rule_truth(name)
+
+    def rule_state(self, name: str) -> RuleState:
+        return self.shards[self.shard_of_rule(name)].engine.rule_state(name)
+
+    def holder_of(self, udn: str) -> tuple[str, ActionSpec] | None:
+        return self.shards[self.router.shard_of(udn)].engine.holder_of(udn)
+
+    def _home_at(self, rule_name: str, when: float) -> str | None:
+        """The home a rule name belonged to at a point in time (spans
+        survive removal and name reuse across homes)."""
+        spans = self._home_spans.get(rule_name)
+        if not spans:
+            return None
+        owner = None
+        for start, home in spans:
+            if start > when:
+                break
+            owner = home
+        return owner
+
+    def trace(self, home: str | None = None) -> list[TraceEntry]:
+        """Engine decisions, merged across shards in time order (ties
+        broken by shard id, then per-shard order); ``home`` filters to
+        one home's rules — an exact per-shard FIFO slice, since a home
+        never spans shards.  Entries of removed (or later re-registered)
+        rules stay attributed to the home that owned the name when they
+        were recorded."""
+        tagged = [
+            (entry.time, index, position, entry)
+            for index, shard in enumerate(self.shards)
+            for position, entry in enumerate(shard.engine.trace)
+        ]
+        tagged.sort(key=lambda item: item[:3])
+        entries = [entry for _, _, _, entry in tagged]
+        if home is not None:
+            entries = [
+                entry for entry in entries
+                if self._home_at(entry.rule, entry.time) == home
+            ]
+        return entries
+
+    def stats(self) -> BusStats:
+        return self.bus.stats
+
+    def rule_count(self) -> int:
+        return len(self._shard_of_rule)
+
+    def describe_shards(self) -> list[str]:
+        """One summary line per shard (rules, pending queue depth)."""
+        return [
+            f"shard {shard.shard_id}: {len(shard.database)} rules, "
+            f"{self.bus.pending(shard.shard_id)} queued"
+            for shard in self.shards
+        ]
+
+    def shutdown(self) -> None:
+        """Cancel clock ticks and scheduled drains on every shard."""
+        self.bus.shutdown()
+        for shard in self.shards:
+            shard.shutdown()

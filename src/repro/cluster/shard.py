@@ -1,0 +1,158 @@
+"""One shard: an independent rule engine serving a subset of homes.
+
+An :class:`EngineShard` owns a full vertical slice of the single-home
+framework — :class:`~repro.core.database.RuleDatabase`,
+:class:`~repro.core.priority.PriorityManager`,
+:class:`~repro.core.access.AccessPolicy`, the registration checkers and
+a :class:`~repro.core.engine.RuleEngine` — and shares nothing mutable
+with its siblings.  That independence is the scaling property the
+cluster layer sells: shards drain their ingest queues with no cross-
+shard locking, so N shards on N cores serve N× the event rate.
+
+Registration runs through the same :class:`~repro.core.server.RulePipeline`
+as the single-home :class:`~repro.core.server.HomeServer`; the periodic
+clock tick is the same :meth:`~repro.core.engine.RuleEngine.clock_tick`.
+A shard therefore behaves observably like a `HomeServer` for the homes
+it owns — the property the cluster equivalence tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Collection
+
+from repro.core.action import ActionSpec
+from repro.core.conflict import ConflictReport
+from repro.core.engine import DEFAULT_MAX_TRACE, PromptPolicy
+from repro.core.priority import PriorityOrder
+from repro.core.rule import Rule
+from repro.core.server import ConflictPolicy, build_rule_stack
+from repro.sim.events import Simulator
+
+Dispatch = Callable[[ActionSpec], None]
+
+
+def _discard_dispatch(spec: ActionSpec) -> None:
+    """Default action sink; cluster deployments plug real transports in."""
+
+
+class EngineShard:
+    """A self-contained rule engine for the homes one shard owns."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        simulator: Simulator,
+        *,
+        dispatch: Dispatch | None = None,
+        prompt_policy: PromptPolicy | None = None,
+        conflict_policy: ConflictPolicy | None = None,
+        prefer_intervals: bool = True,
+        incremental: bool = True,
+        max_trace: int | None = DEFAULT_MAX_TRACE,
+        clock_tick_period: float = 60.0,
+    ) -> None:
+        self.shard_id = shard_id
+        self.simulator = simulator
+        stack = build_rule_stack(
+            simulator,
+            dispatch=dispatch if dispatch is not None else _discard_dispatch,
+            prompt_policy=prompt_policy,
+            conflict_policy=conflict_policy,
+            prefer_intervals=prefer_intervals,
+            incremental=incremental,
+            max_trace=max_trace,
+        )
+        self.database = stack.database
+        self.priorities = stack.priorities
+        self.access = stack.access
+        self.consistency = stack.consistency
+        self.conflicts = stack.conflicts
+        self.engine = stack.engine
+        self.pipeline = stack.pipeline
+        # Bumped on every rule add/remove; the ingest bus keys its
+        # coalesce-safety caches on it so churn invalidates them.
+        self.epoch = 0
+        self._clock_task = simulator.every(
+            clock_tick_period, self.engine.clock_tick
+        )
+
+    # -- rule lifecycle --------------------------------------------------------
+
+    def register_rule(
+        self, rule: Rule, *, validate: bool = True
+    ) -> list[ConflictReport]:
+        reports = self.pipeline.register(rule, validate=validate)
+        self.epoch += 1
+        return reports
+
+    def remove_rule(self, name: str) -> Rule:
+        rule = self.pipeline.remove(name)
+        self.epoch += 1
+        return rule
+
+    def add_priority_order(self, order: PriorityOrder) -> PriorityOrder:
+        return self.priorities.add_order(order)
+
+    @property
+    def conflict_log(self) -> list[ConflictReport]:
+        return self.pipeline.conflict_log
+
+    # -- world-state feeds -----------------------------------------------------
+
+    def ingest(self, variable: str, value: Any) -> None:
+        self.engine.ingest(variable, value)
+
+    def post_event(
+        self,
+        event_type: str,
+        subject: str | None = None,
+        *,
+        only: Collection[str] | None = None,
+    ) -> None:
+        """Fire an event; ``only`` scopes it to one home's rules (a
+        shard hosts several homes, and a home-targeted event must not
+        wake a co-located neighbour's rules)."""
+        self.engine.post_event(event_type, subject, only=only)
+
+    # -- coalescing safety -----------------------------------------------------
+
+    def coalesce_safe(self, variable: str) -> bool:
+        """Whether batched writes to ``variable`` may be coalesced to the
+        latest value without changing observable truth/state/holders.
+
+        This is the per-variable half of the proof; the bus supplies
+        the other half by merging only *consecutive* runs of writes
+        (see :mod:`repro.cluster.bus`).  Intermediate values are
+        invisible after coalescing, so every
+        rule reading the variable must have state that is a pure
+        function of the *settled* world:
+
+        * no ``until`` postcondition — an intermediate value (or even a
+          repeated write acting as an until-check trigger) can stop the
+          rule in a way the settled value cannot reproduce;
+        * no duration atoms — a transient dip resets the held-since
+          bookkeeping, which coalescing would skip;
+        * no contested devices — with competitors, transient edges cause
+          preempt/regrant handoffs whose outcome is history-dependent
+          (the keep-status-quo prompt favours whoever fired first).
+
+        Disabled rules count as live: re-enabling mid-batch must not
+        retroactively make an applied coalescing unsound.
+        """
+        for rule in self.database.rules_reading_variable(variable):
+            if rule.until is not None:
+                return False
+            if self.database.plan_of(rule.name).has_duration:
+                return False
+            for udn in rule.devices():
+                if len(self.database.rules_for_device(udn)) > 1:
+                    return False
+        return True
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def trace(self) -> list:
+        return list(self.engine.trace)
+
+    def shutdown(self) -> None:
+        self._clock_task.cancel()

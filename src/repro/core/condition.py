@@ -67,6 +67,10 @@ class EvaluationContext(Protocol):
 Conjunction = tuple["Atom", ...]
 """One conjunct of a DNF: a conjunction of atoms."""
 
+CLOCK_VARIABLE = "clock:time_of_day"
+"""Pseudo-variable read by time-window atoms; the server's periodic
+clock tick re-evaluates every rule referencing it."""
+
 
 def _memo(condition: "Condition", attr: str, compute):
     """Per-instance memo that also works on frozen dataclass atoms.
@@ -333,7 +337,7 @@ class TimeWindowAtom(Atom):
     def referenced_variables(self) -> set[str]:
         # Pseudo-variable: lets the engine find time-dependent rules when
         # the clock ticks across window boundaries.
-        return {"clock:time_of_day"}
+        return {CLOCK_VARIABLE}
 
     def describe(self) -> str:
         if self.label:

@@ -54,10 +54,10 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Collection, Iterable
 
 from repro.core.action import ActionSpec
-from repro.core.condition import DurationAtom
+from repro.core.condition import CLOCK_VARIABLE, DurationAtom
 from repro.core.database import RuleDatabase
 from repro.core.plan import CompiledPlan
 from repro.core.priority import PriorityManager, PriorityOrder
@@ -411,14 +411,25 @@ class RuleEngine:
         ordered = sorted(dirty, key=lambda name: database.get(name).rule_id)
         self._evaluate_rules(ordered, full=False)
 
-    def post_event(self, event_type: str, subject: str | None = None) -> None:
+    def post_event(
+        self,
+        event_type: str,
+        subject: str | None = None,
+        *,
+        only: Collection[str] | None = None,
+    ) -> None:
         """Fire an instantaneous event ("returns home"); rules whose
         conditions mention it are evaluated exactly once with the event
         visible, then their truth settles back without re-triggering
-        stop actions (events fire rules; they do not sustain them)."""
+        stop actions (events fire rules; they do not sustain them).
+
+        ``only`` restricts the wake set to the named rules — cluster
+        shards host several homes, and a home-scoped event must not leak
+        to co-located homes' rules."""
         dirty = [
             r.name
             for r in self.database.rules_reading_variable(f"event:{event_type}")
+            if only is None or r.name in only
         ]
         self.world.begin_events({(event_type, subject)})
         try:
@@ -438,6 +449,18 @@ class RuleEngine:
                     self._release_holdings(name)
                 else:
                     self._set_state(name, RuleState.IDLE)
+
+    def clock_tick(self) -> None:
+        """Re-evaluate every rule reading the clock pseudo-variable.
+
+        The single periodic-tick code path: the home server's clock task
+        and the cluster shards both call this, so window-boundary
+        semantics can never drift between the two facades."""
+        dirty = [
+            r.name for r in self.database.rules_reading_variable(CLOCK_VARIABLE)
+        ]
+        if dirty:
+            self.reevaluate(dirty)
 
     # -- evaluation ------------------------------------------------------------------------
 

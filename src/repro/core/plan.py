@@ -96,6 +96,11 @@ class CompiledPlan:
                 return True
         return False
 
+    def referenced_variables(self) -> frozenset[str]:
+        """Every world variable the compiled condition reads (the cluster
+        router derives rule→shard placement from this footprint)."""
+        return self.variables
+
     def volatile_bits(self, ctx: EvaluationContext) -> int:
         bits = 0
         for bit, atom in self.volatile_slots:

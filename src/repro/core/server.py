@@ -24,6 +24,7 @@ engine updates under the canonical naming scheme
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.core.access import AccessPolicy
@@ -50,6 +51,144 @@ def variable_id(udn: str, service_id: str, variable: str) -> str:
     return f"{udn}:{service_id}:{variable}"
 
 
+def coerce_reading(value: Any, unit: str | None) -> Any:
+    """Normalize a raw sensor reading for the engine: ``set``-unit
+    variables arrive from UPnP eventing as comma-joined strings and
+    become frozensets; everything else passes through."""
+    if unit == "set" and isinstance(value, str):
+        return frozenset(
+            part.strip() for part in value.split(",") if part.strip()
+        )
+    return value
+
+
+@dataclass
+class RuleStack:
+    """One complete rule-serving vertical: storage, checkers, engine and
+    the registration pipeline, wired identically for every facade."""
+
+    database: RuleDatabase
+    priorities: PriorityManager
+    access: AccessPolicy
+    consistency: ConsistencyChecker
+    conflicts: ConflictChecker
+    engine: RuleEngine
+    pipeline: RulePipeline
+
+
+def build_rule_stack(
+    simulator: Simulator,
+    *,
+    dispatch: Callable,
+    prompt_policy: PromptPolicy | None = None,
+    conflict_policy: ConflictPolicy | None = None,
+    prefer_intervals: bool = True,
+    incremental: bool = True,
+    max_trace: int | None = DEFAULT_MAX_TRACE,
+) -> RuleStack:
+    """Build the database/checkers/engine/pipeline quartet shared by the
+    single-home server and every cluster shard — one wiring site, so an
+    engine knob added for one facade cannot silently drift from the
+    other."""
+    database = RuleDatabase()
+    priorities = PriorityManager()
+    access = AccessPolicy()
+    consistency = ConsistencyChecker(prefer_intervals=prefer_intervals)
+    conflicts = ConflictChecker(database, prefer_intervals=prefer_intervals)
+    engine = RuleEngine(
+        database,
+        priorities,
+        simulator,
+        dispatch=dispatch,
+        prompt_policy=prompt_policy,
+        access_check=lambda rule, spec: access.check(
+            rule.owner, spec.device_udn, spec.device_name, spec.action_name,
+        ),
+        incremental=incremental,
+        max_trace=max_trace,
+    )
+    pipeline = RulePipeline(
+        database, engine, priorities, access, consistency, conflicts,
+        conflict_policy,
+    )
+    return RuleStack(
+        database=database, priorities=priorities, access=access,
+        consistency=consistency, conflicts=conflicts, engine=engine,
+        pipeline=pipeline,
+    )
+
+
+class RulePipeline:
+    """The Sect. 4.4 rule-registration pipeline, factored out of the
+    single-home facade so cluster shards run the identical code path:
+    access check → consistency → conflict extraction → optional priority
+    prompt → database add → engine activation (and the mirror-image
+    removal path).
+    """
+
+    def __init__(
+        self,
+        database: RuleDatabase,
+        engine: RuleEngine,
+        priorities: PriorityManager,
+        access: AccessPolicy,
+        consistency: ConsistencyChecker,
+        conflicts: ConflictChecker,
+        conflict_policy: ConflictPolicy | None = None,
+    ) -> None:
+        self.database = database
+        self.engine = engine
+        self.priorities = priorities
+        self.access = access
+        self.consistency = consistency
+        self.conflicts = conflicts
+        self.conflict_policy = conflict_policy
+        self.conflict_log: list[ConflictReport] = []
+
+    def register(self, rule: Rule, *, validate: bool = True) -> list[ConflictReport]:
+        """Run the full registration pipeline; returns conflicts found.
+
+        ``validate=False`` skips the access/consistency/conflict stages —
+        the bulk-load path for pre-vetted populations (benchmarks,
+        snapshot restores), where re-checking thousands of rules would
+        dominate the measurement.
+        """
+        if validate:
+            self.access.check_rule(rule)
+            self.consistency.require_consistent(rule)
+            reports = self.conflicts.find_conflicts(rule)
+        else:
+            reports = []
+        if reports:
+            self.conflict_log.extend(reports)
+            self._maybe_prompt_priority(rule, reports)
+        self.database.add(rule)
+        self.engine.rule_added(rule)
+        return reports
+
+    def _maybe_prompt_priority(
+        self, rule: Rule, reports: list[ConflictReport]
+    ) -> None:
+        """Ask the conflict policy for a priority order when no existing
+        order already ranks every involved owner (paper: "If it
+        conflicts, our framework prompts users to specify the priority
+        among the rules")."""
+        needs_prompt = []
+        for report in reports:
+            owners = {rule.owner, self.database.get(report.existing_rule).owner}
+            if not self.priorities.has_order_covering(report.device_udn, owners):
+                needs_prompt.append(report)
+        if needs_prompt and self.conflict_policy is not None:
+            order = self.conflict_policy(rule, needs_prompt)
+            if order is not None:
+                self.priorities.add_order(order)
+
+    def remove(self, name: str) -> Rule:
+        rule = self.database.remove(name)
+        self.engine.rule_removed(name)
+        return rule
+
+
 class HomeServer:
     """Top-level entry point of the framework."""
 
@@ -68,31 +207,27 @@ class HomeServer:
     ) -> None:
         self.simulator = simulator
         self.control_point = ControlPoint(bus, simulator, name=name)
-        self.database = RuleDatabase()
-        self.priorities = PriorityManager()
-        self.access = AccessPolicy()
-        self.consistency = ConsistencyChecker(prefer_intervals=prefer_intervals)
-        self.conflicts = ConflictChecker(
-            self.database, prefer_intervals=prefer_intervals
-        )
-        self.engine = RuleEngine(
-            self.database,
-            self.priorities,
+        stack = build_rule_stack(
             simulator,
             dispatch=self._dispatch,
             prompt_policy=prompt_policy,
-            access_check=lambda rule, spec: self.access.check(
-                rule.owner, spec.device_udn, spec.device_name,
-                spec.action_name,
-            ),
+            conflict_policy=conflict_policy,
+            prefer_intervals=prefer_intervals,
             incremental=incremental,
             max_trace=max_trace,
         )
-        self.conflict_policy = conflict_policy
-        self.conflict_log: list[ConflictReport] = []
+        self.database = stack.database
+        self.priorities = stack.priorities
+        self.access = stack.access
+        self.consistency = stack.consistency
+        self.conflicts = stack.conflicts
+        self.engine = stack.engine
+        self._pipeline = stack.pipeline
         self._variable_units: dict[str, str] = {}
         self._subscribed: set[tuple[str, str]] = set()
-        self._clock_task = simulator.every(clock_tick_period, self._clock_tick)
+        self._clock_task = simulator.every(
+            clock_tick_period, self.engine.clock_tick
+        )
 
     # -- discovery & sensing --------------------------------------------------------
 
@@ -121,25 +256,19 @@ class HomeServer:
         self, udn: str, service_id: str, changes: dict[str, Any]
     ) -> None:
         for variable, value in changes.items():
-            vid = variable_id(udn, service_id, variable)
-            if self._variable_units.get(vid) == "set" and isinstance(value, str):
-                members = frozenset(
-                    part.strip() for part in value.split(",") if part.strip()
-                )
-                self.engine.ingest(vid, members)
-            else:
-                self.engine.ingest(vid, value)
+            self.ingest(variable_id(udn, service_id, variable), value)
+
+    def ingest(self, variable: str, value: Any) -> None:
+        """Feed one world-state reading to the engine — the same path
+        device eventing uses, public so external feeds (cluster ingest
+        buses, replayed sensor logs) reach the engine identically."""
+        self.engine.ingest(
+            variable, coerce_reading(value, self._variable_units.get(variable))
+        )
 
     def post_event(self, event_type: str, subject: str | None = None) -> None:
         """Forward an instantaneous event (arrivals etc.) to the engine."""
         self.engine.post_event(event_type, subject)
-
-    def _clock_tick(self) -> None:
-        dirty = [
-            r.name for r in self.database.rules_reading_variable("clock:time_of_day")
-        ]
-        if dirty:
-            self.engine.reevaluate(dirty)
 
     # -- rule registration (the Sect. 4.4 pipeline) -------------------------------------
 
@@ -154,37 +283,23 @@ class HomeServer:
             AccessDeniedError: the owner lacks privileges for the
                 rule's device actions (Sect. 6 security extension).
         """
-        self.access.check_rule(rule)
-        self.consistency.require_consistent(rule)
-        reports = self.conflicts.find_conflicts(rule)
-        if reports:
-            self.conflict_log.extend(reports)
-            self._maybe_prompt_priority(rule, reports)
-        self.database.add(rule)
-        self.engine.rule_added(rule)
-        return reports
-
-    def _maybe_prompt_priority(
-        self, rule: Rule, reports: list[ConflictReport]
-    ) -> None:
-        """Ask the conflict policy for a priority order when no existing
-        order already ranks every involved owner (paper: "If it
-        conflicts, our framework prompts users to specify the priority
-        among the rules")."""
-        needs_prompt = []
-        for report in reports:
-            owners = {rule.owner, self.database.get(report.existing_rule).owner}
-            if not self.priorities.has_order_covering(report.device_udn, owners):
-                needs_prompt.append(report)
-        if needs_prompt and self.conflict_policy is not None:
-            order = self.conflict_policy(rule, needs_prompt)
-            if order is not None:
-                self.priorities.add_order(order)
+        return self._pipeline.register(rule)
 
     def remove_rule(self, name: str) -> Rule:
-        rule = self.database.remove(name)
-        self.engine.rule_removed(name)
-        return rule
+        return self._pipeline.remove(name)
+
+    @property
+    def conflict_policy(self) -> ConflictPolicy | None:
+        return self._pipeline.conflict_policy
+
+    @conflict_policy.setter
+    def conflict_policy(self, policy: ConflictPolicy | None) -> None:
+        self._pipeline.conflict_policy = policy
+
+    @property
+    def conflict_log(self) -> list[ConflictReport]:
+        """Every conflict report the registration pipeline produced."""
+        return self._pipeline.conflict_log
 
     def add_priority_order(self, order: PriorityOrder) -> PriorityOrder:
         return self.priorities.add_order(order)

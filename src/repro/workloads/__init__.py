@@ -7,13 +7,25 @@ setups:
   (E1: 50 devices; A4: sweeps).
 * :mod:`repro.workloads.rules` — synthetic rule databases (E2: 10,000
   rules, 100 sharing one device, two inequalities per condition).
+* :mod:`repro.workloads.fleet` — multi-home fleets with home-prefixed
+  naming for the cluster layer (A6: sharded ingest).
 """
 
 from repro.workloads.devices import build_device_population
+from repro.workloads.fleet import (
+    HomeFleet,
+    build_home_fleet,
+    fleet_event_stream,
+    home_variable,
+)
 from repro.workloads.rules import RulePopulation, build_rule_population
 
 __all__ = [
     "build_device_population",
+    "HomeFleet",
+    "build_home_fleet",
+    "fleet_event_stream",
+    "home_variable",
     "RulePopulation",
     "build_rule_population",
 ]

@@ -1,0 +1,175 @@
+"""Multi-home fleet populations (A6 sharding workload).
+
+A *fleet* is many independent households, each with its own sensors,
+devices and rule population, all named under the cluster layer's
+home-prefixed scheme (``"home-0007/thermo:svc:temperature"``) so a
+:class:`~repro.cluster.router.ShardRouter` places every home's rules on
+one shard.  The per-home rule archetypes mirror the A5 mixed population
+(numeric bulk, discrete presence, EPG membership, time windows); every
+rule drives its own device, so ingest benchmarks measure evaluation
+rather than arbitration contention — and every variable is coalesce-
+safe, which is what a well-partitioned sensor feed looks like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.action import ActionSpec, Setting
+from repro.core.condition import (
+    AndCondition,
+    Condition,
+    DiscreteAtom,
+    MembershipAtom,
+    NumericAtom,
+    TimeWindowAtom,
+)
+from repro.core.rule import Rule
+from repro.sim.rng import seeded_rng
+from repro.solver.linear import LinearConstraint, LinearExpr, Relation
+from repro.workloads.rules import ROOMS, TIME_WINDOWS
+
+FLEET_SENSORS = ("temperature", "humidity", "illuminance", "noise")
+
+FLEET_KEYWORDS = ("baseball", "news", "movie", "jazz", "drama", "weather")
+
+
+def home_variable(home: str, device: str, variable: str,
+                  service: str = "svc") -> str:
+    """Canonical home-prefixed variable id (routes to the home's shard)."""
+    return f"{home}/{device}:{service}:{variable}"
+
+
+@dataclass
+class HomeFleet:
+    """A generated multi-home population.
+
+    Attributes:
+        homes: home keys, e.g. ``("home-0000", "home-0001", ...)``.
+        rules_by_home: each home's rule objects (not yet registered).
+        sensors_by_home: each home's numeric sensor variable ids — the
+            feed an ingest benchmark drives.
+        total_rules: fleet-wide rule count.
+    """
+
+    homes: tuple[str, ...]
+    rules_by_home: dict[str, list[Rule]]
+    sensors_by_home: dict[str, tuple[str, ...]]
+    total_rules: int
+
+    def all_rules(self) -> list[Rule]:
+        return [
+            rule for home in self.homes for rule in self.rules_by_home[home]
+        ]
+
+
+def _home_numeric(home: str, rng, sensor: str | None = None) -> NumericAtom:
+    if sensor is None:
+        sensor = rng.choice(FLEET_SENSORS)
+    relation = rng.choice((Relation.GT, Relation.LT))
+    bound = rng.uniform(0.0, 100.0)
+    return NumericAtom(
+        LinearConstraint.make(
+            LinearExpr.var(home_variable(home, "sense", sensor)),
+            relation, bound,
+        )
+    )
+
+
+def _fleet_condition(home: str, index: int, rng) -> Condition:
+    """One of four archetypes, weighted toward the paper's numeric shape."""
+    kind = index % 10
+    if kind < 7:
+        # Two inequalities over *distinct* sensors: always satisfiable,
+        # so fleets pass the full registration pipeline unfiltered.
+        first, second = rng.sample(FLEET_SENSORS, 2)
+        return AndCondition([_home_numeric(home, rng, first),
+                             _home_numeric(home, rng, second)])
+    if kind == 7:
+        return AndCondition([
+            DiscreteAtom(home_variable(home, "presence", "room"),
+                         rng.choice(ROOMS), negated=rng.random() < 0.2),
+            _home_numeric(home, rng),
+        ])
+    if kind == 8:
+        return AndCondition([
+            MembershipAtom(home_variable(home, "epg", "keywords"),
+                           rng.choice(FLEET_KEYWORDS),
+                           negated=rng.random() < 0.2),
+            _home_numeric(home, rng),
+        ])
+    start, end, label = TIME_WINDOWS[(index // 10) % len(TIME_WINDOWS)]
+    return AndCondition([
+        TimeWindowAtom(start, end, label=label),
+        DiscreteAtom(home_variable(home, "presence", "room"),
+                     rng.choice(ROOMS)),
+    ])
+
+
+def build_home_fleet(
+    home_count: int = 8,
+    rules_per_home: int = 1_000,
+    seed: int | str = "fleet",
+) -> HomeFleet:
+    """Build ``home_count`` households of ``rules_per_home`` rules each.
+
+    Deterministic per ``seed``; rule names and owners are home-scoped,
+    every rule's variables and devices carry the home prefix, and each
+    rule targets its own device.
+    """
+    rng = seeded_rng(seed)
+    homes = tuple(f"home-{index:04d}" for index in range(home_count))
+    rules_by_home: dict[str, list[Rule]] = {}
+    sensors_by_home: dict[str, tuple[str, ...]] = {}
+    for home in homes:
+        sensors_by_home[home] = tuple(
+            home_variable(home, "sense", sensor) for sensor in FLEET_SENSORS
+        )
+        rules = []
+        for index in range(rules_per_home):
+            rules.append(Rule(
+                name=f"{home}-rule-{index:04d}",
+                owner=f"{home}-user-{index % 3}",
+                condition=_fleet_condition(home, index, rng),
+                action=ActionSpec(
+                    device_udn=f"{home}/dev-{index:04d}",
+                    device_name=f"{home} device {index}",
+                    service_id="svc",
+                    action_name="Set",
+                    settings=(Setting("level",
+                                      round(rng.uniform(0.0, 100.0), 1)),),
+                ),
+            ))
+        rules_by_home[home] = rules
+    return HomeFleet(
+        homes=homes,
+        rules_by_home=rules_by_home,
+        sensors_by_home=sensors_by_home,
+        total_rules=home_count * rules_per_home,
+    )
+
+
+def fleet_event_stream(
+    fleet: HomeFleet,
+    *,
+    events: int,
+    burst: int = 1,
+    seed: int | str = "fleet-stream",
+) -> list[tuple[str, float]]:
+    """A deterministic sensor stream over the fleet's numeric sensors.
+
+    Emits bursts of ``burst`` consecutive ramping writes to one randomly
+    chosen sensor (``burst=1`` ≈ a uniform trickle; larger bursts model
+    chatty sensors flooding their home's feed).  Every write changes the
+    value, so the engine never takes its no-change early-out.
+    """
+    rng = seeded_rng(seed)
+    stream: list[tuple[str, float]] = []
+    while len(stream) < events:
+        home = fleet.homes[rng.randrange(len(fleet.homes))]
+        sensors = fleet.sensors_by_home[home]
+        variable = sensors[rng.randrange(len(sensors))]
+        base = rng.uniform(0.0, 100.0)
+        for step in range(burst):
+            stream.append((variable, round(base + 0.37 * step, 3)))
+    return stream[:events]

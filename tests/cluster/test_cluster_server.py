@@ -1,0 +1,234 @@
+"""Unit tests for the ClusterServer facade: placement, routing,
+introspection, priority orders and lifecycle."""
+
+import pytest
+
+from repro.cluster import ClusterServer
+from repro.core.action import ActionSpec, Setting
+from repro.core.condition import (
+    DiscreteAtom,
+    EventAtom,
+    NumericAtom,
+    TimeWindowAtom,
+)
+from repro.core.engine import RuleState
+from repro.core.priority import PriorityOrder
+from repro.core.rule import Rule
+from repro.errors import DuplicateRuleError, RuleError, UnknownRuleError
+from repro.sim.clock import hhmm
+from repro.sim.events import Simulator
+from repro.solver.linear import LinearConstraint, LinearExpr, Relation
+
+
+def num(variable, relation, bound):
+    return NumericAtom(
+        LinearConstraint.make(LinearExpr.var(variable), relation, bound)
+    )
+
+
+def act(device, name="Set", level=1):
+    return ActionSpec(
+        device_udn=device, device_name=device, service_id="svc",
+        action_name=name, settings=(Setting("level", level),),
+    )
+
+
+def cool_rule(home, name=None, owner="Tom", bound=26.0, level=1):
+    return Rule(
+        name=name or f"{home}-cool", owner=owner,
+        condition=num(f"{home}/thermo:svc:temperature", Relation.GT, bound),
+        action=act(f"{home}/aircon", level=level),
+    )
+
+
+@pytest.fixture
+def cluster():
+    server = ClusterServer(Simulator(), shard_count=3)
+    yield server
+    server.shutdown()
+
+
+class TestPlacement:
+    def test_rule_lands_on_its_homes_shard(self, cluster):
+        rule = cool_rule("home-0001")
+        cluster.register_rule(rule)
+        expected = cluster.router.shard_of_key("home-0001")
+        assert cluster.shard_of_rule(rule.name) == expected
+        assert rule.name in cluster.shards[expected].database
+
+    def test_home_of_uses_condition_and_devices(self, cluster):
+        rule = Rule(
+            name="evening-lamp", owner="Tom",
+            condition=TimeWindowAtom(hhmm(17), hhmm(21)),
+            action=act("home-0005/lamp"),
+        )
+        assert cluster.home_of(rule) == "home-0005"
+
+    def test_spanning_rule_rejected(self, cluster):
+        straddler = Rule(
+            name="straddler", owner="Tom",
+            condition=num("home-0001/thermo:svc:temperature",
+                          Relation.GT, 20.0),
+            action=act("home-0002/aircon"),
+        )
+        with pytest.raises(RuleError, match="spans multiple homes"):
+            cluster.register_rule(straddler)
+        assert straddler.name not in cluster._shard_of_rule
+
+    def test_duplicate_name_rejected_cluster_wide(self, cluster):
+        cluster.register_rule(cool_rule("home-0001", name="dup"))
+        with pytest.raises(DuplicateRuleError):
+            cluster.register_rule(cool_rule("home-0002", name="dup"))
+
+
+class TestLifecycle:
+    def test_remove_rule_round_trip(self, cluster):
+        rule = cool_rule("home-0001")
+        cluster.register_rule(rule)
+        removed = cluster.remove_rule(rule.name)
+        assert removed is rule
+        with pytest.raises(UnknownRuleError):
+            cluster.shard_of_rule(rule.name)
+        with pytest.raises(UnknownRuleError):
+            cluster.remove_rule(rule.name)
+
+    def test_rule_count_and_describe(self, cluster):
+        for index in range(4):
+            cluster.register_rule(cool_rule(f"home-{index:04d}"))
+        assert cluster.rule_count() == 4
+        lines = cluster.describe_shards()
+        assert len(lines) == 3
+        assert sum(int(line.split()[2]) for line in lines) == 4
+
+    def test_shutdown_cancels_clock_and_drains(self):
+        simulator = Simulator()
+        cluster = ClusterServer(simulator, shard_count=2)
+        cluster.register_rule(cool_rule("home-0001"))
+        cluster.ingest("home-0001/thermo:svc:temperature", 30.0)
+        cluster.shutdown()
+        simulator.run()  # nothing left: clock ticks and drains cancelled
+        assert cluster.rule_truth("home-0001-cool") is False
+
+
+class TestServing:
+    def test_ingest_fires_rules_after_flush(self, cluster):
+        rule = cool_rule("home-0001")
+        cluster.register_rule(rule)
+        cluster.ingest("home-0001/thermo:svc:temperature", 30.0)
+        cluster.flush()
+        assert cluster.rule_truth(rule.name) is True
+        assert cluster.rule_state(rule.name) is RuleState.ACTIVE
+        holder = cluster.holder_of("home-0001/aircon")
+        assert holder is not None and holder[0] == rule.name
+
+    def test_conflicting_rules_same_home_arbitrate_with_order(self, cluster):
+        tom = cool_rule("home-0001", name="tom-cool", owner="Tom", level=1)
+        alan = cool_rule("home-0001", name="alan-cool", owner="Alan",
+                         bound=24.0, level=9)
+        reports = []
+        reports += cluster.register_rule(tom)
+        reports += cluster.register_rule(alan)
+        assert reports, "same-device rules must report a conflict"
+        cluster.add_priority_order(
+            PriorityOrder("home-0001/aircon", ("Alan", "Tom"))
+        )
+        cluster.ingest("home-0001/thermo:svc:temperature", 30.0)
+        cluster.flush()
+        holder = cluster.holder_of("home-0001/aircon")
+        assert holder is not None and holder[0] == "alan-cool"
+        assert cluster.rule_state("tom-cool") is RuleState.DENIED
+
+    def test_post_event_routed_to_home(self, cluster):
+        rule = Rule(
+            name="hall-light", owner="Tom",
+            condition=EventAtom("returns home"),
+            action=act("home-0001/hall-light"),
+        )
+        cluster.register_rule(rule)
+        cluster.post_event("returns home", "Tom", home="home-0001")
+        cluster.flush()
+        trace = cluster.trace(home="home-0001")
+        assert any(entry.kind == "fire" and entry.rule == "hall-light"
+                   for entry in trace)
+
+    def test_trace_merges_across_shards_in_time_order(self, cluster):
+        for index in range(3):
+            cluster.register_rule(cool_rule(f"home-{index:04d}"))
+            cluster.ingest(f"home-{index:04d}/thermo:svc:temperature", 30.0)
+        cluster.flush()
+        entries = cluster.trace()
+        assert len(entries) == 3
+        assert [e.time for e in entries] == sorted(e.time for e in entries)
+        only = cluster.trace(home="home-0001")
+        assert {e.rule for e in only} == {"home-0001-cool"}
+
+    def test_registration_is_an_ingest_barrier(self, cluster):
+        """A rule registered while writes sit coalesced in the queue must
+        not retroactively observe (or miss) merged values: pending
+        batches settle before the rule exists, matching the synchronous
+        order publish → publish → register."""
+        cluster.register_rule(cool_rule("home-0001"))  # makes TEMP live
+        variable = "home-0001/thermo:svc:temperature"
+        cluster.ingest(variable, 30.0)
+        cluster.ingest(variable, 10.0)  # coalesces with the write above
+        shard = cluster.router.shard_of_key("home-0001")
+        assert cluster.bus.pending(shard) == 1
+        until_rule = Rule(
+            name="windowed", owner="Alan",
+            condition=num(variable, Relation.GT, 20.0),
+            action=act("home-0001/vent"),
+            until=num(variable, Relation.LT, 20.0),
+        )
+        cluster.register_rule(until_rule)
+        assert cluster.bus.pending(shard) == 0  # batch settled first
+        assert cluster.rule_truth("windowed") is False
+
+    def test_set_unit_coercion_matches_home_server(self, cluster):
+        from repro.core.condition import MembershipAtom
+        rule = Rule(
+            name="ballgame", owner="Alan",
+            condition=MembershipAtom("home-0001/epg:svc:keywords",
+                                     "baseball"),
+            action=act("home-0001/tv"),
+        )
+        cluster.register_rule(rule)
+        cluster.set_variable_unit("home-0001/epg:svc:keywords", "set")
+        cluster.ingest("home-0001/epg:svc:keywords", "baseball, news")
+        cluster.flush()
+        assert cluster.rule_truth("ballgame") is True
+
+    def test_trace_attribution_survives_name_reuse_across_homes(self,
+                                                                cluster):
+        first = cool_rule("home-0001", name="night-lamp")
+        cluster.register_rule(first)
+        cluster.ingest("home-0001/thermo:svc:temperature", 30.0)
+        cluster.flush()
+        assert len(cluster.trace(home="home-0001")) == 1
+        cluster.remove_rule("night-lamp")
+        cluster.simulator.run_until(cluster.simulator.now + 60.0)
+        second = cool_rule("home-0002", name="night-lamp")
+        cluster.register_rule(second)
+        cluster.ingest("home-0002/thermo:svc:temperature", 30.0)
+        cluster.flush()
+        old_home = cluster.trace(home="home-0001")
+        new_home = cluster.trace(home="home-0002")
+        assert [e.device for e in old_home] == ["home-0001/aircon"]
+        assert [e.device for e in new_home] == ["home-0002/aircon"]
+
+    def test_event_for_unknown_home_is_a_quiet_no_op(self, cluster):
+        cluster.post_event("returns home", "Tom", home="no-such-home")
+        cluster.flush()
+        assert cluster.trace() == []
+        assert "no-such-home" not in cluster._rules_of_home
+
+    def test_discrete_and_set_values_route_and_apply(self, cluster):
+        rule = Rule(
+            name="present", owner="Tom",
+            condition=DiscreteAtom("home-0001/presence:svc:room",
+                                   "living room"),
+            action=act("home-0001/lamp"),
+        )
+        cluster.register_rule(rule)
+        cluster.ingest("home-0001/presence:svc:room", "living room")
+        cluster.flush()
+        assert cluster.rule_truth("present") is True

@@ -1,0 +1,249 @@
+"""Unit tests for the batched async ingest bus: FIFO order, batch
+scheduling, coalescing safety, event barriers and the per-event mode."""
+
+import pytest
+
+from repro.cluster.bus import IngestBus
+from repro.cluster.router import ShardRouter
+from repro.cluster.shard import EngineShard
+from repro.core.action import ActionSpec, Setting
+from repro.core.condition import AndCondition, DiscreteAtom, DurationAtom, NumericAtom
+from repro.core.rule import Rule
+from repro.sim.events import Simulator
+from repro.solver.linear import LinearConstraint, LinearExpr, Relation
+
+HOME = "home-0000"
+TEMP = f"{HOME}/thermo:svc:temperature"
+DOOR = f"{HOME}/door:svc:locked"
+
+
+def num(variable, relation, bound):
+    return NumericAtom(
+        LinearConstraint.make(LinearExpr.var(variable), relation, bound)
+    )
+
+
+def act(device, name="Set"):
+    return ActionSpec(
+        device_udn=device, device_name=device, service_id="svc",
+        action_name=name, settings=(Setting("level", 1),),
+    )
+
+
+def hot_rule(name="hot", device=f"{HOME}/aircon", **kwargs):
+    return Rule(name=name, owner="Tom",
+                condition=num(TEMP, Relation.GT, 26.0),
+                action=act(device), **kwargs)
+
+
+@pytest.fixture
+def rig():
+    simulator = Simulator()
+    router = ShardRouter(1)
+    shard = EngineShard(0, simulator)
+    bus = IngestBus(simulator, [shard], router)
+    return simulator, shard, bus
+
+
+class TestBatching:
+    def test_publish_defers_until_drain(self, rig):
+        simulator, shard, bus = rig
+        shard.register_rule(hot_rule())
+        bus.publish(TEMP, 30.0)
+        assert bus.pending(0) == 1
+        assert shard.engine.rule_truth("hot") is False  # not applied yet
+        simulator.run_until(simulator.now)  # the scheduled drain fires
+        assert bus.pending(0) == 0
+        assert shard.engine.rule_truth("hot") is True
+
+    def test_flush_applies_immediately(self, rig):
+        _, shard, bus = rig
+        shard.register_rule(hot_rule())
+        bus.publish(TEMP, 30.0)
+        bus.flush()
+        assert shard.engine.rule_truth("hot") is True
+        assert bus.stats.batches == 1
+
+    def test_one_drain_per_burst(self, rig):
+        simulator, shard, bus = rig
+        shard.register_rule(hot_rule())
+        for value in (27.0, 28.0, 29.0):
+            bus.publish(f"{HOME}/other:svc:x", value)
+        assert simulator.pending_events() >= 1
+        before = bus.stats.batches
+        simulator.run_until(simulator.now)
+        assert bus.stats.batches == before + 1
+
+    def test_fifo_order_within_a_batch(self, rig):
+        """Writes apply in publish order, and only *consecutive* writes
+        to one variable merge — an interleaved write must not be pulled
+        ahead of another variable's write (that would manufacture world
+        states the synchronous path never visited)."""
+        _, shard, bus = rig
+        seen = []
+        shard.engine.ingest = lambda var, val: seen.append((var, val))
+        a, b = f"{HOME}/a:svc:x", f"{HOME}/b:svc:y"
+        bus.publish(a, 1.0)
+        bus.publish(b, 2.0)
+        bus.publish(a, 3.0)  # not adjacent to the first a-write: kept
+        bus.flush()
+        assert seen == [(a, 1.0), (b, 2.0), (a, 3.0)]
+
+
+class TestCoalescing:
+    def test_safe_variable_coalesces_to_latest_value(self, rig):
+        _, shard, bus = rig
+        shard.register_rule(hot_rule())
+        for value in (27.0, 19.0, 31.0):
+            bus.publish(TEMP, value)
+        assert bus.pending(0) == 1
+        bus.flush()
+        assert bus.stats.coalesced == 2
+        assert bus.stats.applied == 1
+        assert shard.engine.rule_truth("hot") is True
+
+    def test_until_rule_disables_coalescing(self, rig):
+        _, shard, bus = rig
+        shard.register_rule(hot_rule(until=num(TEMP, Relation.GT, 35.0)))
+        for value in (27.0, 36.0, 27.0):
+            bus.publish(TEMP, value)
+        assert bus.pending(0) == 3
+        bus.flush()
+        assert bus.stats.coalesced == 0
+        # The intermediate 36.0 triggered the until: rule stopped even
+        # though the settled value satisfies the condition again.
+        assert shard.engine.rule_truth("hot") is True
+        assert shard.engine.holder_of(f"{HOME}/aircon") is None
+
+    def test_duration_rule_disables_coalescing(self, rig):
+        _, shard, bus = rig
+        alarm = Rule(
+            name="alarm", owner="Emily",
+            condition=DurationAtom(DiscreteAtom(DOOR, "false"), 600.0),
+            action=act(f"{HOME}/alarm"),
+        )
+        shard.register_rule(alarm)
+        bus.publish(DOOR, "false")
+        bus.publish(DOOR, "true")
+        assert bus.pending(0) == 2
+
+    def test_contested_device_disables_coalescing(self, rig):
+        _, shard, bus = rig
+        shard.register_rule(hot_rule("tom-cool"))
+        shard.register_rule(
+            Rule(name="alan-cool", owner="Alan",
+                 condition=num(TEMP, Relation.GT, 30.0),
+                 action=act(f"{HOME}/aircon")))
+        bus.publish(TEMP, 27.0)
+        bus.publish(TEMP, 31.0)
+        assert bus.pending(0) == 2
+
+    def test_rule_churn_invalidates_safety_cache(self, rig):
+        _, shard, bus = rig
+        shard.register_rule(hot_rule())
+        bus.publish(TEMP, 27.0)
+        bus.publish(TEMP, 28.0)   # caches TEMP as safe, merges
+        bus.flush()
+        shard.register_rule(hot_rule("hot2", until=num(TEMP, Relation.GT, 35.0)))
+        bus.publish(TEMP, 29.0)
+        bus.publish(TEMP, 30.0)   # epoch bumped: TEMP now unsafe
+        assert bus.pending(0) == 2
+
+    def test_event_is_a_coalescing_barrier(self, rig):
+        _, shard, bus = rig
+        shard.register_rule(hot_rule())
+        bus.publish(TEMP, 27.0)
+        bus.publish_event("returns home", "Tom", shard=0)
+        bus.publish(TEMP, 31.0)  # must not merge across the barrier
+        assert bus.pending(0) == 3
+
+    def test_interleaved_writes_never_create_phantom_states(self):
+        """Regression: with condition ``a > 2 and b > 5``, settled state
+        (a=0, b=10) and batch [a=1, b=2, a=3], batch-wide coalescing
+        would apply a=3 while b is still 10 and fire the rule on a
+        state the synchronous path never produced.  Consecutive-only
+        coalescing must dispatch nothing."""
+        simulator = Simulator()
+        dispatched = []
+        shard = EngineShard(0, simulator, dispatch=dispatched.append)
+        bus = IngestBus(simulator, [shard], ShardRouter(1))
+        a, b = f"{HOME}/sa:svc:x", f"{HOME}/sb:svc:y"
+        shard.register_rule(Rule(
+            name="both-high", owner="Tom",
+            condition=AndCondition([num(a, Relation.GT, 2.0),
+                                    num(b, Relation.GT, 5.0)]),
+            action=act(f"{HOME}/siren"),
+        ))
+        bus.publish(a, 0.0)
+        bus.publish(b, 10.0)
+        bus.flush()
+        assert dispatched == []
+        bus.publish(a, 1.0)
+        bus.publish(b, 2.0)
+        bus.publish(a, 3.0)
+        bus.flush()
+        assert dispatched == []
+        assert shard.engine.rule_truth("both-high") is False
+
+    def test_coalesce_off_keeps_every_write(self):
+        simulator = Simulator()
+        shard = EngineShard(0, simulator)
+        bus = IngestBus(simulator, [shard], ShardRouter(1), coalesce=False)
+        shard.register_rule(hot_rule())
+        bus.publish(TEMP, 27.0)
+        bus.publish(TEMP, 28.0)
+        assert bus.pending(0) == 2
+
+
+class TestPerEventMode:
+    def test_each_publish_gets_its_own_callback(self):
+        simulator = Simulator()
+        shard = EngineShard(0, simulator)
+        bus = IngestBus(simulator, [shard], ShardRouter(1), batch=False)
+        shard.register_rule(hot_rule())
+        pending_before = simulator.pending_events()
+        bus.publish(TEMP, 27.0)
+        bus.publish(TEMP, 31.0)
+        assert simulator.pending_events() == pending_before + 2
+        simulator.run_until(simulator.now)
+        assert bus.stats.applied == 2
+        assert shard.engine.rule_truth("hot") is True
+
+
+class TestEventsAndShutdown:
+    def test_broadcast_event_reaches_every_shard(self):
+        simulator = Simulator()
+        shards = [EngineShard(i, simulator) for i in range(3)]
+        bus = IngestBus(simulator, shards, ShardRouter(3))
+        fired = []
+        for shard in shards:
+            shard.engine.post_event = (
+                lambda et, subj, _id=shard.shard_id, **kwargs:
+                fired.append(_id)
+            )
+        bus.publish_event("alarm", None)
+        bus.flush()
+        assert sorted(fired) == [0, 1, 2]
+        assert bus.stats.events == 3
+
+    def test_shutdown_drops_queued_entries(self, rig):
+        simulator, shard, bus = rig
+        shard.register_rule(hot_rule())
+        bus.publish(TEMP, 30.0)
+        bus.shutdown()
+        simulator.run_until(simulator.now)
+        assert bus.stats.applied == 0
+        assert shard.engine.rule_truth("hot") is False
+
+    def test_shutdown_drops_per_event_dispatches_too(self):
+        """batch=False applies live on the simulator, not in the queues;
+        shutdown must intercept those as well."""
+        simulator = Simulator()
+        shard = EngineShard(0, simulator)
+        bus = IngestBus(simulator, [shard], ShardRouter(1), batch=False)
+        shard.register_rule(hot_rule())
+        bus.publish(TEMP, 30.0)
+        bus.shutdown()
+        simulator.run_until(simulator.now)
+        assert bus.stats.applied == 0
+        assert shard.engine.rule_truth("hot") is False

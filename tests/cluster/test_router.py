@@ -1,0 +1,114 @@
+"""Unit tests for the consistent-hash shard router."""
+
+import pytest
+
+from repro.cluster.router import ShardRouter, home_key, stable_hash
+from repro.errors import RuleError
+
+
+class TestHomeKey:
+    def test_home_prefixed_variable(self):
+        assert home_key("home-0007/thermo:svc:temperature") == "home-0007"
+
+    def test_home_prefixed_device_udn(self):
+        assert home_key("home-0007/aircon") == "home-0007"
+
+    def test_plain_variable_falls_back_to_udn(self):
+        assert home_key("thermo:t:temperature") == "thermo"
+
+    def test_ambient_pseudo_variables(self):
+        assert home_key("clock:time_of_day") == "clock"
+        assert home_key("event:returns home") == "event"
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("home-0001") == stable_hash("home-0001")
+
+    def test_spreads_distinct_keys(self):
+        hashes = {stable_hash(f"home-{i:04d}") for i in range(100)}
+        assert len(hashes) == 100
+
+
+class TestShardRouter:
+    def test_rejects_bad_counts(self):
+        with pytest.raises(RuleError):
+            ShardRouter(0)
+        with pytest.raises(RuleError):
+            ShardRouter(2, replicas=0)
+
+    def test_single_shard_routes_everything_to_zero(self):
+        router = ShardRouter(1)
+        assert all(
+            router.shard_of_key(f"home-{i}") == 0 for i in range(50)
+        )
+
+    def test_routing_is_deterministic_and_in_range(self):
+        router = ShardRouter(4)
+        again = ShardRouter(4)
+        for i in range(200):
+            key = f"home-{i:04d}"
+            shard = router.shard_of_key(key)
+            assert 0 <= shard < 4
+            assert again.shard_of_key(key) == shard
+
+    def test_variable_and_device_of_one_home_colocate(self):
+        router = ShardRouter(8)
+        shard = router.shard_of("home-0042/thermo:svc:temperature")
+        assert router.shard_of("home-0042/aircon") == shard
+        assert router.shard_of_key("home-0042") == shard
+
+    def test_load_spreads_over_shards(self):
+        router = ShardRouter(8)
+        owners = {router.shard_of_key(f"home-{i:04d}") for i in range(256)}
+        assert owners == set(range(8))
+
+    def test_resharding_moves_few_homes(self):
+        """Consistent hashing: growing 8 → 9 shards remaps only a small
+        fraction of homes (a modulo hash would remap ~8/9 of them)."""
+        before = ShardRouter(8)
+        after = ShardRouter(9)
+        homes = [f"home-{i:04d}" for i in range(512)]
+        moved = sum(
+            1 for home in homes
+            if before.shard_of_key(home) != after.shard_of_key(home)
+        )
+        assert moved < len(homes) * 0.35
+
+    def test_custom_key_extractor(self):
+        router = ShardRouter(4, key_of=lambda ident: ident.split("|")[0])
+        assert router.shard_of("zoneA|anything") == \
+            router.shard_of("zoneA|other")
+
+
+class TestPlacement:
+    def test_single_home_footprint(self):
+        router = ShardRouter(4)
+        key = router.placement_key(
+            ["home-0001/thermo:svc:temperature",
+             "home-0001/presence:svc:room"],
+            ["home-0001/aircon"],
+        )
+        assert key == "home-0001"
+
+    def test_ambient_variables_do_not_constrain(self):
+        router = ShardRouter(4)
+        key = router.placement_key(
+            ["clock:time_of_day", "event:returns home"],
+            ["home-0002/lamp"],
+        )
+        assert key == "home-0002"
+
+    def test_spanning_rule_rejected_with_both_homes_named(self):
+        router = ShardRouter(4)
+        with pytest.raises(RuleError, match="home-0001.*home-0002"):
+            router.placement_key(
+                ["home-0001/thermo:svc:temperature"],
+                ["home-0002/aircon"],
+                rule_name="straddler",
+            )
+
+    def test_empty_footprint_rejected(self):
+        router = ShardRouter(4)
+        with pytest.raises(RuleError, match="no home-keyed"):
+            router.placement_key(["clock:time_of_day"], [])

@@ -1,0 +1,72 @@
+"""The engine tuning knobs exposed through the public HomeServer API:
+``max_trace`` (ring-buffer cap) and ``incremental`` (evaluation
+strategy), plus the public ``ingest`` feed they plumb into."""
+
+import pytest
+
+from repro.core.action import ActionSpec, Setting
+from repro.core.condition import NumericAtom
+from repro.core.engine import RuleState
+from repro.core.rule import Rule
+from repro.core.server import HomeServer
+from repro.errors import RuleError
+from repro.net.bus import NetworkBus
+from repro.sim.events import Simulator
+from repro.solver.linear import LinearConstraint, LinearExpr, Relation
+
+TEMP = "thermo:svc:temperature"
+
+
+def hot_rule():
+    return Rule(
+        name="hot", owner="Tom",
+        condition=NumericAtom(
+            LinearConstraint.make(LinearExpr.var(TEMP), Relation.GT, 26.0)
+        ),
+        action=ActionSpec(
+            device_udn="aircon-1", device_name="aircon", service_id="svc",
+            action_name="On", settings=(Setting("level", 1),),
+        ),
+    )
+
+
+def build_server(**kwargs):
+    simulator = Simulator()
+    server = HomeServer(simulator, NetworkBus(simulator), **kwargs)
+    server.engine.dispatch = lambda spec: None  # no physical devices here
+    return server
+
+
+class TestMaxTrace:
+    def test_cap_reaches_the_engine_ring(self):
+        server = build_server(max_trace=5)
+        assert server.engine.trace.maxlen == 5
+
+    def test_trace_is_capped_through_public_api(self):
+        server = build_server(max_trace=4)
+        server.register_rule(hot_rule())
+        for step in range(20):
+            server.ingest(TEMP, 30.0 if step % 2 == 0 else 20.0)
+        assert len(server.trace()) == 4
+
+    def test_unbounded_trace_opt_in(self):
+        server = build_server(max_trace=None)
+        assert server.engine.trace.maxlen is None
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(RuleError, match="max_trace"):
+            build_server(max_trace=0)
+
+
+class TestIncrementalFlag:
+    @pytest.mark.parametrize("incremental", (True, False))
+    def test_both_strategies_serve_the_same_api(self, incremental):
+        server = build_server(incremental=incremental)
+        assert server.engine.incremental is incremental
+        server.register_rule(hot_rule())
+        server.ingest(TEMP, 30.0)
+        assert server.engine.rule_truth("hot") is True
+        assert server.engine.rule_state("hot") is RuleState.ACTIVE
+        server.ingest(TEMP, 20.0)
+        assert server.engine.rule_truth("hot") is False
+        server.shutdown()

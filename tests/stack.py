@@ -10,12 +10,17 @@ from repro.support.authoring import AuthoringSession
 
 
 class Stack:
-    """A fully wired home: simulator, bus, server, home, sessions."""
+    """A fully wired home: simulator, bus, server, home, sessions.
 
-    def __init__(self):
+    Keyword arguments are forwarded to :class:`HomeServer` (e.g.
+    ``incremental=False`` for the seed evaluation path, ``max_trace=``
+    for the ring-buffer cap).
+    """
+
+    def __init__(self, **server_kwargs):
         self.simulator = Simulator()
         self.bus = NetworkBus(self.simulator)
-        self.server = HomeServer(self.simulator, self.bus)
+        self.server = HomeServer(self.simulator, self.bus, **server_kwargs)
         self.home = build_demo_home(
             self.simulator, self.bus, event_sink=self.server.post_event
         )

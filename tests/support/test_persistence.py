@@ -99,6 +99,83 @@ class TestSaveRestore:
             restore_household({"Tom": fresh.session("Tom")},
                               '{"format": "bogus"}')
 
+    @pytest.mark.parametrize("incremental", (True, False))
+    def test_restored_rules_wake_on_ingest(self, incremental):
+        """A restored rule must be fully indexed by the (incremental)
+        engine: a direct sensor ingest through the public server API
+        wakes it with no device traffic involved."""
+        old = populated_stack()
+        archive = save_household(
+            old.server, {name: old.session(name) for name in ("Tom", "Alan")}
+        )
+        fresh = Stack(incremental=incremental)
+        report = restore_household(
+            {name: fresh.session(name) for name in ("Tom", "Alan")}, archive
+        )
+        assert report.ok()
+        rule = fresh.server.database.get("tom-climate")
+        assert fresh.server.engine.rule_truth("tom-climate") is False
+        # Satisfy every referenced variable directly: numerics high
+        # (the rule wants temperature > 26 and humidity > 65), Tom's
+        # place set to the bound room.
+        for variable in sorted(rule.condition.referenced_variables()):
+            if variable in rule.condition.numeric_variables():
+                fresh.server.ingest(variable, 99.0)
+            else:
+                fresh.server.ingest(variable, "living room")
+        assert fresh.server.engine.rule_truth("tom-climate") is True
+        holder = fresh.server.engine.holder_of(fresh.home.aircon.udn)
+        assert holder is not None and holder[0] == "tom-climate"
+
+    def test_rule_removal_mid_stream_prunes_every_bucket(self):
+        """Removing a restored rule while sensor events keep flowing must
+        prune every index bucket (atom entries, threshold bands, engine
+        plans/bits/watches) and leave the surviving rules live."""
+        old = populated_stack()
+        archive = save_household(
+            old.server, {name: old.session(name) for name in ("Tom", "Alan")}
+        )
+        fresh = Stack()
+        assert restore_household(
+            {name: fresh.session(name) for name in ("Tom", "Alan")}, archive
+        ).ok()
+        server = fresh.server
+        doomed = server.database.get("tom-climate")
+        variables = sorted(doomed.condition.referenced_variables())
+        numeric = doomed.condition.numeric_variables()
+
+        def pump(value):
+            for variable in variables:
+                server.ingest(
+                    variable, value if variable in numeric else "living room"
+                )
+
+        pump(99.0)
+        assert server.engine.rule_truth("tom-climate") is True
+        server.remove_rule("tom-climate")
+        pump(98.0)  # events keep flowing after removal
+        pump(1.0)
+
+        database = server.database
+        engine = server.engine
+        assert "tom-climate" not in database
+        for entry in database._atom_entries.values():
+            assert "tom-climate" not in entry.subscribers
+        for band in database._numeric_bands.values():
+            for bucket_entry in (band.below_e + band.above_e + band.recheck):
+                assert "tom-climate" not in bucket_entry.subscribers
+        for watchers in database._var_watch.values():
+            assert "tom-climate" not in watchers
+        assert "tom-climate" not in engine._plans
+        assert "tom-climate" not in engine._bits
+        assert "tom-climate" not in engine._watch_vars
+        for rules in engine._held_atom_rules.values():
+            assert "tom-climate" not in rules
+        # The survivor still arbitrates normally on the live stream.
+        fresh.home.household.arrive_home("Alan", "work", "living room")
+        fresh.run_for(120.0)
+        assert server.engine.rule_truth("alan-opera") is True
+
     def test_unbindable_rule_reported(self):
         """A rule naming a device the new home lacks fails cleanly."""
         import json
