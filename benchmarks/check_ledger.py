@@ -1,0 +1,96 @@
+"""Validate the ``BENCH_results.json`` ledger.
+
+The bench-smoke CI job runs this after the benchmarks: a benchmark that
+writes a malformed row (missing fields, non-numeric measurement) or a
+duplicate ``(experiment, row, config)`` key fails the build instead of
+silently corrupting the perf trajectory (PR 2's follow-up appended 264
+lines of duplicate rows before the ledger was keyed).
+
+Usage: ``python benchmarks/check_ledger.py [path]`` — exits non-zero
+with one line per violation.  The validation lives in
+:func:`validate_ledger` so tests can assert the committed ledger is
+clean without shelling out.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_results.json"
+
+REQUIRED_FIELDS = ("experiment", "row", "measured_ms", "run")
+KNOWN_CONFIGS = ("full", "smoke")
+
+
+def validate_ledger(rows: object) -> list[str]:
+    """All invariant violations in a loaded ledger (empty = clean)."""
+    if not isinstance(rows, list):
+        return [f"ledger root must be a list, got {type(rows).__name__}"]
+    errors: list[str] = []
+    seen: dict[tuple, int] = {}
+    for index, entry in enumerate(rows):
+        where = f"row {index}"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for field in REQUIRED_FIELDS:
+            if field not in entry:
+                errors.append(f"{where}: missing field {field!r}")
+        experiment = entry.get("experiment")
+        row = entry.get("row")
+        for label, value in (("experiment", experiment), ("row", row)):
+            if label in entry and (
+                not isinstance(value, str) or not value.strip()
+            ):
+                errors.append(f"{where}: {label!r} must be a non-empty string")
+        measured = entry.get("measured_ms")
+        if "measured_ms" in entry and (
+            not isinstance(measured, (int, float))
+            or isinstance(measured, bool)
+            or not math.isfinite(measured)
+            or measured < 0
+        ):
+            errors.append(
+                f"{where}: 'measured_ms' must be a finite non-negative "
+                f"number, got {measured!r}"
+            )
+        config = entry.get("config", "full")
+        if config not in KNOWN_CONFIGS:
+            errors.append(f"{where}: unknown config {config!r}")
+        key = (experiment, row, config)
+        if key in seen:
+            errors.append(
+                f"{where}: duplicate of row {seen[key]} "
+                f"(experiment={experiment!r}, row={row!r}, "
+                f"config={config!r})"
+            )
+        else:
+            seen[key] = index
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
+    try:
+        rows = json.loads(path.read_text())
+    except OSError as exc:
+        print(f"cannot read {path}: {exc}")
+        return 1
+    except ValueError as exc:
+        print(f"{path} is not valid JSON: {exc}")
+        return 1
+    errors = validate_ledger(rows)
+    for error in errors:
+        print(f"{path}: {error}")
+    if errors:
+        return 1
+    count = len(rows)
+    print(f"{path}: OK ({count} rows, all keys unique)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

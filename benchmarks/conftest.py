@@ -7,48 +7,101 @@ run).  Absolute values are expected to differ — the paper ran on a 2005
 Athlon 2200+ with a C Simplex library; the *shape* (single-digit-ms
 retrieval/extraction, sub-ms batched feasibility) is the target.
 
-Besides printing, :func:`report` appends every measured row to
-``BENCH_results.json`` at the repository root (``experiment``, ``row``,
-``measured_ms``), so the perf trajectory is machine-readable across PRs
-instead of living only in scrollback.
-
-Set ``REPRO_BENCH_SMOKE=1`` to shrink the scaling sweeps (A5/A6) to CI
-smoke sizes; the shape assertions adapt to the smaller ratios.
+Besides printing, :func:`report` upserts every measured row into
+``BENCH_results.json`` at the repository root.  The ledger is **keyed**:
+one row per ``(experiment, row, config)`` — re-running a benchmark
+replaces its row instead of appending a duplicate, so the file stays a
+current snapshot rather than an append-only log.  Each row records the
+measurement (``measured_ms``), the run stamp and the git commit it was
+measured at; ``config`` separates full-size runs from the shrunken
+``REPRO_BENCH_SMOKE=1`` CI sweeps so neither clobbers the other.
+``benchmarks/check_ledger.py`` validates the invariants and fails CI on
+malformed or duplicate rows.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import subprocess
 import time
 from pathlib import Path
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_results.json"
 
-# One stamp per pytest process: rows of the same run group together, so
-# the ledger stays reconstructible when several runs append over time.
+# One stamp per pytest process: rows of the same run carry one stamp, so
+# a partial re-run is visible in the ledger (mixed stamps per sweep).
 RUN_STAMP = time.strftime("%Y-%m-%dT%H:%M:%S")
 
 BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") \
     not in ("", "0", "false", "no")
 
+CONFIG = "smoke" if BENCH_SMOKE else "full"
+
+
+def _git_sha() -> str:
+    """The measuring commit, with a ``-dirty`` marker when the working
+    tree differs from it — a row measured from uncommitted code must not
+    credit the parent commit with its numbers."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=RESULTS_PATH.parent, capture_output=True, text=True,
+            timeout=10,
+        ).stdout.strip()
+        if not sha:
+            return "unknown"
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=RESULTS_PATH.parent, capture_output=True, text=True,
+            timeout=10,
+        ).stdout.strip()
+        return f"{sha}-dirty" if dirty else sha
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+GIT_SHA = _git_sha()
+
+
+def row_key(entry: dict) -> tuple:
+    """The ledger's uniqueness key (rows predating the ``config`` field
+    count as full-size runs)."""
+    return (
+        entry.get("experiment"),
+        entry.get("row"),
+        entry.get("config", "full"),
+    )
+
+
+def load_ledger() -> list[dict]:
+    if not RESULTS_PATH.exists():
+        return []
+    try:
+        loaded = json.loads(RESULTS_PATH.read_text())
+    except (OSError, ValueError):
+        return []  # a corrupt ledger must never fail a benchmark
+    return loaded if isinstance(loaded, list) else []
+
 
 def record_result(experiment: str, row: str, measured_ms: float) -> None:
-    """Append one row to the repo-root ``BENCH_results.json`` ledger."""
-    rows: list[dict] = []
-    if RESULTS_PATH.exists():
-        try:
-            loaded = json.loads(RESULTS_PATH.read_text())
-            if isinstance(loaded, list):
-                rows = loaded
-        except (OSError, ValueError):
-            rows = []  # a corrupt ledger must never fail a benchmark
+    """Upsert one row into the repo-root ``BENCH_results.json`` ledger,
+    replacing any previous measurement of the same key."""
+    key = (experiment, row, CONFIG)
+    rows = [entry for entry in load_ledger() if row_key(entry) != key]
     rows.append({
         "experiment": experiment,
         "row": row,
+        "config": CONFIG,
         "measured_ms": round(measured_ms, 6),
         "run": RUN_STAMP,
+        "sha": GIT_SHA,
     })
+    rows.sort(key=lambda entry: (
+        entry.get("experiment") or "",
+        entry.get("config", "full"),
+        entry.get("row") or "",
+    ))
     try:
         RESULTS_PATH.write_text(json.dumps(rows, indent=2) + "\n")
     except OSError:

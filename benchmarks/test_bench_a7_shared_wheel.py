@@ -1,0 +1,228 @@
+"""A7 — cross-rule sharing: ingest vs template duplication, tick vs
+window-rule count.
+
+Real fleets are dominated by *templated* rules: the same vendor rule
+pack stamped out per apartment, so atoms and whole conjunctions repeat
+across hundreds of rules.  This benchmark shows the two hot paths
+scaling with *distinct context* rather than rule count:
+
+* **ingest** — a templated population (``templates`` distinct two-atom
+  clauses × ``duplication`` copies) absorbs a shared-sensor toggle that
+  flips every distinct atom while every clause stays false.  With the
+  shared evaluation network (``shared=True``) the cost is O(templates),
+  ~flat as duplication grows; the per-rule ablation (``shared=False``)
+  pays O(templates × duplication).  Target: ≥5× at 100× duplication.
+* **clock tick** — a dense window population (boundaries spread across
+  the day).  The time-window wheel (``wheel=True``) wakes only rules
+  whose boundary a tick crossed, ~flat in the population; the per-tick
+  ablation re-evaluates every window rule each tick.  Target: ≥10×.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SMOKE, median_seconds, report
+from repro.core.engine import RuleEngine
+from repro.core.priority import PriorityManager
+from repro.sim.events import Simulator
+from repro.workloads.rules import (
+    build_templated_population,
+    build_window_population,
+)
+
+TEMPLATES = 25 if BENCH_SMOKE else 50
+# Full sweep peaks at the acceptance point (100× duplication).
+DUPLICATIONS = (1, 20) if BENCH_SMOKE else (1, 10, 100)
+WINDOW_SWEEP = (256, 1024) if BENCH_SMOKE else (512, 4096)
+
+# Acceptance floors: ≥5× ingest at 100× duplication and ≥10× tick on the
+# dense-window population; smoke sizes shrink the advantage, so CI
+# guards a proportionally smaller floor.
+SHARED_SPEEDUP_FLOOR = 3.0 if BENCH_SMOKE else 5.0
+WHEEL_SPEEDUP_FLOOR = 5.0 if BENCH_SMOKE else 10.0
+
+TICK_PERIOD = 60.0
+
+MEDIANS: dict[tuple[str, int], float] = {}
+
+
+def _discard(spec) -> None:
+    pass
+
+
+# -- ingest vs duplication -----------------------------------------------------
+
+
+def _build_templated(duplication):
+    population = build_templated_population(
+        templates=TEMPLATES, duplication=duplication,
+        seed=f"a7-{duplication}",
+    )
+    simulator = Simulator()
+    engines = {}
+    for shared in (True, False):
+        engine = RuleEngine(
+            population.database, PriorityManager(), simulator,
+            dispatch=_discard, shared=shared, max_trace=10_000,
+        )
+        for rule in population.database.all_rules():
+            engine.rule_added(rule)
+        # Prime: the first reading fans out to every atom regardless of
+        # strategy; the sweep measures the steady-state toggle.
+        engine.ingest(population.hot_variable, population.toggle_low)
+        engine.ingest(population.hot_variable, population.toggle_high)
+        engine.ingest(population.hot_variable, population.toggle_low)
+        engines[shared] = engine
+    return population, engines
+
+
+@pytest.fixture(scope="module")
+def templated_setups():
+    return {
+        duplication: _build_templated(duplication)
+        for duplication in DUPLICATIONS
+    }
+
+
+def _toggling_ingest(engine, population):
+    state = {"high": False}
+
+    def step():
+        state["high"] = not state["high"]
+        engine.ingest(
+            population.hot_variable,
+            population.toggle_high if state["high"]
+            else population.toggle_low,
+        )
+
+    return step
+
+
+@pytest.mark.parametrize("duplication", DUPLICATIONS)
+def test_shared_ingest(benchmark, templated_setups, duplication):
+    population, engines = templated_setups[duplication]
+
+    benchmark(_toggling_ingest(engines[True], population))
+
+    median = median_seconds(benchmark)
+    MEDIANS[("shared", duplication)] = median
+    report("A7", f"shared-network ingest @ {duplication}x duplication "
+                 f"({population.total_rules} rules)",
+           "~flat in duplication factor", median)
+
+
+@pytest.mark.parametrize("duplication", DUPLICATIONS)
+def test_per_rule_ingest(benchmark, templated_setups, duplication):
+    population, engines = templated_setups[duplication]
+
+    benchmark(_toggling_ingest(engines[False], population))
+
+    median = median_seconds(benchmark)
+    MEDIANS[("per-rule", duplication)] = median
+    report("A7", f"per-rule ingest @ {duplication}x duplication "
+                 f"({population.total_rules} rules, ablation)",
+           "n/a (ablation)", median)
+
+
+def test_ingest_scaling_shape():
+    """Acceptance: shared ingest ≥5× faster than the per-rule ablation
+    at 100× duplication, and ~flat across the duplication sweep."""
+    needed = [(mode, duplication) for mode in ("shared", "per-rule")
+              for duplication in (DUPLICATIONS[0], DUPLICATIONS[-1])]
+    if any(key not in MEDIANS for key in needed):
+        pytest.skip("ingest sweep did not run (filtered?)")
+    peak = DUPLICATIONS[-1]
+    speedup = MEDIANS[("per-rule", peak)] / MEDIANS[("shared", peak)]
+    flatness = (
+        MEDIANS[("shared", peak)] / MEDIANS[("shared", DUPLICATIONS[0])]
+    )
+    print(
+        f"\n  [A7] ingest @ {peak}x duplication: shared x{speedup:.1f} "
+        f"faster than per-rule; shared growth x{flatness:.2f} "
+        f"across {DUPLICATIONS[0]}x -> {peak}x"
+    )
+    assert speedup >= SHARED_SPEEDUP_FLOOR, (
+        f"shared network only x{speedup:.2f} over the per-rule path at "
+        f"{peak}x duplication (floor x{SHARED_SPEEDUP_FLOOR:g})"
+    )
+    assert flatness <= 3.0, (
+        f"shared ingest grew x{flatness:.2f} across the duplication "
+        "sweep (expected ~flat: cost tracks distinct templates)"
+    )
+
+
+# -- clock tick vs window-rule count -------------------------------------------
+
+
+def _build_windows(count):
+    population = build_window_population(count, seed=f"a7-w{count}")
+    sides = {}
+    for wheel in (True, False):
+        simulator = Simulator()
+        engine = RuleEngine(
+            population.database, PriorityManager(), simulator,
+            dispatch=_discard, wheel=wheel, max_trace=10_000,
+        )
+        for rule in population.database.all_rules():
+            engine.rule_added(rule)
+        sides[wheel] = (simulator, engine)
+    return sides
+
+
+@pytest.fixture(scope="module")
+def window_setups():
+    return {count: _build_windows(count) for count in WINDOW_SWEEP}
+
+
+def _ticking(simulator, engine):
+    def step():
+        simulator.run_until(simulator.now + TICK_PERIOD)
+        engine.clock_tick()
+
+    return step
+
+
+@pytest.mark.parametrize("count", WINDOW_SWEEP)
+def test_wheel_tick(benchmark, window_setups, count):
+    simulator, engine = window_setups[count][True]
+
+    benchmark(_ticking(simulator, engine))
+
+    median = median_seconds(benchmark)
+    MEDIANS[("wheel", count)] = median
+    report("A7", f"wheel clock tick @ {count} window rules",
+           "O(crossings): ~flat in window-rule count", median)
+
+
+@pytest.mark.parametrize("count", WINDOW_SWEEP)
+def test_per_tick_reevaluation(benchmark, window_setups, count):
+    simulator, engine = window_setups[count][False]
+
+    benchmark.pedantic(
+        _ticking(simulator, engine),
+        rounds=20, iterations=1, warmup_rounds=2,
+    )
+
+    median = median_seconds(benchmark)
+    MEDIANS[("per-tick", count)] = median
+    report("A7", f"per-tick re-evaluation @ {count} window rules "
+                 "(ablation)",
+           "n/a (ablation)", median)
+
+
+def test_tick_scaling_shape():
+    """Acceptance: the wheel beats blanket per-tick re-evaluation ≥10×
+    on the dense-window population."""
+    needed = [(mode, count) for mode in ("wheel", "per-tick")
+              for count in (WINDOW_SWEEP[0], WINDOW_SWEEP[-1])]
+    if any(key not in MEDIANS for key in needed):
+        pytest.skip("tick sweep did not run (filtered?)")
+    peak = WINDOW_SWEEP[-1]
+    speedup = MEDIANS[("per-tick", peak)] / MEDIANS[("wheel", peak)]
+    print(
+        f"\n  [A7] tick @ {peak} window rules: wheel x{speedup:.1f} "
+        f"faster than per-tick re-evaluation"
+    )
+    assert speedup >= WHEEL_SPEEDUP_FLOOR, (
+        f"wheel only x{speedup:.2f} over per-tick re-evaluation at "
+        f"{peak} window rules (floor x{WHEEL_SPEEDUP_FLOOR:g})"
+    )

@@ -48,6 +48,8 @@ class EngineShard:
         conflict_policy: ConflictPolicy | None = None,
         prefer_intervals: bool = True,
         incremental: bool = True,
+        shared: bool = True,
+        wheel: bool = True,
         max_trace: int | None = DEFAULT_MAX_TRACE,
         clock_tick_period: float = 60.0,
     ) -> None:
@@ -60,6 +62,8 @@ class EngineShard:
             conflict_policy=conflict_policy,
             prefer_intervals=prefer_intervals,
             incremental=incremental,
+            shared=shared,
+            wheel=wheel,
             max_trace=max_trace,
         )
         self.database = stack.database

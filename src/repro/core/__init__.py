@@ -17,6 +17,10 @@ This package is the paper's home-server brain (Fig. 3):
   satisfiability, the paper's E2 experiment.
 * :mod:`repro.core.priority` — context-attached priority orders
   (Sect. 3.2 "Avoidance of Device Conflict").
+* :mod:`repro.core.network` — the shared evaluation network deduping
+  identical DNF clauses across rules (Rete-style beta memo).
+* :mod:`repro.core.wheel` — the time-window wheel waking clock rules
+  only at their next window-boundary crossing.
 * :mod:`repro.core.engine` — event-driven rule execution with runtime
   arbitration.
 * :mod:`repro.core.server` — the :class:`HomeServer` facade wiring all
@@ -42,7 +46,9 @@ from repro.core.conflict import ConflictChecker, ConflictReport
 from repro.core.consistency import ConsistencyChecker
 from repro.core.database import RuleDatabase
 from repro.core.engine import RuleEngine
+from repro.core.network import ClauseNode, SharedNetwork
 from repro.core.plan import CompiledPlan, compile_condition
+from repro.core.wheel import TimeWheel, next_boundary
 from repro.core.priority import PriorityManager, PriorityOrder
 from repro.core.rule import Rule
 from repro.core.server import HomeServer
@@ -69,6 +75,10 @@ __all__ = [
     "ConsistencyChecker",
     "RuleDatabase",
     "RuleEngine",
+    "ClauseNode",
+    "SharedNetwork",
+    "TimeWheel",
+    "next_boundary",
     "CompiledPlan",
     "compile_condition",
     "PriorityManager",

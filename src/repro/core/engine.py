@@ -47,6 +47,27 @@ Constructing the engine with ``incremental=False`` restores the seed's
 full re-evaluation path unchanged (the A5 ablation baseline): every
 ingest re-walks the condition tree of every rule reading the variable.
 Both modes produce identical truth values, states, holders and traces.
+
+Cross-rule sharing (the A7 optimisations)
+-----------------------------------------
+
+Two further layers make the hot paths scale with *distinct context*
+rather than rule count; both require ``incremental`` and keep the
+per-rule machinery as ablation baselines:
+
+* ``shared=True`` (default) routes atom flips through the
+  :class:`~repro.core.network.SharedNetwork`: identical DNF clauses are
+  deduplicated across rules into refcounted clause nodes, so a flip
+  updates each distinct clause once and only fans out to rules whose
+  *clause* truth changed.  ``shared=False`` restores the per-rule
+  bitset fan-out.
+* ``wheel=True`` (default) replaces ``clock_tick``'s blanket
+  re-evaluation of every clock-reading rule with the
+  :class:`~repro.core.wheel.TimeWheel` boundary schedule: a tick wakes
+  only the rules whose time-window atoms actually crossed a start/end
+  boundary (plus the DENIED / until / disabled watch sets, which the
+  per-tick path re-examines every tick by construction).
+  ``wheel=False`` restores the blanket wake.
 """
 
 from __future__ import annotations
@@ -57,10 +78,12 @@ from dataclasses import dataclass
 from typing import Any, Callable, Collection, Iterable
 
 from repro.core.action import ActionSpec
-from repro.core.condition import CLOCK_VARIABLE, DurationAtom
+from repro.core.condition import CLOCK_VARIABLE, DurationAtom, TimeWindowAtom
 from repro.core.database import RuleDatabase
+from repro.core.network import SharedNetwork
 from repro.core.plan import CompiledPlan
 from repro.core.priority import PriorityManager, PriorityOrder
+from repro.core.wheel import TimeWheel
 from repro.core.rule import Rule
 from repro.errors import ReproError, RuleError
 from repro.sim.events import Simulator
@@ -193,6 +216,8 @@ class RuleEngine:
         access_check: Callable[[Rule, ActionSpec], None] | None = None,
         *,
         incremental: bool = True,
+        shared: bool = True,
+        wheel: bool = True,
         max_trace: int | None = DEFAULT_MAX_TRACE,
     ) -> None:
         self.database = database
@@ -202,6 +227,10 @@ class RuleEngine:
         self.prompt_policy = prompt_policy or keep_status_quo_policy
         self.access_check = access_check
         self.incremental = incremental
+        # Both cross-rule layers ride on the incremental bookkeeping
+        # (atom-truth cache, watch sets); the seed path ignores them.
+        self.shared = shared and incremental
+        self.wheel = wheel and incremental
         self.world = WorldState(simulator)
         self.world.on_held_armed = self._arm_held_timer
         if max_trace is not None and max_trace <= 0:
@@ -218,6 +247,14 @@ class RuleEngine:
         self._plans: dict[str, CompiledPlan] = {}        # rule name -> plan
         self._bits: dict[str, int] = {}                  # rule name -> atom bits
         self._atom_truth: dict[str, bool] = {}           # atom key -> cached truth
+        self._network = SharedNetwork() if self.shared else None
+        self._time_wheel = TimeWheel() if self.wheel else None
+        self._wheel_keys: dict[str, tuple[str, ...]] = {}  # rule -> window keys
+        # Stateful clock-reading plans (a duration over a window) stay on
+        # the every-tick cadence: held() bookkeeping samples the clock at
+        # evaluation time, so waking them only at window boundaries would
+        # shift held-expiry observations off the tick grid.
+        self._tick_stateful: set[str] = set()
         self._watch_vars: dict[str, frozenset[str]] = {}  # rule -> cond+until vars
         self._has_until: set[str] = set()
         # Rules skipped while disabled: the seed path re-examines them on
@@ -256,7 +293,23 @@ class RuleEngine:
                 self._has_until.add(rule.name)
                 watch |= rule.until.referenced_variables()
             self._watch_vars[rule.name] = frozenset(watch)
-            self._refresh_static_bits(rule.name)
+            if self._network is not None and not plan.has_duration:
+                self._network.subscribe(
+                    rule.name, plan, self._atom_truth, self.world
+                )
+            else:
+                self._refresh_static_bits(rule.name)
+            if self._time_wheel is not None:
+                windows = [
+                    atom for atom in plan.atoms
+                    if isinstance(atom, TimeWindowAtom)
+                ]
+                if windows and plan.has_duration:
+                    self._tick_stateful.add(rule.name)
+                elif windows:
+                    self._wheel_keys[rule.name] = self._time_wheel.subscribe(
+                        rule.name, windows, self.simulator.now
+                    )
 
     def rule_removed(self, rule_name: str) -> None:
         self._truth.pop(rule_name, None)
@@ -270,6 +323,13 @@ class RuleEngine:
         self._watch_vars.pop(rule_name, None)
         self._has_until.discard(rule_name)
         self._disabled_dirty.discard(rule_name)
+        if self._network is not None:
+            self._network.unsubscribe(rule_name)
+        if self._time_wheel is not None:
+            self._time_wheel.unsubscribe(
+                rule_name, self._wheel_keys.pop(rule_name, ())
+            )
+            self._tick_stateful.discard(rule_name)
         for key in [k for k, rules in self._held_atom_rules.items()
                     if rule_name in rules]:
             bucket = self._held_atom_rules[key]
@@ -372,13 +432,18 @@ class RuleEngine:
         """Verify candidate atoms, flip subscriber bits, wake watchers."""
         dirty: set[str] = set()
         bits = self._bits
+        network = self._network
         truth_cache = self._atom_truth
         for entry in candidates:
             new_truth = entry.atom.evaluate(self.world)
             if truth_cache.get(entry.key, False) == new_truth:
                 continue
             truth_cache[entry.key] = new_truth
-            if new_truth:
+            if network is not None:
+                # Shared path: flip each distinct clause once; only
+                # clause-truth flips fan out to rules.
+                dirty.update(network.atom_flipped(entry.key, new_truth))
+            elif new_truth:
                 for name, bit in entry.subscribers.items():
                     current = bits.get(name)
                     if current is not None:
@@ -393,6 +458,18 @@ class RuleEngine:
         watchers = self.database.variable_watchers(variable)
         if watchers:
             dirty.update(watchers)
+        self._wake_watch_sets(variable, dirty, refresh_stale_bits=True)
+        self._evaluate_dirty(dirty, full=False)
+
+    def _wake_watch_sets(
+        self, variable: str, dirty: set[str], *, refresh_stale_bits: bool
+    ) -> None:
+        """Union in the per-variable sets the seed path re-examined on
+        every relevant change: DENIED rules retrying arbitration,
+        holding rules with a watching ``until``, and disabled-skipped
+        rules (whose stale per-rule bits are refreshed here when the
+        upcoming evaluation will not — shared clause nodes never go
+        stale, and a ``full`` evaluation refreshes on its own)."""
         denied = self._denied_watch.get(variable)
         if denied:
             dirty.update(denied)
@@ -403,13 +480,21 @@ class RuleEngine:
             for name in list(self._disabled_dirty):
                 watch = self._watch_vars.get(name)
                 if watch is not None and variable in watch:
-                    self._refresh_static_bits(name)
+                    if refresh_stale_bits and self._network is None:
+                        self._refresh_static_bits(name)
                     dirty.add(name)
+
+    def _evaluate_dirty(self, dirty: set[str], *, full: bool) -> None:
+        """Evaluate a wake set in the seed's deterministic rule_id order
+        (skipping names a queued wake outlived)."""
         if not dirty:
             return
         database = self.database
-        ordered = sorted(dirty, key=lambda name: database.get(name).rule_id)
-        self._evaluate_rules(ordered, full=False)
+        ordered = sorted(
+            (name for name in dirty if name in database),
+            key=lambda name: database.get(name).rule_id,
+        )
+        self._evaluate_rules(ordered, full=full)
 
     def post_event(
         self,
@@ -451,16 +536,34 @@ class RuleEngine:
                     self._set_state(name, RuleState.IDLE)
 
     def clock_tick(self) -> None:
-        """Re-evaluate every rule reading the clock pseudo-variable.
+        """Periodic clock tick — the single code path the home server's
+        clock task and the cluster shards share, so window-boundary
+        semantics can never drift between the two facades.
 
-        The single periodic-tick code path: the home server's clock task
-        and the cluster shards both call this, so window-boundary
-        semantics can never drift between the two facades."""
-        dirty = [
-            r.name for r in self.database.rules_reading_variable(CLOCK_VARIABLE)
-        ]
-        if dirty:
-            self.reevaluate(dirty)
+        With the wheel off, every rule reading the clock pseudo-variable
+        is re-evaluated (O(clock rules) per tick).  With the wheel on,
+        only rules whose window atoms crossed a start/end boundary since
+        the last tick wake — plus the sets the blanket wake re-examined
+        every tick as a side effect and that genuinely need it: DENIED
+        rules retrying arbitration, holding rules with a clock-reading
+        ``until``, disabled-skipped rules whose next wake must re-derive
+        truth, and stateful duration-over-window plans whose ``held()``
+        sampling is tick-sensitive.  O(crossings), ~flat in the window
+        population.
+        """
+        if self._time_wheel is None:
+            dirty = [
+                r.name
+                for r in self.database.rules_reading_variable(CLOCK_VARIABLE)
+            ]
+            if dirty:
+                self.reevaluate(dirty)
+            return
+        wake = self._time_wheel.advance(self.simulator.now)
+        if self._tick_stateful:
+            wake |= self._tick_stateful
+        self._wake_watch_sets(CLOCK_VARIABLE, wake, refresh_stale_bits=False)
+        self._evaluate_dirty(wake, full=True)
 
     # -- evaluation ------------------------------------------------------------------------
 
@@ -485,6 +588,13 @@ class RuleEngine:
         plan = self._plans.get(name)
         if plan is None or plan.has_duration:
             return rule.condition.evaluate(self.world)
+        if self._network is not None:
+            # Shared clause nodes are maintained by delta propagation and
+            # never go stale, so full and partial reads are the same.
+            volatile_bits = (
+                plan.volatile_bits(self.world) if plan.volatile_slots else 0
+            )
+            return self._network.rule_truth(name, volatile_bits)
         if full:
             bits = self._refresh_static_bits(name)
         else:

@@ -1,0 +1,192 @@
+"""Shared evaluation network — cross-rule clause dedup (Rete-style beta memo).
+
+Templated rule populations repeat the same conjunctions across hundreds
+of rules ("if the living room is hot and occupied" stamped out per
+apartment).  The per-rule bitset path still pays O(subscribers) dict
+updates and truth recomputations for every atom flip, even when no
+rule's truth can change.  This module collapses that redundancy:
+
+* every *static conjunction* (the static part of one DNF clause, named
+  by its sorted atom-key tuple — see
+  :attr:`~repro.core.plan.CompiledPlan.clause_parts`) becomes one
+  refcounted :class:`ClauseNode`, shared by every rule carrying an equal
+  conjunction;
+* an atom flip updates each containing node's bitset **once**; only
+  nodes whose conjunction truth actually flipped fan out to their
+  subscribed rules;
+* rule truth reduces to a scan of the rule's clause table:
+  ``any(node true  and  volatile part true)``.
+
+With D-fold template duplication an ingest delta therefore costs
+O(distinct atoms + distinct clauses), not O(rules) — the A7 benchmark
+shape.  Node truth is engine state (each engine evaluates atoms against
+its own world), so the network lives on the engine, not the database;
+the database's :class:`~repro.core.database.AtomEntry` table remains the
+cross-rule *atom* dedup layer feeding candidate atoms to the engine.
+
+Stateful plans (duration atoms) never join the network — their ``held``
+bookkeeping requires the original tree walk — and clauses made only of
+volatile time/event atoms subscribe with no node at all (their truth is
+re-evaluated fresh each time).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.condition import EvaluationContext
+    from repro.core.plan import CompiledPlan
+
+ClauseKey = tuple[str, ...]
+"""A clause node's identity: the sorted atom keys of its conjunction."""
+
+
+class ClauseNode:
+    """One deduplicated static conjunction and the rules subscribed to it.
+
+    ``subscribers`` maps rule name → subscription count: a single rule
+    may reference the same static conjunction from several clauses
+    (e.g. ``(A∧B∧evening) ∨ (A∧B∧night)`` shares the node ``(A,B)``), so
+    unsubscription must refcount rather than discard.
+    """
+
+    __slots__ = ("atom_keys", "full_mask", "bits", "truth", "subscribers")
+
+    def __init__(self, atom_keys: ClauseKey) -> None:
+        self.atom_keys = atom_keys
+        self.full_mask = (1 << len(atom_keys)) - 1
+        self.bits = 0
+        self.truth = False
+        self.subscribers: dict[str, int] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClauseNode {len(self.atom_keys)} atoms "
+            f"truth={self.truth} subs={len(self.subscribers)}>"
+        )
+
+
+class SharedNetwork:
+    """Clause-node memo + atom→node index for one engine.
+
+    Invariant: node bitsets always agree with the engine's atom-truth
+    cache, which in turn always agrees with the world for every
+    subscribed atom (the database's candidate queries are complete, so
+    every possible flip reaches :meth:`atom_flipped`).  Rule truth is
+    therefore a pure read — no per-rule refresh pass exists or is
+    needed.
+    """
+
+    __slots__ = ("_nodes", "_atom_nodes", "_tables")
+
+    def __init__(self) -> None:
+        self._nodes: dict[ClauseKey, ClauseNode] = {}
+        # atom key -> {node: bit within that node}
+        self._atom_nodes: dict[str, dict[ClauseNode, int]] = {}
+        # rule name -> ((node | None, volatile_mask), ...)
+        self._tables: dict[str, tuple[tuple[ClauseNode | None, int], ...]] = {}
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def subscribe(
+        self,
+        rule_name: str,
+        plan: "CompiledPlan",
+        atom_truth: dict[str, bool],
+        world: "EvaluationContext",
+    ) -> None:
+        """Build the rule's clause table, creating missing nodes.
+
+        A new node's bits come from the engine's atom-truth cache;
+        atoms the engine has never evaluated (first subscriber) are
+        evaluated against the world once and cached — the same
+        evaluate-at-registration semantics as the per-rule bitset path.
+        """
+        atoms = {key: atom for _bit, key, atom in plan.static_slots}
+        table: list[tuple[ClauseNode | None, int]] = []
+        for static_keys, volatile_mask in plan.clause_parts:
+            if not static_keys:
+                table.append((None, volatile_mask))
+                continue
+            node = self._nodes.get(static_keys)
+            if node is None:
+                node = ClauseNode(static_keys)
+                self._nodes[static_keys] = node
+                bits = 0
+                for index, key in enumerate(static_keys):
+                    truth = atom_truth.get(key)
+                    if truth is None:
+                        truth = atoms[key].evaluate(world)
+                        atom_truth[key] = truth
+                    if truth:
+                        bits |= 1 << index
+                    self._atom_nodes.setdefault(key, {})[node] = 1 << index
+                node.bits = bits
+                node.truth = bits == node.full_mask
+            node.subscribers[rule_name] = node.subscribers.get(rule_name, 0) + 1
+            table.append((node, volatile_mask))
+        self._tables[rule_name] = tuple(table)
+
+    def unsubscribe(self, rule_name: str) -> None:
+        """Drop a rule's clause table; nodes with no remaining
+        subscribers are removed from the memo and the atom→node index
+        (removal must not leak — nor leave a stale node a later
+        re-registration could read)."""
+        table = self._tables.pop(rule_name, None)
+        if table is None:
+            return
+        for node, _volatile_mask in table:
+            if node is None:
+                continue
+            count = node.subscribers.get(rule_name, 0) - 1
+            if count > 0:
+                node.subscribers[rule_name] = count
+                continue
+            node.subscribers.pop(rule_name, None)
+            if not node.subscribers:
+                self._drop_node(node)
+
+    def _drop_node(self, node: ClauseNode) -> None:
+        self._nodes.pop(node.atom_keys, None)
+        for key in node.atom_keys:
+            bucket = self._atom_nodes.get(key)
+            if bucket is not None:
+                bucket.pop(node, None)
+                if not bucket:
+                    del self._atom_nodes[key]
+
+    def atom_flipped(self, key: str, new_truth: bool) -> Iterable[str]:
+        """Propagate one verified atom flip into every containing node;
+        returns the rules subscribed to nodes whose *clause* truth
+        flipped (the only rules whose observable truth can change)."""
+        bucket = self._atom_nodes.get(key)
+        if not bucket:
+            return ()
+        woken: set[str] | None = None
+        for node, bit in bucket.items():
+            bits = node.bits | bit if new_truth else node.bits & ~bit
+            if bits == node.bits:
+                continue
+            node.bits = bits
+            truth = bits == node.full_mask
+            if truth != node.truth:
+                node.truth = truth
+                if woken is None:
+                    woken = set()
+                woken.update(node.subscribers)
+        return woken if woken is not None else ()
+
+    def rule_truth(self, rule_name: str, volatile_bits: int) -> bool:
+        """Current truth of a subscribed rule: any clause whose shared
+        static node holds and whose volatile part is satisfied."""
+        for node, volatile_mask in self._tables.get(rule_name, ()):
+            if node is not None and not node.truth:
+                continue
+            if (volatile_bits & volatile_mask) == volatile_mask:
+                return True
+        return False
+
+    def subscribed(self, rule_name: str) -> bool:
+        return rule_name in self._tables

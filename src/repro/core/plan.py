@@ -60,13 +60,19 @@ class CompiledPlan:
             truth the engine caches and the database indexes.
         volatile_slots: ``(bit, atom)`` pairs re-evaluated fresh on every
             truth computation.
+        clause_parts: per surviving clause, ``(static_keys, volatile_mask)``
+            — the clause's static conjunction as a *sorted* tuple of atom
+            keys (the shared evaluation network's clause-node identity,
+            equal across rules with equal conjunctions) plus the bitmask
+            of its volatile atoms.  Empty for stateful plans, which never
+            join the shared network.
         has_duration: the plan is stateful (see module docstring).
         variables / numeric_variables: cached variable footprints.
     """
 
     __slots__ = (
         "source_key", "atoms", "clauses", "static_slots", "volatile_slots",
-        "has_duration", "variables", "numeric_variables",
+        "clause_parts", "has_duration", "variables", "numeric_variables",
     )
 
     def __init__(
@@ -76,6 +82,7 @@ class CompiledPlan:
         clauses: tuple[int, ...],
         static_slots: tuple[tuple[int, str, Atom], ...],
         volatile_slots: tuple[tuple[int, Atom], ...],
+        clause_parts: tuple[tuple[tuple[str, ...], int], ...],
         has_duration: bool,
         variables: frozenset[str],
         numeric_variables: frozenset[str],
@@ -85,6 +92,7 @@ class CompiledPlan:
         self.clauses = clauses
         self.static_slots = static_slots
         self.volatile_slots = volatile_slots
+        self.clause_parts = clause_parts
         self.has_duration = has_duration
         self.variables = variables
         self.numeric_variables = numeric_variables
@@ -172,12 +180,30 @@ def compile_condition(condition: Condition) -> CompiledPlan:
         else:
             static_slots.append((bit, atom.key(), atom))
 
+    reduced = _reduce_clauses(clauses)
+    clause_parts: tuple[tuple[tuple[str, ...], int], ...] = ()
+    if not has_duration:
+        volatile_mask_all = 0
+        for bit, _atom in volatile_slots:
+            volatile_mask_all |= bit
+        key_of_bit = {bit: key for bit, key, _atom in static_slots}
+        clause_parts = tuple(
+            (
+                tuple(sorted(
+                    key for bit, key in key_of_bit.items() if mask & bit
+                )),
+                mask & volatile_mask_all,
+            )
+            for mask in reduced
+        )
+
     return CompiledPlan(
         source_key=condition.key(),
         atoms=tuple(atoms),
-        clauses=_reduce_clauses(clauses),
+        clauses=reduced,
         static_slots=tuple(static_slots),
         volatile_slots=tuple(volatile_slots),
+        clause_parts=clause_parts,
         has_duration=has_duration,
         variables=frozenset(condition.referenced_variables()),
         numeric_variables=frozenset(condition.numeric_variables()),

@@ -84,6 +84,8 @@ def build_rule_stack(
     conflict_policy: ConflictPolicy | None = None,
     prefer_intervals: bool = True,
     incremental: bool = True,
+    shared: bool = True,
+    wheel: bool = True,
     max_trace: int | None = DEFAULT_MAX_TRACE,
 ) -> RuleStack:
     """Build the database/checkers/engine/pipeline quartet shared by the
@@ -105,6 +107,8 @@ def build_rule_stack(
             rule.owner, spec.device_udn, spec.device_name, spec.action_name,
         ),
         incremental=incremental,
+        shared=shared,
+        wheel=wheel,
         max_trace=max_trace,
     )
     pipeline = RulePipeline(
@@ -203,6 +207,8 @@ class HomeServer:
         conflict_policy: ConflictPolicy | None = None,
         clock_tick_period: float = 60.0,
         incremental: bool = True,
+        shared: bool = True,
+        wheel: bool = True,
         max_trace: int | None = DEFAULT_MAX_TRACE,
     ) -> None:
         self.simulator = simulator
@@ -214,6 +220,8 @@ class HomeServer:
             conflict_policy=conflict_policy,
             prefer_intervals=prefer_intervals,
             incremental=incremental,
+            shared=shared,
+            wheel=wheel,
             max_trace=max_trace,
         )
         self.database = stack.database

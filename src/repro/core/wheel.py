@@ -1,0 +1,133 @@
+"""Time-window wheel — a boundary schedule for clock-driven rules.
+
+The per-tick path re-evaluates *every* rule whose condition (or
+``until``) reads the clock pseudo-variable, every tick: O(clock rules)
+per minute even when nothing crosses a window boundary.  A window
+atom's truth, however, only changes at a handful of known times of day
+— its start, its end, and (for weekday-restricted windows) midnight.
+
+The wheel keeps one upcoming boundary per *distinct* window atom in a
+min-heap.  ``advance(now)`` pops every boundary that a tick has passed,
+wakes the subscribed rules, and reschedules each popped atom's next
+boundary — O(crossings) per tick, ~flat in the window-rule population.
+
+Semantics match the per-tick path exactly because rules are still only
+*evaluated* at tick times (the engine calls :meth:`TimeWheel.advance`
+from ``clock_tick``): a boundary mid-tick is observed at the same next
+tick either way, and several crossings inside one tick gap collapse to
+the same single evaluation both ways.  Spurious wakes (a weekday atom's
+midnight candidate on the wrong day, a degenerate full-day window's
+anchor) cost one no-op evaluation and never change observable behaviour
+— the per-tick path evaluates those rules every tick anyway.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from repro.core.condition import TimeWindowAtom
+from repro.sim.clock import SECONDS_PER_DAY
+
+
+def next_boundary(atom: TimeWindowAtom, now: float) -> float:
+    """The earliest absolute time strictly after ``now`` at which the
+    atom's truth can change.
+
+    Candidate times of day are the window's start and end (``end`` may
+    be stored as 86400; truth flips at time-of-day 0) plus midnight for
+    weekday-restricted windows, whose truth also changes when the day
+    rolls over.  Strictness matters: a rule registered or woken exactly
+    on a boundary has already observed it, so the atom re-arms for the
+    next occurrence.
+    """
+    time_of_day = now % SECONDS_PER_DAY
+    candidates = {atom.start % SECONDS_PER_DAY, atom.end % SECONDS_PER_DAY}
+    if atom.weekday is not None:
+        candidates.add(0.0)
+    best = SECONDS_PER_DAY
+    for candidate in candidates:
+        delta = candidate - time_of_day
+        if delta <= 0.0:
+            delta += SECONDS_PER_DAY
+        if delta < best:
+            best = delta
+    return now + best
+
+
+class TimeWheel:
+    """Boundary schedule over deduplicated window atoms.
+
+    Atoms are keyed by :meth:`~repro.core.condition.TimeWindowAtom.key`,
+    so a window shared by many rules is scheduled once.  Removal uses
+    lazy heap deletion: an unsubscribed (or rescheduled) atom's old heap
+    entry is recognised by comparing against the authoritative
+    ``_next`` slot and skipped.
+    """
+
+    __slots__ = ("_heap", "_subs", "_atoms", "_next")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, str]] = []
+        self._subs: dict[str, set[str]] = {}        # atom key -> rule names
+        self._atoms: dict[str, TimeWindowAtom] = {}
+        self._next: dict[str, float] = {}           # atom key -> armed time
+
+    def __len__(self) -> int:
+        """Distinct window atoms currently scheduled."""
+        return len(self._atoms)
+
+    def subscribe(
+        self, rule_name: str, atoms: Iterable[TimeWindowAtom], now: float
+    ) -> tuple[str, ...]:
+        """Register a rule's window atoms; returns the atom keys so the
+        caller can unsubscribe them on rule removal."""
+        keys: list[str] = []
+        for atom in atoms:
+            key = atom.key()
+            keys.append(key)
+            subscribers = self._subs.get(key)
+            if subscribers is not None:
+                subscribers.add(rule_name)
+                continue
+            self._subs[key] = {rule_name}
+            self._atoms[key] = atom
+            when = next_boundary(atom, now)
+            self._next[key] = when
+            heapq.heappush(self._heap, (when, key))
+        return tuple(keys)
+
+    def unsubscribe(self, rule_name: str, keys: Iterable[str]) -> None:
+        for key in keys:
+            subscribers = self._subs.get(key)
+            if subscribers is None:
+                continue
+            subscribers.discard(rule_name)
+            if not subscribers:
+                del self._subs[key]
+                del self._atoms[key]
+                self._next.pop(key, None)  # heap entry left to lazy-skip
+
+    def advance(self, now: float) -> set[str]:
+        """Pop every boundary at or before ``now``; returns the rules to
+        wake, with each popped atom re-armed for its next crossing
+        strictly after ``now``."""
+        woken: set[str] = set()
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            when, key = heapq.heappop(heap)
+            if self._next.get(key) != when:
+                continue  # stale: atom removed or already re-armed
+            woken |= self._subs[key]
+            upcoming = next_boundary(self._atoms[key], now)
+            self._next[key] = upcoming
+            heapq.heappush(heap, (upcoming, key))
+        return woken
+
+    def peek(self) -> float | None:
+        """The earliest armed boundary (None when nothing is scheduled);
+        introspection for tests and schedulers."""
+        heap = self._heap
+        while heap and self._next.get(heap[0][1]) != heap[0][0]:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None

@@ -23,7 +23,7 @@ from repro.core.condition import (
 )
 from repro.core.database import RuleDatabase
 from repro.core.rule import Rule
-from repro.sim.clock import hhmm
+from repro.sim.clock import SECONDS_PER_DAY, hhmm
 from repro.sim.rng import seeded_rng
 from repro.solver.linear import LinearConstraint, LinearExpr, Relation
 
@@ -183,6 +183,113 @@ def _mixed_condition(index: int, rng, zone_count: int) -> Condition:
         TimeWindowAtom(start, end, label=label),
         DiscreteAtom(f"{zone}:occupancy:present", "true"),
     ])
+
+
+# -- templated / dense-window populations (A7 shared-network workloads) --------
+
+
+@dataclass
+class TemplatedPopulation:
+    """A duplicated-template rule database for the A7 ingest benchmark.
+
+    ``templates`` distinct two-atom conjunctions (a shared-sensor
+    inequality ∧ a per-template occupancy equality) are each stamped out
+    ``duplication`` times under fresh names/devices — the fleet shape
+    where hundreds of apartments run the same vendor rule pack.  All
+    thresholds sit inside ``(toggle_low, toggle_high)``, so one toggle
+    of ``hot_variable`` flips every distinct atom while every clause
+    stays false (occupancy is never set): exactly the delta the shared
+    network absorbs in O(templates) and the per-rule path pays
+    O(templates × duplication) for.
+    """
+
+    database: RuleDatabase
+    hot_variable: str
+    templates: int
+    duplication: int
+    total_rules: int
+    toggle_low: float
+    toggle_high: float
+
+
+def build_templated_population(
+    templates: int = 50,
+    duplication: int = 100,
+    seed: int | str = "a7-templated",
+) -> TemplatedPopulation:
+    rng = seeded_rng(seed)
+    database = RuleDatabase()
+    hot_variable = "sensor:temperature"
+    toggle_low, toggle_high = 24.0, 26.0
+    thresholds = sorted(
+        rng.uniform(toggle_low + 0.1, toggle_high - 0.1)
+        for _ in range(templates)
+    )
+    index = 0
+    for template, threshold in enumerate(thresholds):
+        for _copy in range(duplication):
+            # Fresh condition objects per rule: dedup must happen through
+            # atom/clause identity, not shared object memoization.
+            condition = AndCondition([
+                NumericAtom(LinearConstraint.make(
+                    LinearExpr.var(hot_variable), Relation.GT, threshold)),
+                DiscreteAtom(f"zone-{template:04d}:occupancy:present",
+                             "true"),
+            ])
+            database.add(Rule(
+                name=f"tmpl-{index:06d}",
+                owner=f"user-{index % 7}",
+                condition=condition,
+                action=_action_on(f"tmpl-dev-{index:06d}", rng),
+            ))
+            index += 1
+    return TemplatedPopulation(
+        database=database,
+        hot_variable=hot_variable,
+        templates=templates,
+        duplication=duplication,
+        total_rules=index,
+        toggle_low=toggle_low,
+        toggle_high=toggle_high,
+    )
+
+
+@dataclass
+class WindowPopulation:
+    """A dense time-window rule database for the A7 tick benchmark.
+
+    Every rule conjoins a time window (starts spread across the whole
+    day, off the minute grid) with a never-true occupancy atom, so
+    clock ticks measure pure evaluation cost: the per-tick path walks
+    all ``total_rules`` rules every tick, the wheel path only the
+    handful whose boundary a tick crossed — and no rule ever fires.
+    """
+
+    database: RuleDatabase
+    total_rules: int
+
+
+def build_window_population(
+    total_rules: int = 4_096,
+    seed: int | str = "a7-windows",
+) -> WindowPopulation:
+    rng = seeded_rng(seed)
+    database = RuleDatabase()
+    for index in range(total_rules):
+        start = rng.uniform(0.0, SECONDS_PER_DAY - 1.0)
+        length = rng.uniform(1_800.0, 10_800.0)
+        end = (start + length) % SECONDS_PER_DAY
+        condition = AndCondition([
+            TimeWindowAtom(start, end),
+            DiscreteAtom(f"wzone-{index:05d}:occupancy:present", "true"),
+        ])
+        database.add(Rule(
+            name=f"window-{index:05d}",
+            owner=f"user-{index % 7}",
+            condition=condition,
+            action=_action_on(f"window-dev-{index:05d}", rng),
+        ))
+    return WindowPopulation(database=database, total_rules=total_rules)
 
 
 def build_mixed_population(

@@ -1,0 +1,227 @@
+"""Tests for the shared evaluation network: clause-node dedup across
+rules, O(distinct clauses) atom-flip fan-out, refcounted subscriptions
+and removal pruning (including the remove-mid-stream / re-registration
+staleness regression)."""
+
+import pytest
+
+from repro.core.condition import AndCondition, OrCondition, TimeWindowAtom
+from repro.core.database import RuleDatabase
+from repro.core.engine import RuleEngine, RuleState
+from repro.core.priority import PriorityManager
+from repro.sim.clock import hhmm
+from repro.sim.events import Simulator
+
+from tests.core.conftest import (
+    action,
+    humid_above,
+    in_room,
+    make_rule,
+    temp_above,
+)
+
+TEMP = "thermo:t:temperature"
+HUMID = "hygro:h:humidity"
+
+
+class Harness:
+    def __init__(self, **engine_kwargs):
+        self.simulator = Simulator()
+        self.database = RuleDatabase()
+        self.dispatched = []
+        self.engine = RuleEngine(
+            self.database, PriorityManager(), self.simulator,
+            dispatch=self.dispatched.append, **engine_kwargs,
+        )
+
+    def add_rule(self, rule):
+        self.database.add(rule)
+        self.engine.rule_added(rule)
+        return rule
+
+    def remove_rule(self, name):
+        self.database.remove(name)
+        self.engine.rule_removed(name)
+
+    @property
+    def network(self):
+        return self.engine._network
+
+
+def hot_and_occupied(threshold=28.0, person="Tom"):
+    """The templated two-atom conjunction the network dedupes."""
+    return AndCondition([temp_above(threshold), in_room(person)])
+
+
+class TestClauseSharing:
+    def test_identical_clauses_share_one_node(self):
+        harness = Harness()
+        for index in range(5):
+            harness.add_rule(make_rule(
+                f"r{index}", "Tom", hot_and_occupied(),
+                action(device=f"d{index}")))
+        assert len(harness.network) == 1
+        (node,) = harness.network._nodes.values()
+        assert set(node.subscribers) == {f"r{index}" for index in range(5)}
+
+    def test_distinct_clauses_get_distinct_nodes(self):
+        harness = Harness()
+        harness.add_rule(make_rule("a", "Tom", hot_and_occupied(28.0),
+                                   action(device="d0")))
+        harness.add_rule(make_rule("b", "Tom", hot_and_occupied(29.0),
+                                   action(device="d1")))
+        assert len(harness.network) == 2
+
+    def test_atom_flip_without_clause_flip_wakes_no_rule(self):
+        """The A7 scaling property: a temperature flip inside a clause
+        whose occupancy conjunct is false must not touch any rule."""
+        harness = Harness()
+        for index in range(10):
+            harness.add_rule(make_rule(
+                f"r{index}", "Tom", hot_and_occupied(),
+                action(device=f"d{index}")))
+        calls = []
+        original = harness.engine._evaluate_rules
+
+        def spy(names, full):
+            names = list(names)
+            calls.append(names)
+            return original(names, full)
+
+        harness.engine._evaluate_rules = spy
+        harness.engine.ingest(TEMP, 30.0)  # occupancy unknown: clause false
+        harness.engine.ingest(TEMP, 20.0)
+        assert calls == []  # atom flipped twice, no rule was woken
+        # Sanity: the node's bit really toggled.
+        (node,) = harness.network._nodes.values()
+        assert not node.truth
+
+    def test_clause_flip_wakes_every_subscriber_once(self):
+        harness = Harness()
+        for index in range(4):
+            harness.add_rule(make_rule(
+                f"r{index}", "Tom", hot_and_occupied(),
+                action(device=f"d{index}")))
+        harness.engine.ingest(TEMP, 30.0)
+        harness.engine.ingest("person:Tom:place", "living room")
+        for index in range(4):
+            assert harness.engine.rule_truth(f"r{index}") is True
+            assert harness.engine.rule_state(f"r{index}") is RuleState.ACTIVE
+        assert len(harness.dispatched) == 4
+
+    def test_shared_static_part_across_or_clauses_is_refcounted(self):
+        """(A∧B∧evening) ∨ (A∧B∧night) references the node (A,B) twice
+        from one rule; removal must drop both references and the node."""
+        harness = Harness()
+        condition = OrCondition([
+            AndCondition([temp_above(28.0), in_room("Tom"),
+                          TimeWindowAtom(hhmm(17), hhmm(21))]),
+            AndCondition([temp_above(28.0), in_room("Tom"),
+                          TimeWindowAtom(hhmm(21), hhmm(6))]),
+        ])
+        harness.add_rule(make_rule("r", "Tom", condition, action()))
+        assert len(harness.network) == 1
+        (node,) = harness.network._nodes.values()
+        assert node.subscribers == {"r": 2}
+        harness.remove_rule("r")
+        assert len(harness.network) == 0
+        assert not harness.network._atom_nodes
+        assert not harness.network._tables
+
+    def test_constant_true_and_false_conditions(self):
+        from repro.core.condition import FalseAtom, TrueAtom
+        harness = Harness()
+        harness.add_rule(make_rule("always", "Tom", TrueAtom(),
+                                   action(device="d0")))
+        harness.add_rule(make_rule("never", "Tom", FalseAtom(),
+                                   action(device="d1")))
+        assert harness.engine.rule_truth("always") is True
+        assert harness.engine.rule_truth("never") is False
+
+
+class TestRemovalPruning:
+    def test_removal_prunes_network_and_atom_truth(self):
+        harness = Harness()
+        harness.add_rule(make_rule("a", "Tom", hot_and_occupied(),
+                                   action(device="d0")))
+        harness.add_rule(make_rule("b", "Tom", hot_and_occupied(),
+                                   action(device="d1")))
+        harness.engine.ingest(TEMP, 30.0)
+        harness.remove_rule("a")
+        assert len(harness.network) == 1  # b still subscribes
+        assert harness.engine._atom_truth
+        harness.remove_rule("b")
+        assert len(harness.network) == 0
+        assert not harness.network._atom_nodes
+        assert not harness.network._tables
+        assert not harness.engine._atom_truth
+
+    def test_remove_mid_stream_then_reregister_reads_fresh_world(self):
+        """Regression: a removed rule's cached atom truth (and clause
+        node) must not survive to poison a later re-registration.  The
+        world changes while no rule subscribes the atom — the database
+        generates no candidates then, so a stale cache entry would be
+        trusted forever."""
+        harness = Harness()
+        harness.add_rule(make_rule("r", "Tom", temp_above(25.0), action()))
+        harness.engine.ingest(TEMP, 30.0)       # atom true, rule fires
+        assert harness.engine.rule_truth("r") is True
+        harness.remove_rule("r")
+        assert not harness.engine._atom_truth   # pruned with the last sub
+        harness.engine.ingest(TEMP, 20.0)       # unobserved: no subscribers
+        harness.add_rule(make_rule("r", "Tom", temp_above(25.0), action()))
+        assert harness.engine.rule_truth("r") is False  # fresh evaluation
+        assert not harness.dispatched[1:]       # re-registration cannot fire
+
+    def test_remove_mid_stream_per_rule_ablation_matches(self):
+        """The same regression through the shared=False bitset path."""
+        harness = Harness(shared=False)
+        harness.add_rule(make_rule("r", "Tom", temp_above(25.0), action()))
+        harness.engine.ingest(TEMP, 30.0)
+        harness.remove_rule("r")
+        assert not harness.engine._atom_truth
+        harness.engine.ingest(TEMP, 20.0)
+        harness.add_rule(make_rule("r", "Tom", temp_above(25.0), action()))
+        assert harness.engine.rule_truth("r") is False
+
+    def test_network_absent_without_incremental_or_shared(self):
+        assert Harness(incremental=False).network is None
+        assert Harness(shared=False).network is None
+        assert Harness(incremental=False, shared=True).network is None
+
+
+class TestSharedAblationSpotChecks:
+    """Cheap behavioural parity checks between shared and per-rule paths
+    (the randomized stream suites do the heavy lifting)."""
+
+    @pytest.mark.parametrize("shared", (True, False))
+    def test_denied_retry_and_fallback(self, shared):
+        from repro.core.priority import PriorityOrder
+        harness = Harness(shared=shared)
+        harness.engine.priorities.add_order(
+            PriorityOrder("tv-1", ("Alan", "Tom")))
+        harness.add_rule(make_rule("tom", "Tom", in_room("Tom"), action()))
+        harness.add_rule(make_rule(
+            "alan", "Alan", in_room("Alan"), action(act="ShowBaseball")))
+        harness.engine.ingest("person:Alan:place", "living room")
+        harness.engine.ingest("person:Tom:place", "living room")
+        assert harness.engine.rule_state("tom") is RuleState.DENIED
+        harness.engine.ingest("person:Alan:place", "kitchen")
+        assert harness.engine.rule_state("tom") is RuleState.ACTIVE
+
+    @pytest.mark.parametrize("shared", (True, False))
+    def test_multi_clause_or_condition(self, shared):
+        harness = Harness(shared=shared)
+        condition = OrCondition([
+            AndCondition([temp_above(28.0), in_room("Tom")]),
+            humid_above(60.0),
+        ])
+        harness.add_rule(make_rule("r", "Tom", condition, action()))
+        harness.engine.ingest(HUMID, 70.0)
+        assert harness.engine.rule_truth("r") is True
+        harness.engine.ingest(HUMID, 50.0)
+        assert harness.engine.rule_truth("r") is False
+        harness.engine.ingest(TEMP, 30.0)
+        assert harness.engine.rule_truth("r") is False
+        harness.engine.ingest("person:Tom:place", "living room")
+        assert harness.engine.rule_truth("r") is True

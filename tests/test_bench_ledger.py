@@ -1,0 +1,40 @@
+"""The committed benchmark ledger must satisfy the keyed-row invariants
+(one row per (experiment, row, config), well-formed fields) that
+``benchmarks/check_ledger.py`` enforces in CI — and the validator
+itself must actually catch the failure modes it exists for."""
+
+import json
+
+from benchmarks.check_ledger import DEFAULT_PATH, validate_ledger
+
+
+def test_committed_ledger_is_clean():
+    rows = json.loads(DEFAULT_PATH.read_text())
+    assert validate_ledger(rows) == []
+    assert rows, "ledger unexpectedly empty"
+
+
+def test_validator_flags_duplicates():
+    row = {"experiment": "A1", "row": "x", "measured_ms": 1.0,
+           "run": "2026-01-01T00:00:00", "config": "full"}
+    errors = validate_ledger([row, dict(row)])
+    assert any("duplicate" in error for error in errors)
+
+
+def test_validator_flags_malformed_rows():
+    assert validate_ledger({}) != []
+    assert any("missing field" in error
+               for error in validate_ledger([{"experiment": "A1"}]))
+    bad_measure = {"experiment": "A1", "row": "x",
+                   "measured_ms": float("nan"), "run": "r"}
+    assert any("measured_ms" in error
+               for error in validate_ledger([bad_measure]))
+    bad_config = {"experiment": "A1", "row": "x", "measured_ms": 1.0,
+                  "run": "r", "config": "weird"}
+    assert any("config" in error for error in validate_ledger([bad_config]))
+
+
+def test_smoke_and_full_rows_do_not_collide():
+    base = {"experiment": "A7", "row": "x", "measured_ms": 1.0, "run": "r"}
+    rows = [dict(base, config="full"), dict(base, config="smoke")]
+    assert validate_ledger(rows) == []
