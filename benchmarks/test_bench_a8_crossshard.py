@@ -1,0 +1,151 @@
+"""A8 — cross-shard rules: ingest throughput vs the fraction of
+cross-home (building) rules, at a fixed shard count.
+
+PR 5 lets a rule span homes: it is homed on the shard owning its action
+devices and every foreign condition variable is mirrored into that
+shard through the ingest bus.  Mirroring is not free — a write to a
+mirrored sensor is applied once per subscribed shard and is excluded
+from coalescing — so the question this benchmark answers is *how much*
+a realistic share of building-wide rules costs the hot ingest path.
+
+The sweep keeps the total rule count constant and replaces a growing
+fraction of per-home rules with building templates
+(:func:`~repro.workloads.fleet.build_building_rules`), then drives the
+same fleet-wide sensor stream through a 4-shard cluster, timing each
+shard's drain in isolation (critical path = the slowest shard, as in
+A6).  Acceptance: at 10% cross-home rules, aggregate throughput stays
+within ~2x of the all-local fleet.
+
+Sizes shrink under ``REPRO_BENCH_SMOKE=1`` (the CI fail-fast job).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SMOKE, report
+from repro.cluster import ClusterServer
+from repro.sim.events import Simulator
+from repro.workloads.fleet import (
+    build_building_rules,
+    build_home_fleet,
+    fleet_event_stream,
+)
+
+if BENCH_SMOKE:
+    FLEET_HOMES, RULES_PER_HOME = 16, 30
+    FRACTIONS = (0.0, 0.10)
+    EVENTS = 500
+else:
+    FLEET_HOMES, RULES_PER_HOME = 32, 100
+    FRACTIONS = (0.0, 0.05, 0.10, 0.20)
+    EVENTS = 2_000
+
+SHARDS = 4
+BUILDING_SIZE = 4
+ROUNDS = 5
+OVERHEAD_CEILING = 2.0   # throughput(10%) must stay within ~2x of 0%
+
+THROUGHPUTS: dict[float, float] = {}
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return build_home_fleet(FLEET_HOMES, RULES_PER_HOME, seed="a8-fleet")
+
+
+@pytest.fixture(scope="module")
+def building_pool(fleet):
+    """One deterministic pool of building rules, sliced per fraction."""
+    total = FLEET_HOMES * RULES_PER_HOME
+    buildings = FLEET_HOMES // BUILDING_SIZE
+    need = int(total * max(FRACTIONS))
+    per_building = -(-need // buildings)  # ceil
+    return build_building_rules(
+        fleet, building_size=BUILDING_SIZE,
+        rules_per_building=per_building, seed="a8-buildings",
+    )
+
+
+def _build_cluster(fleet, building_pool, fraction):
+    """A 4-shard cluster with a constant total rule count: ``fraction``
+    of the population is building (cross-home) rules, the rest the
+    standard per-home archetypes."""
+    total = FLEET_HOMES * RULES_PER_HOME
+    cross = int(total * fraction)
+    cluster = ClusterServer(
+        Simulator(), shard_count=SHARDS, coalesce=True, max_trace=10_000,
+    )
+    for rule in fleet.all_rules()[:total - cross]:
+        cluster.register_rule(rule, validate=False)
+    for rule in building_pool[:cross]:
+        cluster.register_rule(rule, validate=False)
+    # Prime every sensor once so the sweep measures steady state.
+    for home in fleet.homes:
+        for variable in fleet.sensors_by_home[home]:
+            cluster.ingest(variable, 50.0)
+    cluster.flush()
+    return cluster, cross
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_crossshard_ingest_overhead(fleet, building_pool, fraction):
+    """Publish one fleet-wide stream, then time each shard's drain in
+    isolation; mirrored variables fan out to their subscriber shards
+    inside those drains."""
+    cluster, cross = _build_cluster(fleet, building_pool, fraction)
+    stream = fleet_event_stream(fleet, events=EVENTS, burst=1,
+                                seed="a8-stream")
+    criticals = []
+    for round_index in range(ROUNDS):
+        offset = 0.013 * (round_index + 1)  # every write changes value
+        for variable, value in stream:
+            cluster.ingest(variable, value + offset)
+        shard_times = []
+        for index in range(SHARDS):
+            start = time.perf_counter()
+            cluster.bus.flush(shard=index)
+            shard_times.append(time.perf_counter() - start)
+        criticals.append(max(shard_times))
+    criticals.sort()
+    critical = criticals[len(criticals) // 2]
+    throughput = EVENTS / critical
+    THROUGHPUTS[fraction] = throughput
+    if fraction > 0.0:
+        assert cross > 0
+        assert cluster.stats().mirrored > 0, \
+            "cross-home fraction produced no mirror fan-out"
+        mirrored = cluster.bus.mirror_route_count()
+        context = (f"{throughput:,.0f} events/s; {cross} building rules, "
+                   f"{mirrored} mirrored variables")
+    else:
+        context = f"{throughput:,.0f} events/s; all-local baseline"
+    report(
+        "A8",
+        f"ingest critical path @ {int(fraction * 100)}% cross-home rules "
+        f"({SHARDS} shards, {FLEET_HOMES} homes)",
+        f"n/a (cross-shard experiment; {context})",
+        critical,
+    )
+    cluster.shutdown()
+
+
+def test_crossshard_overhead_shape():
+    """Acceptance: mirrored ingest at 10% cross-home rules stays within
+    ~2x of the all-local critical path."""
+    if 0.0 not in THROUGHPUTS or 0.10 not in THROUGHPUTS:
+        pytest.skip("fraction sweep did not run (filtered?)")
+    base = THROUGHPUTS[0.0]
+    at_ten = THROUGHPUTS[0.10]
+    overhead = base / at_ten
+    print(
+        f"\n  [A8] ingest overhead at 10% cross-home rules: "
+        f"x{overhead:.2f} (ceiling x{OVERHEAD_CEILING:.1f})"
+    )
+    assert overhead <= OVERHEAD_CEILING, (
+        f"10% cross-home rules cost x{overhead:.2f} in ingest throughput "
+        f"(ceiling x{OVERHEAD_CEILING:.1f}); mirroring fan-out is too "
+        "expensive"
+    )

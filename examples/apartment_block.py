@@ -9,12 +9,17 @@ rules, arbitration and trace semantics as a single `HomeServer`, scaled
 sideways.
 
 The demo registers three rules per apartment (climate, presence lamp,
-an evening TV pair that *conflicts* and needs a priority order), then
-replays a chatty evening: temperature bursts, residents moving around,
-one targeted "returns home" event.  Watch the output for
+an evening TV pair that *conflicts* and needs a priority order) plus a
+**building-wide** rule — "if any apartment overheats, start the lobby
+exhaust fan" — whose condition spans every apartment: the cluster homes
+it with the lobby's fan and mirrors the foreign thermometers into that
+shard (PR 5's cross-shard placement).  Then it replays a chatty
+evening: temperature bursts, residents moving around, one targeted
+"returns home" event.  Watch the output for
 
-* the home → shard placement map,
-* bus statistics (how many bursty writes coalesced away),
+* the home → shard placement map (and the lobby rule's mirror set),
+* bus statistics (how many bursty writes coalesced away, how many
+  fanned out to mirrors),
 * each apartment's own trace slice.
 
 Run:  python examples/apartment_block.py
@@ -27,6 +32,7 @@ from repro.core.condition import (
     DiscreteAtom,
     EventAtom,
     NumericAtom,
+    OrCondition,
     TimeWindowAtom,
 )
 from repro.core.priority import PriorityOrder
@@ -99,12 +105,29 @@ def main() -> None:
         cluster.add_priority_order(
             PriorityOrder(f"{home}/tv", ("parent", "kid"))
         )
+    # The building-wide rule: its condition reads every apartment's
+    # thermometer but its fan lives in the lobby — homed with the fan,
+    # apartments mirrored in.
+    lobby_fan = Rule(
+        name="lobby-exhaust", owner="superintendent",
+        condition=OrCondition([hotter_than(home, 28.5)
+                               for home in APARTMENTS]),
+        action=command("lobby", "exhaust-fan", "On", speed=3),
+        stop_action=command("lobby", "exhaust-fan", "Off"),
+    )
+    cluster.register_rule(lobby_fan)
     print(f"registered {cluster.rule_count()} rules across "
-          f"{len(APARTMENTS)} apartments "
+          f"{len(APARTMENTS)} apartments + the lobby "
           f"({conflicts} registration conflicts arbitrated by priority):")
-    for home in APARTMENTS:
+    for home in APARTMENTS + ("lobby",):
         shard = cluster.router.shard_of_key(home)
         print(f"  {home} -> shard {shard}")
+    lobby_shard = cluster.shards[cluster.shard_of_rule("lobby-exhaust")]
+    print(f"  lobby-exhaust mirrors "
+          f"{len(lobby_shard.mirrors_of_rule('lobby-exhaust'))} foreign "
+          "thermometers into the lobby's shard "
+          f"(reads {len(cluster.mirrors_of_rule('lobby-exhaust'))} "
+          "foreign variables in total)")
 
     # An evening: start at 18:00, residents at home, a heat wave in
     # bursts (chatty sensors), and one targeted arrival event.
@@ -121,8 +144,8 @@ def main() -> None:
     for line in cluster.describe_shards():
         print(f"  {line}")
 
-    print("\nper-apartment traces:")
-    for home in APARTMENTS:
+    print("\nper-apartment traces (+ the lobby's):")
+    for home in APARTMENTS + ("lobby",):
         print(f"  {home}:")
         for entry in cluster.trace(home=home):
             print(f"    {entry.describe()}")
@@ -131,6 +154,12 @@ def main() -> None:
     print(f"\napt-2 TV holder: {holder[0] if holder else 'nobody'} "
           "(the parent's arrival preempted the cartoons for the news "
           "flash, then the standing cartoons rule won the TV back)")
+    lobby_fired = sum(1 for entry in cluster.trace(home="lobby")
+                      if entry.kind == "fire")
+    print(f"lobby exhaust fan fired {lobby_fired}x during the heat "
+          "wave — the apartment spikes reached the building rule "
+          "through its mirrors (mirrored writes are never coalesced, "
+          "so no spike can be merged away)")
     print(f"dispatched {len(commands)} device commands, e.g. "
           f"{commands[0]!r}")
     cluster.shutdown()

@@ -11,7 +11,12 @@ the facade.
 """
 
 from repro.cluster.bus import BusStats, IngestBus
-from repro.cluster.router import ShardRouter, home_key, stable_hash
+from repro.cluster.router import (
+    PlacementPlan,
+    ShardRouter,
+    home_key,
+    stable_hash,
+)
 from repro.cluster.server import ClusterServer
 from repro.cluster.shard import EngineShard
 
@@ -20,6 +25,7 @@ __all__ = [
     "ClusterServer",
     "EngineShard",
     "IngestBus",
+    "PlacementPlan",
     "ShardRouter",
     "home_key",
     "stable_hash",

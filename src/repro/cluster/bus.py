@@ -34,9 +34,22 @@ Write coalescing
     instantaneous event breaks any run, so writes never merge across
     it.
 
+Mirror routes (cross-shard rules)
+    A rule homed on one shard may read variables owned by another home
+    (see :meth:`~repro.cluster.router.ShardRouter.placement_plan`); the
+    cluster registers a **mirror route** for each such variable.  A
+    publish then fans the write out: the owner shard's queue first,
+    then every subscribed shard's queue, so each shard observes its
+    relevant writes in global publish order (per-shard FIFO is
+    preserved *across* variables, which is what makes cluster traces
+    match a merged-home oracle).  Mirrored variables are excluded from
+    coalescing entirely — the owner shard cannot prove a skipped
+    intermediate value harmless for rules it does not host, and that
+    one value could be exactly the edge that fires a cross-home rule.
+
 ``batch=False`` turns the bus into a per-event dispatcher (one
-simulator callback per publish) — the ablation baseline benchmark A6
-measures batching against.
+simulator callback per publish; mirror fan-out happens at apply time) —
+the ablation baseline benchmark A6 measures batching against.
 """
 
 from __future__ import annotations
@@ -90,12 +103,13 @@ class BusStats:
     coalesced: int = 0   # writes merged into a pending entry
     applied: int = 0     # engine ingests actually performed
     batches: int = 0     # drain callbacks that applied at least one entry
+    mirrored: int = 0    # mirror fan-outs (one per subscriber shard copy)
 
     def describe(self) -> str:
         return (
             f"published={self.published} events={self.events} "
             f"coalesced={self.coalesced} applied={self.applied} "
-            f"batches={self.batches}"
+            f"batches={self.batches} mirrored={self.mirrored}"
         )
 
 
@@ -126,17 +140,51 @@ class IngestBus:
         # variable → coalesce-safety, valid for the recorded shard epoch.
         self._safety_epochs: list[int] = [-1] * count
         self._safety: list[dict[str, bool]] = [{} for _ in range(count)]
+        # variable → sorted subscriber shard indices (cross-shard rules
+        # hosting a mirror of the variable); maintained by the cluster
+        # facade as rules register and are removed.
+        self._mirror_routes: dict[str, tuple[int, ...]] = {}
+
+    # -- mirror routes ---------------------------------------------------------
+
+    def add_mirror_route(self, variable: str, shard: int) -> None:
+        """Subscribe a shard to writes of a variable it does not own."""
+        targets = set(self._mirror_routes.get(variable, ()))
+        targets.add(shard)
+        self._mirror_routes[variable] = tuple(sorted(targets))
+
+    def remove_mirror_route(self, variable: str, shard: int) -> None:
+        """Drop a shard's mirror subscription (no-op when absent)."""
+        targets = set(self._mirror_routes.get(variable, ()))
+        targets.discard(shard)
+        if targets:
+            self._mirror_routes[variable] = tuple(sorted(targets))
+        else:
+            self._mirror_routes.pop(variable, None)
+
+    def mirror_routes_of(self, variable: str) -> tuple[int, ...]:
+        """Subscriber shards of one variable (introspection/tests)."""
+        return self._mirror_routes.get(variable, ())
+
+    def mirror_route_count(self) -> int:
+        """Number of variables with at least one mirror subscription."""
+        return len(self._mirror_routes)
 
     # -- publishing ------------------------------------------------------------
 
     def publish(self, variable: str, value: Any) -> int:
-        """Queue one sensor write; returns the owning shard index."""
+        """Queue one sensor write; returns the owning shard index.
+
+        A write to a mirrored variable is enqueued to the owner shard
+        first and then to every subscriber shard, so each shard's FIFO
+        queue carries its relevant writes in global publish order."""
         index = self.router.shard_of(variable)
         self.stats.published += 1
         if not self.batch:
             self._schedule_single(index, _Write(variable, value))
             return index
-        if self.coalesce:
+        routes = self._mirror_routes.get(variable)
+        if self.coalesce and not routes:
             queue = self._queues[index]
             tail = queue[-1] if queue else None
             if (
@@ -149,6 +197,13 @@ class IngestBus:
                 return index
         self._queues[index].append(_Write(variable, value))
         self._schedule_drain(index)
+        if routes:
+            for target in routes:
+                if target == index:
+                    continue
+                self.stats.mirrored += 1
+                self._queues[target].append(_Write(variable, value))
+                self._schedule_drain(target)
         return index
 
     def publish_event(
@@ -229,8 +284,20 @@ class IngestBus:
         FIFO still holds — the simulator breaks time ties by insertion
         order."""
         self.simulator.call_after(
-            self.drain_delay, lambda: self._apply(self.shards[index], entry)
+            self.drain_delay, lambda: self._apply_single(index, entry)
         )
+
+    def _apply_single(self, index: int, entry: _Write | _Event) -> None:
+        """Apply one per-event entry; writes fan out to the variable's
+        mirror subscribers at apply time (owner first), so routes added
+        or removed between publish and apply are honoured."""
+        self._apply(self.shards[index], entry)
+        if self._closed or not isinstance(entry, _Write):
+            return
+        for target in self._mirror_routes.get(entry.variable, ()):
+            if target != index:
+                self.stats.mirrored += 1
+                self._apply(self.shards[target], entry)
 
     def _apply(self, shard: EngineShard, entry: _Write | _Event) -> None:
         if self._closed:

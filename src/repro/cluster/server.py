@@ -8,26 +8,30 @@ N independent :class:`~repro.cluster.shard.EngineShard`\\ s and one
 so application code written against one home scales to a fleet by
 swapping the facade.
 
-Placement: a rule lands on the shard owning its home key, derived from
-the compiled plan's variable footprint
-(:meth:`~repro.core.plan.CompiledPlan.referenced_variables`) plus its
-until-condition variables and action devices.  Rules spanning homes are
-rejected with a :class:`~repro.errors.RuleError` (cross-shard rule
-placement is a recorded ROADMAP follow-on).
+Placement is a two-phase plan
+(:meth:`~repro.cluster.router.ShardRouter.placement_plan`): a rule is
+**homed** on the shard owning its action devices and ``until``
+variables, and every condition variable owned by another home is
+**mirrored** into that shard via an ingest-bus subscription.  A
+building-wide rule ("if any apartment's smoke sensor fires, unlock the
+lobby door") therefore registers like any other — its foreign sensors
+simply arrive through the normal ingest path as mirrored writes.  Only
+the *anchor* (actions + until) must stay within one home key.
 
 Ingestion: ``ingest``/``post_event`` publish to the bus, which applies
 them on the simulator in per-shard FIFO batches; call :meth:`flush` (or
 run the simulator) to settle.  With coalescing on, bursty repeated
 writes collapse to their latest value wherever the owning shard proves
-that safe.
+that safe — mirrored variables never coalesce (the owner shard cannot
+vouch for readers it does not host).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.cluster.bus import BusStats, IngestBus
-from repro.cluster.router import ShardRouter
+from repro.cluster.router import PlacementPlan, ShardRouter
 from repro.cluster.shard import EngineShard
 from repro.core.action import ActionSpec
 from repro.core.conflict import ConflictReport
@@ -38,6 +42,35 @@ from repro.core.rule import Rule
 from repro.core.server import ConflictPolicy, coerce_reading
 from repro.errors import DuplicateRuleError, UnknownRuleError
 from repro.sim.events import Simulator
+
+
+class _LiveUnion:
+    """Read-through union of live rule-name sets.
+
+    Handed to the bus as an event's ``only`` scope when one shard hosts
+    both a home's own rules and cross-home watchers of that home: rule
+    churn between publish and drain stays visible, exactly as it does
+    for a single live membership set.
+    """
+
+    __slots__ = ("_groups",)
+
+    def __init__(self, groups: Iterable[Iterable[str]]) -> None:
+        self._groups = tuple(groups)
+
+    def __contains__(self, name: object) -> bool:
+        return any(name in group for group in self._groups)
+
+    def __iter__(self) -> Iterator[str]:
+        seen: set[str] = set()
+        for group in self._groups:
+            for name in group:
+                if name not in seen:
+                    seen.add(name)
+                    yield name
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
 
 
 class ClusterServer:
@@ -59,6 +92,7 @@ class ClusterServer:
         incremental: bool = True,
         shared: bool = True,
         wheel: bool = True,
+        adaptive_ticks: bool = True,
         max_trace: int | None = DEFAULT_MAX_TRACE,
         clock_tick_period: float = 60.0,
     ) -> None:
@@ -75,6 +109,7 @@ class ClusterServer:
                 incremental=incremental,
                 shared=shared,
                 wheel=wheel,
+                adaptive_ticks=adaptive_ticks,
                 max_trace=max_trace,
                 clock_tick_period=clock_tick_period,
             )
@@ -90,6 +125,12 @@ class ClusterServer:
         # Live membership sets handed to home-scoped events (see
         # IngestBus._Event.only); pruned on removal.
         self._rules_of_home: dict[str, set[str]] = {}
+        # Cross-home rules watching a foreign home, grouped by the shard
+        # hosting them: home -> shard index -> live rule-name set.  A
+        # home-scoped event must wake these too — a lobby rule reading
+        # apartment 3's smoke sensor is "of" apartment 3 for events.
+        self._remote_watchers: dict[str, dict[int, set[str]]] = {}
+        self._mirrors_of_rule: dict[str, frozenset[str]] = {}
         # Trace attribution that survives removal *and* name reuse:
         # (registration time, home) spans per rule name — an entry
         # belongs to the home whose span covers its timestamp.
@@ -97,21 +138,30 @@ class ClusterServer:
 
     # -- rule lifecycle --------------------------------------------------------
 
-    def home_of(self, rule: Rule) -> str:
-        """The home key a rule would be placed under (raises
-        :class:`~repro.errors.RuleError` for rules spanning homes).
+    def placement_of(self, rule: Rule) -> PlacementPlan:
+        """The two-phase placement a rule would get: its home key plus
+        the foreign variables to mirror into the home shard.
 
         The footprint comes from the compiled plan — the same artifact
         the shard's database and engine index — plus the until
         variables and action devices; compilation here is cheap because
-        the condition's dnf/key walks are memoized."""
+        the condition's dnf/key walks are memoized.  Raises
+        :class:`~repro.errors.RuleError` when the *anchor* (actions +
+        until) spans homes — only condition variables may."""
         plan = compile_condition(rule.condition)
         variables = set(plan.referenced_variables())
+        until_variables: frozenset[str] = frozenset()
         if rule.until is not None:
-            variables |= rule.until.referenced_variables()
-        return self.router.placement_key(
-            variables, rule.devices(), rule_name=rule.name
+            until_variables = frozenset(rule.until.referenced_variables())
+            variables |= until_variables
+        return self.router.placement_plan(
+            variables, rule.devices(),
+            until_variables=until_variables, rule_name=rule.name,
         )
+
+    def home_of(self, rule: Rule) -> str:
+        """The home key a rule would be placed under."""
+        return self.placement_of(rule).home
 
     def register_rule(
         self, rule: Rule, *, validate: bool = True
@@ -120,28 +170,85 @@ class ClusterServer:
 
         Runs the same registration pipeline as `HomeServer` (access,
         consistency, conflict extraction, priority prompt); the conflict
-        scope is naturally per-home because every rule of a home lives
-        on one shard.  ``validate=False`` is the bulk-load path.
+        scope stays per-home because a rule's devices all live under its
+        home key.  A rule whose condition reads other homes' variables
+        registers all the same: each foreign variable is mirrored into
+        the home shard — the bus subscription fans its writes out, and
+        the current value is seeded from the owner shard so the rule
+        evaluates against live context immediately.  ``validate=False``
+        is the bulk-load path.
         """
         if rule.name in self._shard_of_rule:
             raise DuplicateRuleError(
                 f"rule name already registered in the cluster: {rule.name!r}"
             )
-        home = self.home_of(rule)
+        placement = self.placement_of(rule)
+        home = placement.home
         index = self.router.shard_of_key(home)
         # Registration is an ingest barrier: pending batches settle
         # first, so a write coalesced while this rule did not exist can
         # never hide an intermediate value from it (a new until/duration
         # /contesting rule would retroactively invalidate the merge).
         self.bus.flush(shard=index)
-        reports = self.shards[index].register_rule(rule, validate=validate)
+        if placement.mirrors:
+            self._install_mirrors(rule.name, placement.mirrors, index)
+        try:
+            reports = self.shards[index].register_rule(rule, validate=validate)
+        except Exception:
+            # Roll back the mirror plumbing a rejected registration
+            # (consistency/access/duplicate) already installed.
+            self._uninstall_mirrors(rule.name, index)
+            raise
         self._shard_of_rule[rule.name] = index
         self._home_of_rule[rule.name] = home
         self._rules_of_home.setdefault(home, set()).add(rule.name)
+        self._mirrors_of_rule[rule.name] = placement.mirrors
+        for foreign in {self.router.key_of(v) for v in placement.mirrors}:
+            self._remote_watchers.setdefault(foreign, {}) \
+                .setdefault(index, set()).add(rule.name)
         self._home_spans.setdefault(rule.name, []).append(
             (self.simulator.now, home)
         )
         return reports
+
+    def _install_mirrors(
+        self, rule_name: str, mirrors: frozenset[str], index: int
+    ) -> None:
+        """Subscribe the home shard to a rule's foreign variables and
+        seed each newly mirrored one with the owner's current value (the
+        owner's pending batch settles first, so the seed is what a
+        synchronous reader would observe).
+
+        Foreign variables whose owning home happens to hash to the home
+        shard need no mirror at all: the shard already owns the
+        authoritative copy, and its own coalesce-safety proof covers
+        the new reader — so they never enter the refcounts, the world's
+        mirrored marks, or the bus routes."""
+        remote = frozenset(
+            variable for variable in mirrors
+            if self.router.shard_of(variable) != index
+        )
+        for variable in self.shards[index].adopt_mirrors(rule_name, remote):
+            owner = self.router.shard_of(variable)
+            # Route first, then settle: a write published re-entrantly
+            # *during* the owner's drain already fans out to the new
+            # mirror, so the seed (read from the owner's settled world,
+            # which such a write joins only at its own later drain) can
+            # never leapfrog or shadow it — the mirror converges to the
+            # authoritative value in apply order.
+            self.bus.add_mirror_route(variable, index)
+            self.bus.flush(shard=owner)
+            value = self.shards[owner].variable_value(variable)
+            if value is not None:
+                # Seed before the rule registers: a fresh mirror has no
+                # other reader on this shard, so nothing else wakes.
+                self.shards[index].ingest(variable, value)
+
+    def _uninstall_mirrors(self, rule_name: str, index: int) -> None:
+        """Drop a rule's mirror refcounts and prune the bus routes whose
+        last reader it was."""
+        for variable in self.shards[index].release_mirrors(rule_name):
+            self.bus.remove_mirror_route(variable, index)
 
     def remove_rule(self, name: str) -> Rule:
         index = self._shard_of_rule.pop(name, None)
@@ -151,7 +258,21 @@ class ClusterServer:
         members = self._rules_of_home.get(self._home_of_rule[name])
         if members is not None:
             members.discard(name)
-        return self.shards[index].remove_rule(name)
+        rule = self.shards[index].remove_rule(name)
+        self._uninstall_mirrors(name, index)
+        for foreign in {self.router.key_of(v) for v in
+                        self._mirrors_of_rule.pop(name, frozenset())}:
+            shards = self._remote_watchers.get(foreign)
+            if shards is None:
+                continue
+            watchers = shards.get(index)
+            if watchers is not None:
+                watchers.discard(name)
+                if not watchers:
+                    del shards[index]
+            if not shards:
+                del self._remote_watchers[foreign]
+        return rule
 
     def add_priority_order(self, order: PriorityOrder) -> PriorityOrder:
         """Route a priority order to the shard owning its device's home
@@ -184,19 +305,32 @@ class ClusterServer:
         """Publish an instantaneous event — scoped to one home's rules
         when ``home`` is given (a shard hosts several homes, and Alan
         returning to one apartment must not light the neighbours'
-        halls), broadcast to every shard otherwise."""
+        halls), broadcast to every shard otherwise.
+
+        A home-scoped event reaches the home's own rules *and* every
+        cross-home rule mirroring that home's variables, wherever those
+        watchers are homed — apartment 3's smoke event must wake the
+        lobby's building rule.  Membership sets stay live (churn between
+        publish and drain is honoured); when one shard hosts both
+        groups they are joined through a read-through union."""
         if home is None:
             self.bus.publish_event(event_type, subject)
             return
+        groups_by_shard: dict[int, list] = {}
         members = self._rules_of_home.get(home)
-        if members is None:
-            return  # no rules ever registered for this home: a no-op,
-            # exactly like posting an unmatched event to a HomeServer
-        self.bus.publish_event(
-            event_type, subject,
-            shard=self.router.shard_of_key(home),
-            only=members,
-        )
+        if members is not None:
+            groups_by_shard.setdefault(
+                self.router.shard_of_key(home), []
+            ).append(members)
+        for shard_index, watchers in \
+                self._remote_watchers.get(home, {}).items():
+            groups_by_shard.setdefault(shard_index, []).append(watchers)
+        for shard_index in sorted(groups_by_shard):
+            groups = groups_by_shard[shard_index]
+            only = groups[0] if len(groups) == 1 else _LiveUnion(groups)
+            self.bus.publish_event(
+                event_type, subject, shard=shard_index, only=only,
+            )
 
     def flush(self) -> None:
         """Drain every shard's pending ingest batch immediately."""
@@ -209,6 +343,17 @@ class ClusterServer:
         if index is None:
             raise UnknownRuleError(f"no rule named {name!r} in the cluster")
         return index
+
+    def mirrors_of_rule(self, name: str) -> frozenset[str]:
+        """The rule's *plan-level* mirror set: every condition variable
+        owned by a foreign home.  Variables whose owning home happens to
+        hash to the rule's own shard need no live mirror (the shard
+        already owns them), so the bus/world plumbing can be a subset —
+        :meth:`EngineShard.mirrors_of_rule` on the rule's shard reports
+        the actually hosted set."""
+        if name not in self._shard_of_rule:
+            raise UnknownRuleError(f"no rule named {name!r} in the cluster")
+        return self._mirrors_of_rule.get(name, frozenset())
 
     def rule_truth(self, name: str) -> bool:
         return self.shards[self.shard_of_rule(name)].engine.rule_truth(name)
@@ -235,10 +380,12 @@ class ClusterServer:
     def trace(self, home: str | None = None) -> list[TraceEntry]:
         """Engine decisions, merged across shards in time order (ties
         broken by shard id, then per-shard order); ``home`` filters to
-        one home's rules — an exact per-shard FIFO slice, since a home
-        never spans shards.  Entries of removed (or later re-registered)
-        rules stay attributed to the home that owned the name when they
-        were recorded."""
+        one home's rules — an exact per-shard FIFO slice, since every
+        rule of a home (cross-home rules included: they are attributed
+        to the *anchor* home owning their devices) lives on that home's
+        shard.  Entries of removed (or later re-registered) rules stay
+        attributed to the home that owned the name when they were
+        recorded."""
         tagged = [
             (entry.time, index, position, entry)
             for index, shard in enumerate(self.shards)
@@ -260,9 +407,11 @@ class ClusterServer:
         return len(self._shard_of_rule)
 
     def describe_shards(self) -> list[str]:
-        """One summary line per shard (rules, pending queue depth)."""
+        """One summary line per shard (rules, hosted mirrors, pending
+        queue depth)."""
         return [
             f"shard {shard.shard_id}: {len(shard.database)} rules, "
+            f"{len(shard.mirror_variables())} mirrors, "
             f"{self.bus.pending(shard.shard_id)} queued"
             for shard in self.shards
         ]

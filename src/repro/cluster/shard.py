@@ -18,6 +18,7 @@ it owns — the property the cluster equivalence tests pin down.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Collection
 
 from repro.core.action import ActionSpec
@@ -50,6 +51,7 @@ class EngineShard:
         incremental: bool = True,
         shared: bool = True,
         wheel: bool = True,
+        adaptive_ticks: bool = True,
         max_trace: int | None = DEFAULT_MAX_TRACE,
         clock_tick_period: float = 60.0,
     ) -> None:
@@ -76,9 +78,29 @@ class EngineShard:
         # Bumped on every rule add/remove; the ingest bus keys its
         # coalesce-safety caches on it so churn invalidates them.
         self.epoch = 0
-        self._clock_task = simulator.every(
-            clock_tick_period, self.engine.clock_tick
-        )
+        # Mirrors hosted on this shard: cross-home rules homed here that
+        # read variables another shard owns.  Refcounted per rule so
+        # removal prunes a subscription exactly when its last reader
+        # goes (matching every other index's pruning guarantee).
+        self._mirror_rules: dict[str, set[str]] = {}    # variable -> rules
+        self._rule_mirrors: dict[str, frozenset[str]] = {}
+        # -- clock ticks -----------------------------------------------------
+        # With the time wheel on, a tick at a non-boundary time with no
+        # DENIED/until/disabled/stateful clock-watchers is a no-op, so
+        # the shard sleeps until the wheel's next armed boundary instead
+        # of waking every period.  Wakes stay snapped to the fixed
+        # cadence grid (anchor + k*period) so observable tick times — and
+        # therefore traces — are identical to a fixed-cadence shard.
+        self.clock_tick_period = clock_tick_period
+        self.adaptive_ticks = adaptive_ticks and self.engine.wheel
+        self.ticks = 0  # clock_tick invocations (scheduling observability)
+        self._tick_anchor = simulator.now
+        self._tick_deadline: float | None = None
+        self._tick_handle = None
+        self._stopped = False
+        if self.adaptive_ticks:
+            self.engine.on_clock_demand_changed = self._on_clock_demand_changed
+        self._arm_clock()
 
     # -- rule lifecycle --------------------------------------------------------
 
@@ -153,10 +175,119 @@ class EngineShard:
                     return False
         return True
 
+    # -- mirror hosting (cross-shard rules) ------------------------------------
+
+    def adopt_mirrors(self, rule_name: str,
+                      variables: Collection[str]) -> list[str]:
+        """Refcount a rule's mirror subscriptions; returns the variables
+        newly mirrored into this shard (0→1 transitions), for which the
+        caller must install bus routes and seed the current value."""
+        fresh: list[str] = []
+        footprint = frozenset(variables)
+        for variable in sorted(footprint):
+            readers = self._mirror_rules.get(variable)
+            if readers is None:
+                readers = self._mirror_rules[variable] = set()
+                self.engine.world.mark_mirrored(variable, True)
+                fresh.append(variable)
+            readers.add(rule_name)
+        if footprint:
+            self._rule_mirrors[rule_name] = footprint
+        return fresh
+
+    def release_mirrors(self, rule_name: str) -> list[str]:
+        """Drop a rule's mirror refcounts; returns the variables no rule
+        on this shard still mirrors (the caller prunes their bus
+        routes).  The last value stays in the world — harmless without
+        readers, and a re-registration re-seeds from the owner."""
+        freed: list[str] = []
+        for variable in sorted(self._rule_mirrors.pop(rule_name, frozenset())):
+            readers = self._mirror_rules.get(variable)
+            if readers is None:
+                continue
+            readers.discard(rule_name)
+            if not readers:
+                del self._mirror_rules[variable]
+                self.engine.world.mark_mirrored(variable, False)
+                freed.append(variable)
+        return freed
+
+    def mirrors_of_rule(self, rule_name: str) -> frozenset[str]:
+        return self._rule_mirrors.get(rule_name, frozenset())
+
+    def mirror_variables(self) -> frozenset[str]:
+        """Variables mirrored into this shard (hosted copies)."""
+        return frozenset(self._mirror_rules)
+
+    def variable_value(self, variable: str) -> Any:
+        """Current world value (the mirror-seeding read)."""
+        return self.engine.world.value_of(variable)
+
+    # -- clock ticks -----------------------------------------------------------
+
+    def _next_grid(self, at_or_after: float) -> float:
+        """The first fixed-cadence grid point strictly after now and no
+        earlier than ``at_or_after`` — adaptive wakes land exactly where
+        a fixed-cadence shard would tick, so traces stay identical."""
+        period = self.clock_tick_period
+        anchor = self._tick_anchor
+        steps = math.floor((self.simulator.now - anchor) / period + 1e-9) + 1
+        target = anchor + steps * period
+        if at_or_after > target:
+            steps = math.ceil((at_or_after - anchor) / period - 1e-9)
+            target = anchor + steps * period
+        return target
+
+    def _run_tick(self) -> None:
+        self._tick_handle = None
+        self._tick_deadline = None
+        self.ticks += 1
+        self.engine.clock_tick()
+        self._arm_clock()
+
+    def _arm_clock(self) -> None:
+        """Full (re)schedule: from construction and after each tick."""
+        if self._stopped:
+            return
+        if self._tick_handle is not None:
+            self._tick_handle.cancel()
+            self._tick_handle = None
+        self._tick_deadline = None
+        demand = (
+            self.engine.clock_demand() if self.adaptive_ticks
+            else self.simulator.now
+        )
+        if demand == math.inf:
+            return  # nothing clock-driven; the demand hook re-arms us
+        self._tick_deadline = self._next_grid(demand)
+        self._tick_handle = self.simulator.call_at(
+            self._tick_deadline, self._run_tick
+        )
+
+    def _on_clock_demand_changed(self) -> None:
+        """Pull the next wake earlier when tick demand grows; demand
+        shrinking is left to the already-scheduled (no-op) tick."""
+        if self._stopped:
+            return
+        demand = self.engine.clock_demand()
+        if demand == math.inf:
+            return
+        target = self._next_grid(demand)
+        if self._tick_deadline is not None and self._tick_deadline <= target:
+            return
+        if self._tick_handle is not None:
+            self._tick_handle.cancel()
+        self._tick_deadline = target
+        self._tick_handle = self.simulator.call_at(target, self._run_tick)
+
     # -- lifecycle -------------------------------------------------------------
 
     def trace(self) -> list:
         return list(self.engine.trace)
 
     def shutdown(self) -> None:
-        self._clock_task.cancel()
+        self._stopped = True
+        if self._tick_handle is not None:
+            self._tick_handle.cancel()
+            self._tick_handle = None
+        self._tick_deadline = None

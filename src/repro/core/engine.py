@@ -73,6 +73,7 @@ per-rule machinery as ablation baselines:
 from __future__ import annotations
 
 import enum
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Collection, Iterable
@@ -124,7 +125,13 @@ class TraceEntry:
 
 
 class WorldState:
-    """Live variable store implementing the EvaluationContext protocol."""
+    """Live variable store implementing the EvaluationContext protocol.
+
+    Variables are *owned* by default; the cluster layer marks variables
+    that arrive as cross-shard **mirrors** (another shard owns the
+    sensor, this engine hosts rules reading it), so traces and
+    debugging tools can attribute a value to its authoritative source.
+    """
 
     def __init__(self, simulator: Simulator):
         self._simulator = simulator
@@ -133,6 +140,7 @@ class WorldState:
         self._sets: dict[str, frozenset[str]] = {}
         self._current_events: set[tuple[str, str | None]] = set()
         self._held_since: dict[str, float] = {}
+        self._mirrored: set[str] = set()
         self.on_held_armed: Callable[[str, float], None] | None = None
 
     # -- EvaluationContext protocol -------------------------------------------
@@ -172,6 +180,34 @@ class WorldState:
                 self.on_held_armed(key, duration)
             return duration <= _HELD_EPSILON
         return (now - since) >= duration - _HELD_EPSILON
+
+    # -- ownership & introspection ---------------------------------------------
+
+    def value_of(self, variable: str) -> Any:
+        """The stored value of a variable regardless of type (``None``
+        when it was never written) — the cluster reads this to seed a
+        freshly subscribed mirror from the owner shard's world."""
+        value = self._numeric.get(variable)
+        if value is not None:
+            return value
+        value = self._discrete.get(variable)
+        if value is not None:
+            return value
+        return self._sets.get(variable)
+
+    def is_mirrored(self, variable: str) -> bool:
+        """Whether a variable's authoritative copy lives on another
+        shard (it arrived through a mirror subscription)."""
+        return variable in self._mirrored
+
+    def mark_mirrored(self, variable: str, mirrored: bool) -> None:
+        if mirrored:
+            self._mirrored.add(variable)
+        else:
+            self._mirrored.discard(variable)
+
+    def mirrored_variables(self) -> frozenset[str]:
+        return frozenset(self._mirrored)
 
     # -- mutation (engine-internal) ----------------------------------------------
 
@@ -261,6 +297,13 @@ class RuleEngine:
         # any relevant change once re-enabled, so they must be woken even
         # when no atom flips (their bits may have gone stale meanwhile).
         self._disabled_dirty: set[str] = set()
+        # Fired whenever the set of rules a periodic clock tick must
+        # re-examine (DENIED/until/disabled clock watchers, stateful
+        # window plans, armed wheel boundaries) may have *grown* — the
+        # shard's wheel-aware tick scheduler listens and pulls its next
+        # wake-up in.  Demand shrinking is handled lazily: the already
+        # scheduled tick fires as a no-op and re-arms optimally.
+        self.on_clock_demand_changed: Callable[[], None] | None = None
         if incremental:
             # Attach-to-populated-database pattern: rules registered
             # before the engine existed still need plans/bits/watches or
@@ -306,10 +349,12 @@ class RuleEngine:
                 ]
                 if windows and plan.has_duration:
                     self._tick_stateful.add(rule.name)
+                    self._notify_clock_demand()
                 elif windows:
                     self._wheel_keys[rule.name] = self._time_wheel.subscribe(
                         rule.name, windows, self.simulator.now
                     )
+                    self._notify_clock_demand()
 
     def rule_removed(self, rule_name: str) -> None:
         self._truth.pop(rule_name, None)
@@ -367,6 +412,11 @@ class RuleEngine:
                 and rule_name in self._has_until:
             self._watch(self._until_watch, rule_name)
         self._state[rule_name] = state
+        # A clock-watching rule entering DENIED (retry every tick) or a
+        # holding state with a clock-reading until needs periodic ticks
+        # again; tell the wheel-aware scheduler.
+        if CLOCK_VARIABLE in self._watch_vars.get(rule_name, ()):
+            self._notify_clock_demand()
 
     def _watch(self, index: dict[str, set[str]], rule_name: str) -> None:
         for variable in self._watch_vars.get(rule_name, ()):
@@ -565,6 +615,35 @@ class RuleEngine:
         self._wake_watch_sets(CLOCK_VARIABLE, wake, refresh_stale_bits=False)
         self._evaluate_dirty(wake, full=True)
 
+    def clock_demand(self) -> float:
+        """The earliest simulated time the next ``clock_tick`` can do
+        observable work — the wheel-aware tick scheduler's sleep target.
+
+        Returns ``now`` when every periodic tick matters (no wheel, or
+        any tick-stateful plan / DENIED / until / disabled clock-watcher
+        the blanket wake would re-examine each tick), the next armed
+        wheel boundary when only window crossings remain, and ``inf``
+        when nothing clock-driven exists at all.  Demand can only move
+        *earlier* through paths that fire :attr:`on_clock_demand_changed`,
+        so a scheduler that re-arms on that hook never oversleeps; ticks
+        it schedules too early are no-ops and therefore trace-invisible.
+        """
+        if self._time_wheel is None:
+            return self.simulator.now
+        if self._tick_stateful or self._denied_watch.get(CLOCK_VARIABLE) \
+                or self._until_watch.get(CLOCK_VARIABLE):
+            return self.simulator.now
+        for name in self._disabled_dirty:
+            watch = self._watch_vars.get(name)
+            if watch is not None and CLOCK_VARIABLE in watch:
+                return self.simulator.now
+        boundary = self._time_wheel.peek()
+        return math.inf if boundary is None else boundary
+
+    def _notify_clock_demand(self) -> None:
+        if self.on_clock_demand_changed is not None:
+            self.on_clock_demand_changed()
+
     # -- evaluation ------------------------------------------------------------------------
 
     def reevaluate(self, rule_names: list[str]) -> None:
@@ -629,6 +708,8 @@ class RuleEngine:
             if not rule.enabled:
                 if self.incremental:
                     self._disabled_dirty.add(name)
+                    if CLOCK_VARIABLE in self._watch_vars.get(name, ()):
+                        self._notify_clock_demand()
                 continue
             if self._disabled_dirty:
                 self._disabled_dirty.discard(name)

@@ -1,4 +1,4 @@
-"""Multi-home fleet populations (A6 sharding workload).
+"""Multi-home fleet populations (A6 sharding / A8 cross-shard workloads).
 
 A *fleet* is many independent households, each with its own sensors,
 devices and rule population, all named under the cluster layer's
@@ -9,6 +9,10 @@ one shard.  The per-home rule archetypes mirror the A5 mixed population
 rule drives its own device, so ingest benchmarks measure evaluation
 rather than arbitration contention — and every variable is coalesce-
 safe, which is what a well-partitioned sensor feed looks like.
+
+:func:`build_building_rules` layers *cross-home* rules on top: building
+templates whose conditions span several apartments and are served via
+the cluster's variable mirroring (benchmark A8 sweeps their fraction).
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from repro.core.condition import (
     DiscreteAtom,
     MembershipAtom,
     NumericAtom,
+    OrCondition,
     TimeWindowAtom,
 )
 from repro.core.rule import Rule
@@ -147,6 +152,93 @@ def build_home_fleet(
         sensors_by_home=sensors_by_home,
         total_rules=home_count * rules_per_home,
     )
+
+
+def build_building_rules(
+    fleet: HomeFleet,
+    *,
+    building_size: int = 4,
+    rules_per_building: int = 8,
+    seed: int | str = "building",
+) -> list[Rule]:
+    """Cross-home rule templates over a fleet (the A8 workload).
+
+    Consecutive homes are grouped into *buildings* of ``building_size``
+    apartments; each building's rules read sensors of several member
+    apartments while the action drives a dedicated device in the
+    building's **anchor** home (the first member) — exactly the shape
+    :class:`~repro.cluster.server.ClusterServer` places via variable
+    mirroring.  Three archetypes rotate:
+
+    * **any-of** — an ``Or`` over foreign apartments' sensors ("if any
+      apartment's smoke sensor fires, unlock the lobby door");
+    * **all-of** — an ``And`` across apartments (distinct variables, so
+      every rule passes the satisfiability check);
+    * **aggregate** — one multi-variable linear constraint summing two
+      apartments' sensors ("cap the floor's aggregate aircon duty"),
+      which exercises the database's generic recheck buckets across a
+      mirror boundary.
+
+    The conditions read the same ``sense`` variables
+    :func:`fleet_event_stream` drives, so an ingest benchmark measures
+    mirror fan-out without a separate stream; every rule targets its
+    own device, keeping arbitration out of the measurement like the
+    per-home archetypes.  Deterministic per ``seed``.
+    """
+    rng = seeded_rng(seed)
+    rules: list[Rule] = []
+    buildings = [
+        fleet.homes[start:start + building_size]
+        for start in range(0, len(fleet.homes), building_size)
+    ]
+    for building_index, members in enumerate(buildings):
+        if len(members) < 2:
+            continue  # a building of one home has nothing to span
+        anchor = members[0]
+        for rule_index in range(rules_per_building):
+            foreign = rng.sample(
+                list(members[1:]), min(2, len(members) - 1)
+            )
+            kind = rule_index % 3
+            if kind == 0:
+                condition: Condition = OrCondition(
+                    [_home_numeric(home, rng) for home in foreign]
+                )
+            elif kind == 1:
+                condition = AndCondition(
+                    [_home_numeric(anchor, rng)]
+                    + [_home_numeric(home, rng) for home in foreign]
+                )
+            else:
+                first, second = (foreign * 2)[:2]
+                expr = (
+                    LinearExpr.var(home_variable(first, "sense",
+                                                 "temperature"))
+                    + LinearExpr.var(home_variable(second, "sense",
+                                                   "humidity"))
+                )
+                condition = NumericAtom(LinearConstraint.make(
+                    expr, Relation.GT, rng.uniform(60.0, 160.0)
+                ))
+            rules.append(Rule(
+                name=f"bldg-{building_index:03d}-rule-{rule_index:03d}",
+                owner=f"bldg-{building_index:03d}-manager",
+                condition=condition,
+                action=ActionSpec(
+                    device_udn=(
+                        f"{anchor}/bldg-{building_index:03d}"
+                        f"-dev-{rule_index:03d}"
+                    ),
+                    device_name=(
+                        f"building {building_index} device {rule_index}"
+                    ),
+                    service_id="svc",
+                    action_name="Set",
+                    settings=(Setting("level",
+                                      round(rng.uniform(0.0, 100.0), 1)),),
+                ),
+            ))
+    return rules
 
 
 def fleet_event_stream(

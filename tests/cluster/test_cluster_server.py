@@ -6,6 +6,7 @@ import pytest
 from repro.cluster import ClusterServer
 from repro.core.action import ActionSpec, Setting
 from repro.core.condition import (
+    AndCondition,
     DiscreteAtom,
     EventAtom,
     NumericAtom,
@@ -64,16 +65,76 @@ class TestPlacement:
         )
         assert cluster.home_of(rule) == "home-0005"
 
-    def test_spanning_rule_rejected(self, cluster):
+    def test_cross_home_rule_homed_on_device_shard(self, cluster):
+        """A rule reading one home's sensor but driving another home's
+        device registers (PR 5): homed with its device, the foreign
+        sensor mirrored in — unless the two homes happen to share a
+        shard, in which case no mirror plumbing is needed (the shard
+        already owns the authoritative copy)."""
+        variable = "home-0001/thermo:svc:temperature"
         straddler = Rule(
             name="straddler", owner="Tom",
-            condition=num("home-0001/thermo:svc:temperature",
-                          Relation.GT, 20.0),
+            condition=num(variable, Relation.GT, 20.0),
             action=act("home-0002/aircon"),
         )
-        with pytest.raises(RuleError, match="spans multiple homes"):
-            cluster.register_rule(straddler)
-        assert straddler.name not in cluster._shard_of_rule
+        cluster.register_rule(straddler)
+        home_shard = cluster.router.shard_of_key("home-0002")
+        assert cluster.shard_of_rule("straddler") == home_shard
+        assert cluster.mirrors_of_rule("straddler") == frozenset({variable})
+        shard = cluster.shards[home_shard]
+        if cluster.router.shard_of(variable) == home_shard:
+            # Co-located homes: the variable is owned, not mirrored.
+            assert shard.mirror_variables() == frozenset()
+            assert not shard.engine.world.is_mirrored(variable)
+            assert cluster.bus.mirror_routes_of(variable) == ()
+        else:
+            assert shard.mirror_variables() == frozenset({variable})
+            assert shard.engine.world.is_mirrored(variable)
+            assert cluster.bus.mirror_routes_of(variable) == (home_shard,)
+        # Either way the rule serves: the foreign sensor fires it.
+        cluster.ingest(variable, 25.0)
+        cluster.flush()
+        assert cluster.rule_truth("straddler") is True
+
+    def test_colocated_and_remote_mirrors_both_serve(self):
+        """Pin one of each shape explicitly: home-0001/home-0002 share a
+        shard under the 3-shard ring, lobby lives elsewhere."""
+        cluster = ClusterServer(Simulator(), shard_count=3)
+        try:
+            colocated = cluster.router.shard_of_key("home-0001") == \
+                cluster.router.shard_of_key("home-0002")
+            assert colocated, "ring changed; pick co-located homes anew"
+            cluster.register_rule(Rule(
+                name="neighbour", owner="Tom",
+                condition=num("home-0001/thermo:svc:temperature",
+                              Relation.GT, 20.0),
+                action=act("home-0002/fan"),
+            ))
+            cluster.register_rule(building_rule())  # lobby: remote mirrors
+            assert cluster.shards[
+                cluster.shard_of_rule("neighbour")
+            ].mirror_variables() == frozenset()
+            lobby_shard = cluster.shard_of_rule("lobby-unlock")
+            assert cluster.shards[lobby_shard].mirror_variables()
+            cluster.ingest("home-0001/thermo:svc:temperature", 25.0)
+            cluster.ingest("home-0001/smoke:svc:level", 80.0)
+            cluster.flush()
+            assert cluster.rule_truth("neighbour") is True
+            assert cluster.rule_truth("lobby-unlock") is True
+        finally:
+            cluster.shutdown()
+
+    def test_anchor_spanning_homes_still_rejected(self, cluster):
+        two_faced = Rule(
+            name="two-faced", owner="Tom",
+            condition=num("home-0001/thermo:svc:temperature",
+                          Relation.GT, 20.0),
+            action=act("home-0001/aircon"),
+            fallback=act("home-0002/aircon"),
+        )
+        with pytest.raises(RuleError, match="anchors to multiple homes"):
+            cluster.register_rule(two_faced)
+        assert two_faced.name not in cluster._shard_of_rule
 
     def test_duplicate_name_rejected_cluster_wide(self, cluster):
         cluster.register_rule(cool_rule("home-0001", name="dup"))
@@ -232,3 +293,193 @@ class TestServing:
         cluster.ingest("home-0001/presence:svc:room", "living room")
         cluster.flush()
         assert cluster.rule_truth("present") is True
+
+
+def building_rule(name="lobby-unlock", owner="manager", *, bound=50.0,
+                  level=1, **kwargs):
+    """A cross-home rule: apartment smoke sensors drive a lobby device."""
+    from repro.core.condition import OrCondition
+    return Rule(
+        name=name, owner=owner,
+        condition=OrCondition([
+            num("home-0001/smoke:svc:level", Relation.GT, bound),
+            num("home-0002/smoke:svc:level", Relation.GT, bound),
+        ]),
+        action=act("lobby/door", level=level),
+        **kwargs,
+    )
+
+
+class TestCrossHomeServing:
+    """Acceptance for the PR-5 tentpole: previously rejected cross-home
+    rules register, fire on mirrored ingest, arbitrate, and prune their
+    mirror plumbing on removal."""
+
+    def test_fires_on_mirrored_ingest(self, cluster):
+        cluster.register_rule(building_rule())
+        home_shard = cluster.shard_of_rule("lobby-unlock")
+        cluster.ingest("home-0001/smoke:svc:level", 80.0)
+        cluster.flush()
+        assert cluster.rule_truth("lobby-unlock") is True
+        assert cluster.rule_state("lobby-unlock") is RuleState.ACTIVE
+        holder = cluster.holder_of("lobby/door")
+        assert holder is not None and holder[0] == "lobby-unlock"
+        # The decision is attributed to the anchor home's trace slice.
+        assert any(e.rule == "lobby-unlock" and e.kind == "fire"
+                   for e in cluster.trace(home="lobby"))
+        # Falling smoke stops it again, through the same mirror.
+        cluster.ingest("home-0001/smoke:svc:level", 10.0)
+        cluster.flush()
+        assert cluster.rule_truth("lobby-unlock") is False
+        assert cluster.holder_of("lobby/door") is None
+        owner_shard = cluster.router.shard_of(
+            "home-0001/smoke:svc:level")
+        if owner_shard != home_shard:
+            assert cluster.stats().mirrored > 0
+
+    def test_mirror_seeded_from_owner_at_registration(self, cluster):
+        """A cross-home rule registered after the foreign sensor already
+        reported must see the current value immediately — the mirror is
+        seeded from the owner shard's world."""
+        cluster.ingest("home-0001/smoke:svc:level", 90.0)
+        cluster.flush()
+        cluster.register_rule(building_rule())
+        assert cluster.rule_truth("lobby-unlock") is True
+
+    def test_cross_home_rules_arbitrate_with_priority_order(self, cluster):
+        manager = building_rule("mgr-door", owner="manager", level=1)
+        chief = building_rule("chief-door", owner="fire-chief",
+                              bound=40.0, level=9)
+        reports = []
+        reports += cluster.register_rule(manager)
+        reports += cluster.register_rule(chief)
+        assert reports, "same-device building rules must report a conflict"
+        cluster.add_priority_order(
+            PriorityOrder("lobby/door", ("fire-chief", "manager"))
+        )
+        cluster.ingest("home-0002/smoke:svc:level", 70.0)
+        cluster.flush()
+        holder = cluster.holder_of("lobby/door")
+        assert holder is not None and holder[0] == "chief-door"
+        assert cluster.rule_state("mgr-door") is RuleState.DENIED
+
+    def test_until_reads_anchor_home(self, cluster):
+        cluster.register_rule(building_rule(
+            until=num("lobby/reset:svc:pressed", Relation.GT, 0.5),
+        ))
+        cluster.ingest("home-0001/smoke:svc:level", 80.0)
+        cluster.flush()
+        assert cluster.rule_state("lobby-unlock") is RuleState.ACTIVE
+        cluster.ingest("lobby/reset:svc:pressed", 1.0)
+        cluster.flush()
+        assert cluster.holder_of("lobby/door") is None
+
+    def test_home_scoped_event_wakes_remote_watchers(self, cluster):
+        """An event scoped to an apartment must wake the building rule
+        mirroring that apartment, homed on another shard."""
+        watcher = Rule(
+            name="evac", owner="manager",
+            condition=AndCondition([
+                EventAtom("alarm"),
+                num("home-0001/smoke:svc:level", Relation.GT, 10.0),
+            ]),
+            action=act("lobby/siren"),
+        )
+        cluster.register_rule(watcher)
+        cluster.ingest("home-0001/smoke:svc:level", 50.0)
+        cluster.flush()
+        cluster.post_event("alarm", home="home-0001")
+        cluster.flush()
+        assert any(e.rule == "evac" and e.kind == "fire"
+                   for e in cluster.trace())
+
+    def test_removal_prunes_mirrors_mid_stream(self, cluster):
+        """Satellite regression: removing a cross-home rule mid-stream
+        prunes its mirror subscriptions and bus routes — later writes to
+        the foreign variable no longer reach the old home shard."""
+        cluster.register_rule(building_rule())
+        variable = "home-0001/smoke:svc:level"
+        home_shard = cluster.shard_of_rule("lobby-unlock")
+        owner_shard = cluster.router.shard_of(variable)
+        assert cluster.bus.mirror_routes_of(variable) == (home_shard,) \
+            or owner_shard == home_shard
+        cluster.ingest(variable, 30.0)
+        cluster.ingest(variable, 35.0)  # mirrored vars never coalesce
+        if owner_shard != home_shard:
+            assert cluster.bus.pending(home_shard) == 2
+        cluster.remove_rule("lobby-unlock")
+        shard = cluster.shards[home_shard]
+        assert shard.mirror_variables() == frozenset()
+        assert cluster.bus.mirror_routes_of(variable) == ()
+        assert not shard.engine.world.is_mirrored(variable)
+        # A write after removal stays on the owner shard only.
+        cluster.ingest(variable, 99.0)
+        cluster.flush()
+        if owner_shard != home_shard:
+            assert shard.engine.world.value_of(variable) == 35.0
+        assert cluster.shards[owner_shard].engine.world \
+            .value_of(variable) == 99.0
+        # Re-registration re-seeds the mirror from the owner's world.
+        cluster.register_rule(building_rule("lobby-unlock-2"))
+        assert cluster.rule_truth("lobby-unlock-2") is True
+
+    def test_shared_mirror_survives_sibling_removal(self, cluster):
+        """Refcounting: two building rules reading the same foreign
+        sensor share one subscription; removing one keeps it alive."""
+        cluster.register_rule(building_rule("first"))
+        cluster.register_rule(building_rule("second", bound=60.0))
+        variable = "home-0001/smoke:svc:level"
+        home_shard = cluster.shard_of_rule("first")
+        cluster.remove_rule("first")
+        assert variable in cluster.shards[home_shard].mirror_variables()
+        cluster.ingest(variable, 80.0)
+        cluster.flush()
+        assert cluster.rule_truth("second") is True
+
+    def test_home_scoped_event_with_custom_key_extractor(self):
+        """Regression: watcher bookkeeping must use the router's
+        configurable ``key_of``, not the default parser — a custom
+        naming scheme must still route home-scoped events to the
+        cross-home rules watching that home."""
+        from repro.cluster import ShardRouter
+        router = ShardRouter(3, key_of=lambda ident: ident.split("|")[0])
+        cluster = ClusterServer(Simulator(), router=router)
+        try:
+            watcher = Rule(
+                name="zone-evac", owner="manager",
+                condition=AndCondition([
+                    EventAtom("alarm"),
+                    num("zoneB|smoke", Relation.GT, 10.0),
+                ]),
+                action=act("zoneA|siren"),
+            )
+            cluster.register_rule(watcher)
+            assert cluster.mirrors_of_rule("zone-evac") == \
+                frozenset({"zoneB|smoke"})
+            cluster.ingest("zoneB|smoke", 50.0)
+            cluster.flush()
+            cluster.post_event("alarm", home="zoneB")
+            cluster.flush()
+            assert any(e.rule == "zone-evac" and e.kind == "fire"
+                       for e in cluster.trace())
+        finally:
+            cluster.shutdown()
+
+    def test_failed_registration_rolls_back_mirrors(self, cluster):
+        """A rule rejected by the validation pipeline must not leave
+        mirror routes behind."""
+        from repro.errors import InconsistentRuleError
+        variable = "home-0001/smoke:svc:level"
+        impossible = Rule(
+            name="impossible", owner="manager",
+            condition=AndCondition([
+                num(variable, Relation.GT, 80.0),
+                num(variable, Relation.LT, 20.0),
+            ]),
+            action=act("lobby/door"),
+        )
+        with pytest.raises(InconsistentRuleError):
+            cluster.register_rule(impossible)
+        assert cluster.bus.mirror_routes_of(variable) == ()
+        for shard in cluster.shards:
+            assert shard.mirror_variables() == frozenset()

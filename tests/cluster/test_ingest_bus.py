@@ -210,6 +210,95 @@ class TestPerEventMode:
         assert shard.engine.rule_truth("hot") is True
 
 
+class TestMirrorRoutes:
+    """Cross-shard variable mirroring at the bus level: fan-out order,
+    coalescing exclusion, and route pruning."""
+
+    def two_shard_rig(self, **kwargs):
+        simulator = Simulator()
+        shards = [EngineShard(i, simulator) for i in range(2)]
+        router = ShardRouter(2)
+        bus = IngestBus(simulator, shards, router, **kwargs)
+        owner = router.shard_of(TEMP)
+        return simulator, shards, bus, owner
+
+    def test_write_fans_out_to_subscriber_after_owner(self):
+        _, shards, bus, owner = self.two_shard_rig()
+        other = 1 - owner
+        bus.add_mirror_route(TEMP, other)
+        seen = []
+        for shard in shards:
+            shard.engine.ingest = (
+                lambda var, val, _id=shard.shard_id:
+                seen.append((_id, var, val))
+            )
+        bus.publish(TEMP, 30.0)
+        bus.flush()
+        assert seen == [(owner, TEMP, 30.0), (other, TEMP, 30.0)]
+        assert bus.stats.mirrored == 1
+
+    def test_mirrored_variable_never_coalesces(self):
+        _, shards, bus, owner = self.two_shard_rig()
+        shards[owner].register_rule(hot_rule())
+        bus.publish(TEMP, 27.0)
+        bus.publish(TEMP, 28.0)
+        assert bus.stats.coalesced == 1  # safe while unmirrored
+        bus.flush()
+        bus.add_mirror_route(TEMP, 1 - owner)
+        bus.publish(TEMP, 29.0)
+        bus.publish(TEMP, 30.0)
+        assert bus.stats.coalesced == 1  # no further merges
+        assert bus.pending(owner) == 2
+        assert bus.pending(1 - owner) == 2
+
+    def test_subscriber_fifo_preserves_global_publish_order(self):
+        """A mirrored write enqueued between the subscriber's own writes
+        must be observed in publish order — fan-out happens at publish
+        time, not drain time."""
+        _, shards, bus, owner = self.two_shard_rig()
+        other = 1 - owner
+        bus.add_mirror_route(TEMP, other)
+        local = None
+        # find a variable the *other* shard owns
+        for index in range(200):
+            candidate = f"home-{index:04d}/x:svc:y"
+            if bus.router.shard_of(candidate) == other:
+                local = candidate
+                break
+        assert local is not None
+        seen = []
+        shards[other].engine.ingest = \
+            lambda var, val: seen.append((var, val))
+        bus.publish(local, 1.0)
+        bus.publish(TEMP, 2.0)
+        bus.publish(local, 3.0)
+        bus.flush()
+        assert seen == [(local, 1.0), (TEMP, 2.0), (local, 3.0)]
+
+    def test_removed_route_stops_fanning_out(self):
+        _, shards, bus, owner = self.two_shard_rig()
+        other = 1 - owner
+        bus.add_mirror_route(TEMP, other)
+        bus.publish(TEMP, 30.0)
+        bus.flush()
+        bus.remove_mirror_route(TEMP, other)
+        assert bus.mirror_routes_of(TEMP) == ()
+        assert bus.mirror_route_count() == 0
+        bus.publish(TEMP, 40.0)
+        bus.flush()
+        assert shards[other].engine.world.value_of(TEMP) == 30.0
+        assert shards[owner].engine.world.value_of(TEMP) == 40.0
+
+    def test_per_event_mode_fans_out_at_apply_time(self):
+        simulator, shards, bus, owner = self.two_shard_rig(batch=False)
+        other = 1 - owner
+        bus.add_mirror_route(TEMP, other)
+        bus.publish(TEMP, 30.0)
+        simulator.run_until(simulator.now)
+        assert shards[other].engine.world.value_of(TEMP) == 30.0
+        assert bus.stats.mirrored == 1
+
+
 class TestEventsAndShutdown:
     def test_broadcast_event_reaches_every_shard(self):
         simulator = Simulator()

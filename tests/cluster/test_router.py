@@ -84,31 +84,91 @@ class TestShardRouter:
 class TestPlacement:
     def test_single_home_footprint(self):
         router = ShardRouter(4)
-        key = router.placement_key(
+        plan = router.placement_plan(
             ["home-0001/thermo:svc:temperature",
              "home-0001/presence:svc:room"],
             ["home-0001/aircon"],
         )
-        assert key == "home-0001"
+        assert plan.home == "home-0001"
+        assert plan.mirrors == frozenset()
+        assert not plan.spans_homes
 
     def test_ambient_variables_do_not_constrain(self):
         router = ShardRouter(4)
-        key = router.placement_key(
+        plan = router.placement_plan(
             ["clock:time_of_day", "event:returns home"],
             ["home-0002/lamp"],
         )
-        assert key == "home-0002"
+        assert plan.home == "home-0002"
+        assert plan.mirrors == frozenset()
 
-    def test_spanning_rule_rejected_with_both_homes_named(self):
+    def test_spanning_condition_becomes_mirror_set(self):
+        """The PR-5 refactor: a rule reading other homes' variables is
+        homed on its device's shard and the foreign variables are
+        mirrored — no longer rejected."""
         router = ShardRouter(4)
-        with pytest.raises(RuleError, match="home-0001.*home-0002"):
-            router.placement_key(
+        plan = router.placement_plan(
+            ["home-0001/thermo:svc:temperature",
+             "home-0003/smoke:svc:level",
+             "home-0002/door:svc:locked"],
+            ["home-0002/lobby-door"],
+            rule_name="building-unlock",
+        )
+        assert plan.home == "home-0002"
+        assert plan.mirrors == frozenset({
+            "home-0001/thermo:svc:temperature",
+            "home-0003/smoke:svc:level",
+        })
+        assert plan.spans_homes
+        assert "2 mirrored" in plan.describe()
+
+    def test_until_variables_anchor_the_home(self):
+        router = ShardRouter(4)
+        plan = router.placement_plan(
+            ["home-0001/thermo:svc:temperature",
+             "home-0002/door:svc:locked"],
+            ["home-0002/aircon"],
+            until_variables=["home-0002/door:svc:locked"],
+        )
+        assert plan.home == "home-0002"
+        assert plan.mirrors == frozenset(
+            {"home-0001/thermo:svc:temperature"}
+        )
+
+    def test_anchor_spanning_homes_rejected(self):
+        """Actions (and untils) cannot span homes: arbitration for a
+        device happens on the shard owning it."""
+        router = ShardRouter(4)
+        with pytest.raises(RuleError, match="anchors to multiple homes"):
+            router.placement_plan(
                 ["home-0001/thermo:svc:temperature"],
-                ["home-0002/aircon"],
-                rule_name="straddler",
+                ["home-0001/aircon", "home-0002/aircon"],
+                rule_name="two-faced",
+            )
+        with pytest.raises(RuleError, match="anchors to multiple homes"):
+            router.placement_plan(
+                ["home-0001/thermo:svc:temperature"],
+                ["home-0001/aircon"],
+                until_variables=["home-0002/door:svc:locked"],
+            )
+
+    def test_no_anchor_falls_back_to_single_condition_home(self):
+        router = ShardRouter(4)
+        plan = router.placement_plan(
+            ["home-0004/thermo:svc:temperature"], [],
+        )
+        assert plan.home == "home-0004"
+        assert plan.mirrors == frozenset()
+
+    def test_no_anchor_with_spanning_condition_rejected(self):
+        router = ShardRouter(4)
+        with pytest.raises(RuleError, match="cannot choose"):
+            router.placement_plan(
+                ["home-0001/thermo:svc:temperature",
+                 "home-0002/thermo:svc:temperature"], [],
             )
 
     def test_empty_footprint_rejected(self):
         router = ShardRouter(4)
         with pytest.raises(RuleError, match="no home-keyed"):
-            router.placement_key(["clock:time_of_day"], [])
+            router.placement_plan(["clock:time_of_day"], [])
