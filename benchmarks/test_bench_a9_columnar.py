@@ -1,0 +1,223 @@
+"""A9 — columnar batch ingest vs the object-graph path.
+
+The columnar backend keeps global atom truth, per-clause false-atom
+counters and clause→rule fan-out in flat arrays (``repro.core.columnar``)
+and sweeps a numeric write's whole candidate threshold window with one
+vectorized comparison instead of a per-atom Python ``evaluate`` loop.
+This benchmark measures that critical path on the worst-case band sweep:
+a population of rules whose thresholds span one shared sensor variable,
+driven by batches of writes that each jump across the entire band and
+therefore flip *every* distinct threshold atom — while a shared
+never-true companion atom keeps every clause false, isolating atom-flip
+and clause-counter cost from rule evaluation and arbitration.
+
+Two sweeps:
+
+* **rule count** at a fixed batch size — the columnar path should win by
+  an order of magnitude at 10k+ rules (acceptance floor ≥5×);
+* **batch size** at the peak rule count — per-write cost should be ~flat
+  in batch size for both paths (batching amortizes only call overhead;
+  per-event semantics are preserved write by write).
+
+Counter rows (atoms flipped / clauses touched per batch) land in the
+ledger alongside the timings so regressions in sweep *width* are as
+visible as regressions in sweep *speed*.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    BENCH_SMOKE,
+    median_seconds,
+    record_result,
+    report,
+)
+from repro.core.engine import RuleEngine
+from repro.core.priority import PriorityManager
+from repro.sim.events import Simulator
+from repro.workloads.rules import build_columnar_population
+
+RULE_SWEEP = (1_000, 5_000) if BENCH_SMOKE else (1_000, 10_000, 20_000)
+# Full-size acceptance point: 10k rules (20k only extends the rule-count
+# sweep; the batch-size sweep would be needlessly slow there).
+RULES_PEAK = 5_000 if BENCH_SMOKE else 10_000
+BATCH_SIZE = 64
+BATCH_SWEEP = (1,) if BENCH_SMOKE else (1, 256)
+
+# Acceptance floor: ≥5× columnar over the object path at ≥10k rules with
+# batch ≥64; smoke sizes shrink the vectorization advantage, so CI
+# guards a proportionally smaller floor.
+COLUMNAR_SPEEDUP_FLOOR = 2.0 if BENCH_SMOKE else 5.0
+
+MEDIANS: dict[tuple[str, int, int], float] = {}
+
+
+def _discard(spec) -> None:
+    pass
+
+
+def _build(rules):
+    population = build_columnar_population(rules, seed=f"a9-{rules}")
+    simulator = Simulator()
+    engines = {}
+    for columnar in (True, False):
+        engine = RuleEngine(
+            population.database, PriorityManager(), simulator,
+            dispatch=_discard, columnar=columnar, max_trace=10_000,
+        )
+        for rule in population.database.all_rules():
+            engine.rule_added(rule)
+        # Prime: the first reading initializes every atom regardless of
+        # strategy; the sweep measures the steady-state band jump.
+        engine.ingest(population.hot_variable, population.toggle_low)
+        engine.ingest(population.hot_variable, population.toggle_high)
+        engine.ingest(population.hot_variable, population.toggle_low)
+        engines[columnar] = engine
+    return population, engines
+
+
+@pytest.fixture(scope="module")
+def setups():
+    return {rules: _build(rules) for rules in RULE_SWEEP}
+
+
+def _batched_ingest(engine, population, size):
+    """One step = one ``ingest_batch`` of ``size`` band-jumping writes.
+
+    Values alternate high/low starting opposite to where the previous
+    step ended, so *every* write crosses the whole threshold band and
+    odd batch sizes stay consistent across rounds.
+    """
+    values = (population.toggle_high, population.toggle_low)
+    state = {"phase": 0}
+
+    def step():
+        phase = state["phase"]
+        batch = [
+            (population.hot_variable, values[(phase + offset) % 2])
+            for offset in range(size)
+        ]
+        state["phase"] = (phase + size) % 2
+        engine.ingest_batch(batch)
+
+    return step
+
+
+# -- ingest vs rule count ------------------------------------------------------
+
+
+@pytest.mark.parametrize("rules", RULE_SWEEP)
+def test_columnar_batch_ingest(benchmark, setups, rules):
+    population, engines = setups[rules]
+
+    benchmark(_batched_ingest(engines[True], population, BATCH_SIZE))
+
+    median = median_seconds(benchmark)
+    MEDIANS[("columnar", rules, BATCH_SIZE)] = median
+    report("A9", f"columnar batch ingest @ {rules} rules "
+                 f"(batch {BATCH_SIZE})",
+           "vectorized sweep: ~10x over object path", median)
+
+
+@pytest.mark.parametrize("rules", RULE_SWEEP)
+def test_object_batch_ingest(benchmark, setups, rules):
+    population, engines = setups[rules]
+
+    benchmark.pedantic(
+        _batched_ingest(engines[False], population, BATCH_SIZE),
+        rounds=5, iterations=1, warmup_rounds=1,
+    )
+
+    median = median_seconds(benchmark)
+    MEDIANS[("object", rules, BATCH_SIZE)] = median
+    report("A9", f"object-path batch ingest @ {rules} rules "
+                 f"(batch {BATCH_SIZE}, ablation)",
+           "n/a (ablation)", median)
+
+
+# -- ingest vs batch size ------------------------------------------------------
+
+
+@pytest.mark.parametrize("size", BATCH_SWEEP)
+def test_columnar_batch_size(benchmark, setups, size):
+    population, engines = setups[RULES_PEAK]
+
+    benchmark(_batched_ingest(engines[True], population, size))
+
+    median = median_seconds(benchmark)
+    MEDIANS[("columnar", RULES_PEAK, size)] = median
+    report("A9", f"columnar batch ingest @ batch {size} "
+                 f"({RULES_PEAK} rules)",
+           "per-write cost ~flat in batch size", median)
+
+
+@pytest.mark.parametrize("size", BATCH_SWEEP)
+def test_object_batch_size(benchmark, setups, size):
+    population, engines = setups[RULES_PEAK]
+
+    benchmark.pedantic(
+        _batched_ingest(engines[False], population, size),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+
+    median = median_seconds(benchmark)
+    MEDIANS[("object", RULES_PEAK, size)] = median
+    report("A9", f"object-path batch ingest @ batch {size} "
+                 f"({RULES_PEAK} rules, ablation)",
+           "n/a (ablation)", median)
+
+
+# -- sweep-width counters ------------------------------------------------------
+
+
+def test_columnar_counters(setups):
+    """Ledger rows for sweep *width*: atoms flipped and clauses touched
+    per batch at the peak configuration (every write flips every distinct
+    threshold atom, each sitting in one clause)."""
+    population, engines = setups[RULES_PEAK]
+    engine = engines[True]
+    stats = engine.columnar_stats
+    before = (stats.batches, stats.atoms_flipped, stats.clauses_touched)
+    step = _batched_ingest(engine, population, BATCH_SIZE)
+    for _ in range(4):
+        step()
+    batches = stats.batches - before[0]
+    flipped = (stats.atoms_flipped - before[1]) / batches
+    touched = (stats.clauses_touched - before[2]) / batches
+    print(
+        f"\n  [A9] per batch of {BATCH_SIZE} @ {RULES_PEAK} rules: "
+        f"{flipped:.0f} atoms flipped, {touched:.0f} clauses touched"
+    )
+    assert flipped > 0 and touched > 0
+    record_result(
+        "A9", f"atoms flipped per batch @ {RULES_PEAK} rules (count)",
+        flipped,
+    )
+    record_result(
+        "A9", f"clauses touched per batch @ {RULES_PEAK} rules (count)",
+        touched,
+    )
+
+
+# -- acceptance ----------------------------------------------------------------
+
+
+def test_batch_scaling_shape():
+    """Acceptance: columnar batch ingest ≥5× faster than the object path
+    at the peak rule count with batch ≥64."""
+    needed = [(mode, rules, BATCH_SIZE) for mode in ("columnar", "object")
+              for rules in (RULE_SWEEP[0], RULES_PEAK)]
+    if any(key not in MEDIANS for key in needed):
+        pytest.skip("ingest sweep did not run (filtered?)")
+    speedup = (
+        MEDIANS[("object", RULES_PEAK, BATCH_SIZE)]
+        / MEDIANS[("columnar", RULES_PEAK, BATCH_SIZE)]
+    )
+    print(
+        f"\n  [A9] batch ingest @ {RULES_PEAK} rules: columnar "
+        f"x{speedup:.1f} faster than the object path"
+    )
+    assert speedup >= COLUMNAR_SPEEDUP_FLOOR, (
+        f"columnar path only x{speedup:.2f} over the object path at "
+        f"{RULES_PEAK} rules (floor x{COLUMNAR_SPEEDUP_FLOOR:g})"
+    )

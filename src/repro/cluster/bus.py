@@ -104,12 +104,19 @@ class BusStats:
     applied: int = 0     # engine ingests actually performed
     batches: int = 0     # drain callbacks that applied at least one entry
     mirrored: int = 0    # mirror fan-outs (one per subscriber shard copy)
+    # -- columnar batch observability (see repro.core.columnar) ---------
+    batched_writes: int = 0   # writes applied through shard.ingest_batch
+    atoms_flipped: int = 0    # atom truth flips inside batched runs
+    clauses_touched: int = 0  # clause counter updates inside batched runs
 
     def describe(self) -> str:
         return (
             f"published={self.published} events={self.events} "
             f"coalesced={self.coalesced} applied={self.applied} "
-            f"batches={self.batches} mirrored={self.mirrored}"
+            f"batches={self.batches} mirrored={self.mirrored} "
+            f"batched_writes={self.batched_writes} "
+            f"atoms_flipped={self.atoms_flipped} "
+            f"clauses_touched={self.clauses_touched}"
         )
 
 
@@ -137,6 +144,12 @@ class IngestBus:
         self._queues: list[list[_Write | _Event]] = [[] for _ in range(count)]
         self._drain_handles: list[EventHandle | None] = [None] * count
         self._closed = False
+        # Preallocated drain scratch: detached queues are recycled per
+        # shard and the consecutive-write run buffer is shared, so a
+        # steady-state drain allocates no per-batch temporaries.
+        self._spare_queues: list[list[_Write | _Event] | None] = \
+            [None] * count
+        self._run_scratch: list[tuple[str, Any]] = []
         # variable → coalesce-safety, valid for the recorded shard epoch.
         self._safety_epochs: list[int] = [-1] * count
         self._safety: list[dict[str, bool]] = [{} for _ in range(count)]
@@ -273,11 +286,51 @@ class IngestBus:
             return
         # Detach before applying: ingests can publish follow-up events
         # re-entrantly; those join a fresh batch with a fresh drain.
-        self._queues[index] = []
+        # The detached list is recycled as the shard's next queue and
+        # the write-run buffer is detached scratch (re-entrant drains
+        # simply fall back to fresh lists), so steady-state drains
+        # allocate no per-batch temporaries.
+        spare = self._spare_queues[index]
+        self._spare_queues[index] = None
+        self._queues[index] = spare if spare is not None else []
         self.stats.batches += 1
         shard = self.shards[index]
+        run = self._run_scratch
+        self._run_scratch = []
         for entry in queue:
+            if isinstance(entry, _Write):
+                # Consecutive writes drain as one batched run; an event
+                # is a barrier (it must observe the writes before it).
+                run.append((entry.variable, entry.value))
+                continue
+            self._flush_run(shard, run)
             self._apply(shard, entry)
+        self._flush_run(shard, run)
+        queue.clear()
+        self._spare_queues[index] = queue
+        self._run_scratch = run
+
+    def _flush_run(self, shard: EngineShard,
+                   run: list[tuple[str, Any]]) -> None:
+        """Apply a run of consecutive writes; singletons take the plain
+        ingest path, longer runs the shard's batch entry point (same
+        per-event semantics, vectorized hot path + batch counters)."""
+        if not run:
+            return
+        if self._closed:
+            run.clear()
+            return
+        if len(run) == 1:
+            shard.ingest(*run[0])
+            self.stats.applied += 1
+        else:
+            flips, touched = shard.ingest_batch(run)
+            count = len(run)
+            self.stats.applied += count
+            self.stats.batched_writes += count
+            self.stats.atoms_flipped += flips
+            self.stats.clauses_touched += touched
+        run.clear()
 
     def _schedule_single(self, index: int, entry: _Write | _Event) -> None:
         """Per-event dispatch (``batch=False``): one callback per entry.

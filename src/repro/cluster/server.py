@@ -92,6 +92,7 @@ class ClusterServer:
         incremental: bool = True,
         shared: bool = True,
         wheel: bool = True,
+        columnar: bool = True,
         adaptive_ticks: bool = True,
         max_trace: int | None = DEFAULT_MAX_TRACE,
         clock_tick_period: float = 60.0,
@@ -109,6 +110,7 @@ class ClusterServer:
                 incremental=incremental,
                 shared=shared,
                 wheel=wheel,
+                columnar=columnar,
                 adaptive_ticks=adaptive_ticks,
                 max_trace=max_trace,
                 clock_tick_period=clock_tick_period,

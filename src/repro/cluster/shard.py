@@ -51,6 +51,7 @@ class EngineShard:
         incremental: bool = True,
         shared: bool = True,
         wheel: bool = True,
+        columnar: bool = True,
         adaptive_ticks: bool = True,
         max_trace: int | None = DEFAULT_MAX_TRACE,
         clock_tick_period: float = 60.0,
@@ -66,6 +67,7 @@ class EngineShard:
             incremental=incremental,
             shared=shared,
             wheel=wheel,
+            columnar=columnar,
             max_trace=max_trace,
         )
         self.database = stack.database
@@ -127,6 +129,12 @@ class EngineShard:
 
     def ingest(self, variable: str, value: Any) -> None:
         self.engine.ingest(variable, value)
+
+    def ingest_batch(self, writes: "list[tuple[str, Any]]") -> tuple[int, int]:
+        """Apply a drained run of writes through the engine's bulk entry
+        point (per-event semantics preserved); returns the batch's
+        ``(atoms_flipped, clauses_touched)`` counter deltas."""
+        return self.engine.ingest_batch(writes)
 
     def post_event(
         self,

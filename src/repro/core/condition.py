@@ -73,12 +73,15 @@ clock tick re-evaluates every rule referencing it."""
 
 
 def _memo(condition: "Condition", attr: str, compute):
-    """Per-instance memo that also works on frozen dataclass atoms.
+    """Per-instance memo that also works on frozen, slotted dataclass
+    atoms.
 
     Conditions are immutable once built, so key/dnf/variable queries can
-    be computed once; ``object.__setattr__`` bypasses the frozen guard.
+    be computed once; ``object.__setattr__`` bypasses the frozen guard
+    and ``getattr`` (rather than ``__dict__``) reads through the memo
+    slots declared on :class:`Condition`.
     """
-    value = condition.__dict__.get(attr)
+    value = getattr(condition, attr, None)
     if value is None:
         value = compute()
         object.__setattr__(condition, attr, value)
@@ -86,7 +89,15 @@ def _memo(condition: "Condition", attr: str, compute):
 
 
 class Condition(ABC):
-    """Base class of the condition IR."""
+    """Base class of the condition IR.
+
+    Condition trees dominate a big database's heap (every rule holds
+    one), so the whole hierarchy is slotted; the ``_memo_*`` slots back
+    the lazy key/dnf/variable memos of :func:`_memo`.
+    """
+
+    __slots__ = ("_memo_key", "_memo_dnf", "_memo_numeric_vars",
+                 "_memo_referenced_vars")
 
     @abstractmethod
     def evaluate(self, ctx: EvaluationContext) -> bool:
@@ -142,6 +153,8 @@ class Condition(ABC):
 class Atom(Condition):
     """A leaf condition."""
 
+    __slots__ = ()
+
     def dnf(self) -> list[Conjunction]:
         return [(self,)]
 
@@ -152,7 +165,7 @@ class Atom(Condition):
         return set()
 
 
-@dataclass(frozen=True, eq=False)
+@dataclass(frozen=True, eq=False, slots=True)
 class TrueAtom(Atom):
     """Always true (empty precondition)."""
 
@@ -166,7 +179,7 @@ class TrueAtom(Atom):
         return "always"
 
 
-@dataclass(frozen=True, eq=False)
+@dataclass(frozen=True, eq=False, slots=True)
 class FalseAtom(Atom):
     """Never true (useful in tests and as an annihilator)."""
 
@@ -180,7 +193,7 @@ class FalseAtom(Atom):
         return "never"
 
 
-@dataclass(frozen=True, eq=False)
+@dataclass(frozen=True, eq=False, slots=True)
 class NumericAtom(Atom):
     """A linear constraint over sensor variables.
 
@@ -226,7 +239,7 @@ class NumericAtom(Atom):
         return self.constraint.variables()
 
 
-@dataclass(frozen=True, eq=False)
+@dataclass(frozen=True, eq=False, slots=True)
 class DiscreteAtom(Atom):
     """Equality (or negated equality) on a discrete variable.
 
@@ -260,7 +273,7 @@ class DiscreteAtom(Atom):
         return {self.variable}
 
 
-@dataclass(frozen=True, eq=False)
+@dataclass(frozen=True, eq=False, slots=True)
 class MembershipAtom(Atom):
     """Membership test on a set-valued variable (EPG keyword feeds)."""
 
@@ -288,7 +301,7 @@ class MembershipAtom(Atom):
         return {self.variable}
 
 
-@dataclass(frozen=True, eq=False)
+@dataclass(frozen=True, eq=False, slots=True)
 class TimeWindowAtom(Atom):
     """Active during a time-of-day window, optionally on one weekday.
 
@@ -353,7 +366,7 @@ class TimeWindowAtom(Atom):
         return text
 
 
-@dataclass(frozen=True, eq=False)
+@dataclass(frozen=True, eq=False, slots=True)
 class EventAtom(Atom):
     """An instantaneous event: fires for exactly one engine step.
 
@@ -381,7 +394,7 @@ class EventAtom(Atom):
         return f"{who} {self.event_type}"
 
 
-@dataclass(frozen=True, eq=False)
+@dataclass(frozen=True, eq=False, slots=True)
 class DurationAtom(Atom):
     """Inner condition continuously true for at least ``seconds``.
 
@@ -441,6 +454,8 @@ _DNF_LIMIT = 4096  # guard against exponential blowup on adversarial input
 class AndCondition(Condition):
     """Logical conjunction; nested Ands are flattened."""
 
+    __slots__ = ("children",)
+
     def __init__(self, children: Iterable[Condition]):
         self.children: tuple[Condition, ...] = tuple(
             _flatten(AndCondition, list(children))
@@ -484,6 +499,8 @@ class AndCondition(Condition):
 
 class OrCondition(Condition):
     """Logical disjunction; nested Ors are flattened."""
+
+    __slots__ = ("children",)
 
     def __init__(self, children: Iterable[Condition]):
         self.children: tuple[Condition, ...] = tuple(

@@ -55,12 +55,18 @@ Two further layers make the hot paths scale with *distinct context*
 rather than rule count; both require ``incremental`` and keep the
 per-rule machinery as ablation baselines:
 
-* ``shared=True`` (default) routes atom flips through the
-  :class:`~repro.core.network.SharedNetwork`: identical DNF clauses are
-  deduplicated across rules into refcounted clause nodes, so a flip
-  updates each distinct clause once and only fans out to rules whose
-  *clause* truth changed.  ``shared=False`` restores the per-rule
-  bitset fan-out.
+* ``shared=True`` (default) deduplicates identical DNF clauses across
+  rules, so a flip updates each distinct clause once and only fans out
+  to rules whose *clause* truth changed.  ``shared=False`` restores the
+  per-rule bitset fan-out.
+* ``columnar=True`` (default, requires ``shared``) keeps that clause
+  state in the :class:`~repro.core.columnar.ColumnarState` arrays —
+  interned atom/clause slots, a remaining-false counter per clause and
+  a vectorized threshold sweep per numeric write — plus the
+  :meth:`ingest_batch` bulk entry point.  ``columnar=False`` restores
+  the object-graph :class:`~repro.core.network.SharedNetwork` (the A9
+  ablation baseline); both backends are driven through the same
+  verified-flip contract and produce identical wake sets.
 * ``wheel=True`` (default) replaces ``clock_tick``'s blanket
   re-evaluation of every clock-reading rule with the
   :class:`~repro.core.wheel.TimeWheel` boundary schedule: a tick wakes
@@ -79,6 +85,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Collection, Iterable
 
 from repro.core.action import ActionSpec
+from repro.core.columnar import ColumnarState, ColumnarStats
 from repro.core.condition import CLOCK_VARIABLE, DurationAtom, TimeWindowAtom
 from repro.core.database import RuleDatabase
 from repro.core.network import SharedNetwork
@@ -254,6 +261,7 @@ class RuleEngine:
         incremental: bool = True,
         shared: bool = True,
         wheel: bool = True,
+        columnar: bool = True,
         max_trace: int | None = DEFAULT_MAX_TRACE,
     ) -> None:
         self.database = database
@@ -267,6 +275,9 @@ class RuleEngine:
         # (atom-truth cache, watch sets); the seed path ignores them.
         self.shared = shared and incremental
         self.wheel = wheel and incremental
+        # The columnar backend is the array-layout successor of the
+        # shared network: same clause dedup, flat storage.
+        self.columnar = columnar and self.shared
         self.world = WorldState(simulator)
         self.world.on_held_armed = self._arm_held_timer
         if max_trace is not None and max_trace <= 0:
@@ -283,7 +294,10 @@ class RuleEngine:
         self._plans: dict[str, CompiledPlan] = {}        # rule name -> plan
         self._bits: dict[str, int] = {}                  # rule name -> atom bits
         self._atom_truth: dict[str, bool] = {}           # atom key -> cached truth
-        self._network = SharedNetwork() if self.shared else None
+        self._columnar = ColumnarState() if self.columnar else None
+        self._network = (
+            SharedNetwork() if self.shared and not self.columnar else None
+        )
         self._time_wheel = TimeWheel() if self.wheel else None
         self._wheel_keys: dict[str, tuple[str, ...]] = {}  # rule -> window keys
         # Stateful clock-reading plans (a duration over a window) stay on
@@ -336,8 +350,10 @@ class RuleEngine:
                 self._has_until.add(rule.name)
                 watch |= rule.until.referenced_variables()
             self._watch_vars[rule.name] = frozenset(watch)
-            if self._network is not None and not plan.has_duration:
-                self._network.subscribe(
+            backend = self._columnar if self._columnar is not None \
+                else self._network
+            if backend is not None and not plan.has_duration:
+                backend.subscribe(
                     rule.name, plan, self._atom_truth, self.world
                 )
             else:
@@ -368,6 +384,8 @@ class RuleEngine:
         self._watch_vars.pop(rule_name, None)
         self._has_until.discard(rule_name)
         self._disabled_dirty.discard(rule_name)
+        if self._columnar is not None:
+            self._columnar.unsubscribe(rule_name)
         if self._network is not None:
             self._network.unsubscribe(rule_name)
         if self._time_wheel is not None:
@@ -455,6 +473,15 @@ class RuleEngine:
             if not self.world.set_numeric(variable, new_numeric):
                 return
             if self.incremental:
+                if self._columnar is not None:
+                    # Columnar fast path: the backend owns the threshold
+                    # index and verifies the whole candidate window in
+                    # one sweep — no per-atom candidate list is built.
+                    dirty = self._columnar.numeric_write(
+                        variable, old_numeric, new_numeric, self.world
+                    )
+                    self._finish_wake(variable, dirty)
+                    return
                 candidates = self.database.numeric_candidates(
                     variable, old_numeric, new_numeric)
         elif isinstance(value, (frozenset, set, list, tuple)):
@@ -477,15 +504,63 @@ class RuleEngine:
             return
         self._propagate_deltas(variable, candidates)
 
+    def ingest_batch(
+        self, writes: "Iterable[tuple[str, Any]]"
+    ) -> tuple[int, int]:
+        """Apply a drained batch of sensor writes in publish order.
+
+        Each write keeps exact per-event semantics — atom flips, wake
+        sets and rule evaluations are identical to calling
+        :meth:`ingest` per entry (edge-triggered firing forbids
+        deferring or merging observable intermediate states; value
+        coalescing is the bus's job, gated by ``coalesce_safe``).  What
+        the batch entry point buys is the columnar hot path per write
+        (one vectorized threshold sweep instead of a per-atom candidate
+        loop) plus batch-level observability: returns ``(atoms_flipped,
+        clauses_touched)`` deltas for this batch, ``(0, 0)`` on the
+        object-graph paths."""
+        columnar = self._columnar
+        if columnar is None:
+            for variable, value in writes:
+                self.ingest(variable, value)
+            return 0, 0
+        stats = columnar.stats
+        flips_before = stats.atoms_flipped
+        touched_before = stats.clauses_touched
+        applied = 0
+        for variable, value in writes:
+            self.ingest(variable, value)
+            applied += 1
+        stats.batches += 1
+        stats.batch_writes += applied
+        return (
+            stats.atoms_flipped - flips_before,
+            stats.clauses_touched - touched_before,
+        )
+
+    @property
+    def columnar_stats(self) -> "ColumnarStats | None":
+        """The columnar backend's hot-path counters (None when the
+        engine runs an object-graph path)."""
+        return self._columnar.stats if self._columnar is not None else None
+
     def _propagate_deltas(self, variable: str,
                           candidates: Iterable) -> None:
         """Verify candidate atoms, flip subscriber bits, wake watchers."""
         dirty: set[str] = set()
         bits = self._bits
+        columnar = self._columnar
         network = self._network
         truth_cache = self._atom_truth
         for entry in candidates:
             new_truth = entry.atom.evaluate(self.world)
+            if columnar is not None:
+                # Columnar path (discrete/membership candidates; numeric
+                # writes take numeric_write): truth is deduplicated and
+                # cached in the columns, so the backend both detects the
+                # flip and fans it out.
+                dirty.update(columnar.atom_flipped(entry.key, new_truth))
+                continue
             if truth_cache.get(entry.key, False) == new_truth:
                 continue
             truth_cache[entry.key] = new_truth
@@ -505,6 +580,11 @@ class RuleEngine:
                     if current is not None:
                         bits[name] = current & ~bit
                         dirty.add(name)
+        self._finish_wake(variable, dirty)
+
+    def _finish_wake(self, variable: str, dirty: set[str]) -> None:
+        """Shared tail of every ingest: add the variable's watchers and
+        watch sets to the flip-derived wake set, then evaluate."""
         watchers = self.database.variable_watchers(variable)
         if watchers:
             dirty.update(watchers)
@@ -530,7 +610,8 @@ class RuleEngine:
             for name in list(self._disabled_dirty):
                 watch = self._watch_vars.get(name)
                 if watch is not None and variable in watch:
-                    if refresh_stale_bits and self._network is None:
+                    if refresh_stale_bits and self._network is None \
+                            and self._columnar is None:
                         self._refresh_static_bits(name)
                     dirty.add(name)
 
@@ -667,6 +748,13 @@ class RuleEngine:
         plan = self._plans.get(name)
         if plan is None or plan.has_duration:
             return rule.condition.evaluate(self.world)
+        if self._columnar is not None:
+            # Clause counters are maintained by delta propagation and
+            # never go stale, so full and partial reads are the same.
+            volatile_bits = (
+                plan.volatile_bits(self.world) if plan.volatile_slots else 0
+            )
+            return self._columnar.rule_truth(name, volatile_bits)
         if self._network is not None:
             # Shared clause nodes are maintained by delta propagation and
             # never go stale, so full and partial reads are the same.

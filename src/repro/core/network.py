@@ -28,6 +28,12 @@ Stateful plans (duration atoms) never join the network — their ``held``
 bookkeeping requires the original tree walk — and clauses made only of
 volatile time/event atoms subscribe with no node at all (their truth is
 re-evaluated fresh each time).
+
+This object-graph layout is now the ``columnar=False`` **ablation
+baseline**: the default engine keeps the same deduplicated clause state
+in the flat arrays of :class:`~repro.core.columnar.ColumnarState`
+(benchmark A9 measures the gap).  Both backends implement the identical
+subscribe / atom_flipped / rule_truth contract.
 """
 
 from __future__ import annotations

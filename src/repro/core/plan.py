@@ -30,6 +30,7 @@ stateful
 
 from __future__ import annotations
 
+import sys
 from typing import Iterable
 
 from repro.core.condition import (
@@ -158,7 +159,11 @@ def compile_condition(condition: Condition) -> CompiledPlan:
             if isinstance(atom, FalseAtom):
                 dead = True
                 break
-            key = atom.key()
+            # Interned keys make cross-rule dedup (the database's atom
+            # table, clause-node identity, the columnar interners) use
+            # pointer-equal strings: dict probes hit the identity fast
+            # path and duplicated templates share one key object.
+            key = sys.intern(atom.key())
             slot = slot_of.get(key)
             if slot is None:
                 slot = len(atoms)
@@ -178,7 +183,7 @@ def compile_condition(condition: Condition) -> CompiledPlan:
         elif isinstance(atom, VOLATILE_ATOM_TYPES):
             volatile_slots.append((bit, atom))
         else:
-            static_slots.append((bit, atom.key(), atom))
+            static_slots.append((bit, sys.intern(atom.key()), atom))
 
     reduced = _reduce_clauses(clauses)
     clause_parts: tuple[tuple[tuple[str, ...], int], ...] = ()
@@ -205,8 +210,12 @@ def compile_condition(condition: Condition) -> CompiledPlan:
         volatile_slots=tuple(volatile_slots),
         clause_parts=clause_parts,
         has_duration=has_duration,
-        variables=frozenset(condition.referenced_variables()),
-        numeric_variables=frozenset(condition.numeric_variables()),
+        variables=frozenset(
+            sys.intern(v) for v in condition.referenced_variables()
+        ),
+        numeric_variables=frozenset(
+            sys.intern(v) for v in condition.numeric_variables()
+        ),
     )
 
 

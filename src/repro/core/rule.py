@@ -31,7 +31,7 @@ def next_rule_id() -> int:
     return next(_rule_ids)
 
 
-@dataclass
+@dataclass(slots=True)
 class Rule:
     """One registered automation rule.
 

@@ -86,6 +86,7 @@ def build_rule_stack(
     incremental: bool = True,
     shared: bool = True,
     wheel: bool = True,
+    columnar: bool = True,
     max_trace: int | None = DEFAULT_MAX_TRACE,
 ) -> RuleStack:
     """Build the database/checkers/engine/pipeline quartet shared by the
@@ -109,6 +110,7 @@ def build_rule_stack(
         incremental=incremental,
         shared=shared,
         wheel=wheel,
+        columnar=columnar,
         max_trace=max_trace,
     )
     pipeline = RulePipeline(
@@ -209,6 +211,7 @@ class HomeServer:
         incremental: bool = True,
         shared: bool = True,
         wheel: bool = True,
+        columnar: bool = True,
         max_trace: int | None = DEFAULT_MAX_TRACE,
     ) -> None:
         self.simulator = simulator
@@ -222,6 +225,7 @@ class HomeServer:
             incremental=incremental,
             shared=shared,
             wheel=wheel,
+            columnar=columnar,
             max_trace=max_trace,
         )
         self.database = stack.database
@@ -272,6 +276,19 @@ class HomeServer:
         buses, replayed sensor logs) reach the engine identically."""
         self.engine.ingest(
             variable, coerce_reading(value, self._variable_units.get(variable))
+        )
+
+    def ingest_batch(
+        self, readings: "list[tuple[str, Any]]"
+    ) -> tuple[int, int]:
+        """Feed a batch of readings in order through the engine's bulk
+        entry point (unit coercion per reading, identical semantics to
+        per-reading :meth:`ingest`); returns the batch's
+        ``(atoms_flipped, clauses_touched)`` counter deltas."""
+        units = self._variable_units
+        return self.engine.ingest_batch(
+            (variable, coerce_reading(value, units.get(variable)))
+            for variable, value in readings
         )
 
     def post_event(self, event_type: str, subject: str | None = None) -> None:

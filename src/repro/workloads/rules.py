@@ -292,6 +292,60 @@ def build_window_population(
     return WindowPopulation(database=database, total_rules=total_rules)
 
 
+@dataclass
+class ColumnarPopulation:
+    """A threshold-sweep rule database for the A9 columnar benchmark.
+
+    Every rule conjoins a distinct inequality over ``hot_variable``
+    (thresholds spread across ``(toggle_low, toggle_high)``) with a
+    shared never-true inequality over the same variable.  A write that
+    jumps between ``toggle_low`` and ``toggle_high`` therefore flips
+    *every* distinct threshold atom — the worst-case band sweep — while
+    no clause ever turns true, so the benchmark isolates the atom-flip /
+    clause-counter critical path from rule evaluation and arbitration.
+    """
+
+    database: RuleDatabase
+    hot_variable: str
+    total_rules: int
+    toggle_low: float
+    toggle_high: float
+
+
+def build_columnar_population(
+    total_rules: int = 10_000,
+    seed: int | str = "a9-columnar",
+) -> ColumnarPopulation:
+    rng = seeded_rng(seed)
+    database = RuleDatabase()
+    hot_variable = "sensor:temperature"
+    toggle_low, toggle_high = 10.0, 90.0
+    for index in range(total_rules):
+        threshold = rng.uniform(toggle_low + 0.5, toggle_high - 0.5)
+        # Fresh atom objects per rule (dedup is by key); the companion
+        # atom's key is identical across rules, so it collapses to one
+        # shared never-true slot keeping every clause false.
+        condition = AndCondition([
+            NumericAtom(LinearConstraint.make(
+                LinearExpr.var(hot_variable), Relation.GT, threshold)),
+            NumericAtom(LinearConstraint.make(
+                LinearExpr.var(hot_variable), Relation.GT, 1e9)),
+        ])
+        database.add(Rule(
+            name=f"col-{index:06d}",
+            owner=f"user-{index % 7}",
+            condition=condition,
+            action=_action_on(f"col-dev-{index:06d}", rng),
+        ))
+    return ColumnarPopulation(
+        database=database,
+        hot_variable=hot_variable,
+        total_rules=total_rules,
+        toggle_low=toggle_low,
+        toggle_high=toggle_high,
+    )
+
+
 def build_mixed_population(
     total_rules: int = 10_000,
     zone_count: int | None = None,

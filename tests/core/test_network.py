@@ -26,6 +26,11 @@ HUMID = "hygro:h:humidity"
 
 class Harness:
     def __init__(self, **engine_kwargs):
+        # These tests pin the object-graph SharedNetwork layer, which is
+        # the columnar backend's ablation baseline — so the columnar
+        # default is switched off here (the columnar equivalence suite
+        # covers the array path).
+        engine_kwargs.setdefault("columnar", False)
         self.simulator = Simulator()
         self.database = RuleDatabase()
         self.dispatched = []
