@@ -24,6 +24,12 @@ DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_results.json"
 REQUIRED_FIELDS = ("experiment", "row", "measured_ms", "run")
 KNOWN_CONFIGS = ("full", "smoke")
 
+# A10's stage-breakdown rows must use the documented span taxonomy
+# (kept literal here — this script runs standalone, without PYTHONPATH;
+# ``repro.obs.trace.STAGES`` is the source of truth and a test pins the
+# two in sync).
+A10_STAGES = ("drain", "batch", "sweep", "fanout", "wheel", "action")
+
 
 def validate_ledger(rows: object) -> list[str]:
     """All invariant violations in a loaded ledger (empty = clean)."""
@@ -69,6 +75,36 @@ def validate_ledger(rows: object) -> list[str]:
             )
         else:
             seen[key] = index
+    # A10 invariants: stage-breakdown rows stay on the span taxonomy,
+    # and the overhead comparison stays a pair — an enabled row without
+    # its disabled ablation (or vice versa) means the budget was never
+    # actually measured against anything.
+    a10_sides: dict[str, set[str]] = {}
+    for index, entry in enumerate(rows):
+        if not isinstance(entry, dict) or entry.get("experiment") != "A10":
+            continue
+        row = entry.get("row")
+        if not isinstance(row, str):
+            continue
+        config = entry.get("config", "full")
+        if row.startswith("span "):
+            stage = row.split(" ", 2)[1]
+            if stage not in A10_STAGES:
+                errors.append(
+                    f"row {index}: A10 span row names unknown stage "
+                    f"{stage!r} (taxonomy: {', '.join(A10_STAGES)})"
+                )
+        for side in ("telemetry-enabled", "telemetry-disabled"):
+            if row.startswith(side):
+                a10_sides.setdefault(config, set()).add(side)
+    for config, sides in sorted(a10_sides.items()):
+        for side in sorted(
+            {"telemetry-enabled", "telemetry-disabled"} - sides
+        ):
+            errors.append(
+                f"A10 ({config}): missing {side} ingest row — the "
+                f"overhead comparison must record both sides"
+            )
     return errors
 
 

@@ -26,6 +26,7 @@ Run:  python examples/apartment_block.py
 """
 
 from repro.cluster import ClusterServer
+from repro.support.console import render_telemetry
 from repro.core.action import ActionSpec, Setting
 from repro.core.condition import (
     AndCondition,
@@ -142,6 +143,14 @@ def main() -> None:
 
     print(f"\nbus: {cluster.stats().describe()}")
     for line in cluster.describe_shards():
+        print(f"  {line}")
+
+    # The observability plane: per-shard health (ingest latency
+    # percentiles, queue depth, tick/wake/churn counters) merged into a
+    # cluster aggregate — the same snapshot ClusterServer.telemetry()
+    # serves as JSON and ClusterServer.prometheus() as scrape text.
+    print("\ntelemetry:")
+    for line in render_telemetry(cluster.telemetry()).splitlines():
         print(f"  {line}")
 
     print("\nper-apartment traces (+ the lobby's):")

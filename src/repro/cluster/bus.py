@@ -54,11 +54,12 @@ the ablation baseline benchmark A6 measures batching against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 from typing import Any, Collection, Sequence
 
 from repro.cluster.router import ShardRouter
 from repro.cluster.shard import EngineShard
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.events import EventHandle, Simulator
 
 
@@ -94,30 +95,70 @@ class _Event:
         self.only = only
 
 
-@dataclass
 class BusStats:
-    """Observability counters for dashboards and the A6 benchmark."""
+    """Observability counters for dashboards and the A6 benchmark.
 
-    published: int = 0   # writes accepted
-    events: int = 0      # instantaneous events accepted (per target shard)
-    coalesced: int = 0   # writes merged into a pending entry
-    applied: int = 0     # engine ingests actually performed
-    batches: int = 0     # drain callbacks that applied at least one entry
-    mirrored: int = 0    # mirror fan-outs (one per subscriber shard copy)
-    # -- columnar batch observability (see repro.core.columnar) ---------
-    batched_writes: int = 0   # writes applied through shard.ingest_batch
-    atoms_flipped: int = 0    # atom truth flips inside batched runs
-    clauses_touched: int = 0  # clause counter updates inside batched runs
+    Since the telemetry PR this is a *view* over ``bus.<field>``
+    counters in a :class:`~repro.obs.metrics.MetricsRegistry` — the
+    historical attribute API (``stats.batches`` etc.) reads through
+    unchanged, but the counters themselves live in the registry, where
+    the Prometheus formatter and cluster aggregation see them and where
+    they survive bus re-creation over re-registered shards (pass the old
+    bus's ``registry`` to the new one) instead of silently resetting.
+
+    Direct attribute mutation still works for legacy callers but is
+    deprecated: the bus increments its registry counters directly.
+    """
+
+    FIELDS = (
+        "published",        # writes accepted
+        "events",           # instantaneous events accepted (per target shard)
+        "coalesced",        # writes merged into a pending entry
+        "applied",          # engine ingests actually performed
+        "batches",          # drain callbacks that applied at least one entry
+        "mirrored",         # mirror fan-outs (one per subscriber shard copy)
+        # -- columnar batch observability (see repro.core.columnar) -----
+        "batched_writes",   # writes applied through shard.ingest_batch
+        "atoms_flipped",    # atom truth flips inside batched runs
+        "clauses_touched",  # clause counter updates inside batched runs
+    )
+
+    __slots__ = ("registry",)
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 **initial: int) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        for field, value in initial.items():
+            if field not in self.FIELDS:
+                raise TypeError(f"BusStats has no counter {field!r}")
+            self.registry.counter(f"bus.{field}").value = value
 
     def describe(self) -> str:
-        return (
-            f"published={self.published} events={self.events} "
-            f"coalesced={self.coalesced} applied={self.applied} "
-            f"batches={self.batches} mirrored={self.mirrored} "
-            f"batched_writes={self.batched_writes} "
-            f"atoms_flipped={self.atoms_flipped} "
-            f"clauses_touched={self.clauses_touched}"
+        return " ".join(
+            f"{field}={getattr(self, field)}" for field in self.FIELDS
         )
+
+
+def _stat_property(field: str) -> property:
+    name = "bus." + field
+
+    def _get(self: BusStats) -> int:
+        return self.registry.counter(name).value
+
+    def _set(self: BusStats, value: int) -> None:
+        warnings.warn(
+            f"mutating BusStats.{field} directly is deprecated; "
+            "increment the registry counter instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        self.registry.counter(name).value = value
+
+    return property(_get, _set)
+
+
+for _field in BusStats.FIELDS:
+    setattr(BusStats, _field, _stat_property(_field))
+del _field
 
 
 class IngestBus:
@@ -132,6 +173,7 @@ class IngestBus:
         coalesce: bool = True,
         batch: bool = True,
         drain_delay: float = 0.0,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.simulator = simulator
         self.shards = list(shards)
@@ -139,7 +181,20 @@ class IngestBus:
         self.coalesce = coalesce
         self.batch = batch
         self.drain_delay = drain_delay
-        self.stats = BusStats()
+        # The bus's counters live in a registry (passed in to survive bus
+        # re-creation over re-registered shards); BusStats is a reading
+        # view and the hot paths below increment bound counters directly.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stats = BusStats(self.registry)
+        self._published = self.registry.counter("bus.published")
+        self._events = self.registry.counter("bus.events")
+        self._coalesced = self.registry.counter("bus.coalesced")
+        self._applied = self.registry.counter("bus.applied")
+        self._batches = self.registry.counter("bus.batches")
+        self._mirrored = self.registry.counter("bus.mirrored")
+        self._batched_writes = self.registry.counter("bus.batched_writes")
+        self._atoms_flipped = self.registry.counter("bus.atoms_flipped")
+        self._clauses_touched = self.registry.counter("bus.clauses_touched")
         count = len(self.shards)
         self._queues: list[list[_Write | _Event]] = [[] for _ in range(count)]
         self._drain_handles: list[EventHandle | None] = [None] * count
@@ -192,7 +247,7 @@ class IngestBus:
         first and then to every subscriber shard, so each shard's FIFO
         queue carries its relevant writes in global publish order."""
         index = self.router.shard_of(variable)
-        self.stats.published += 1
+        self._published.inc()
         if not self.batch:
             self._schedule_single(index, _Write(variable, value))
             return index
@@ -206,7 +261,7 @@ class IngestBus:
                 and self._coalesce_safe(index, variable)
             ):
                 tail.value = value
-                self.stats.coalesced += 1
+                self._coalesced.inc()
                 return index
         self._queues[index].append(_Write(variable, value))
         self._schedule_drain(index)
@@ -214,7 +269,7 @@ class IngestBus:
             for target in routes:
                 if target == index:
                     continue
-                self.stats.mirrored += 1
+                self._mirrored.inc()
                 self._queues[target].append(_Write(variable, value))
                 self._schedule_drain(target)
         return index
@@ -233,7 +288,7 @@ class IngestBus:
         shard's rules)."""
         targets = range(len(self.shards)) if shard is None else (shard,)
         for index in targets:
-            self.stats.events += 1
+            self._events.inc()
             entry = _Event(event_type, subject, only)
             if not self.batch:
                 self._schedule_single(index, entry)
@@ -284,6 +339,15 @@ class IngestBus:
         queue = self._queues[index]
         if not queue:
             return
+        telemetry = getattr(self.shards[index], "telemetry", None)
+        spans = (
+            telemetry.spans
+            if telemetry is not None and telemetry.enabled else None
+        )
+        token = (
+            spans.span_begin("drain", size=len(queue))
+            if spans is not None else None
+        )
         # Detach before applying: ingests can publish follow-up events
         # re-entrantly; those join a fresh batch with a fresh drain.
         # The detached list is recycled as the shard's next queue and
@@ -293,7 +357,7 @@ class IngestBus:
         spare = self._spare_queues[index]
         self._spare_queues[index] = None
         self._queues[index] = spare if spare is not None else []
-        self.stats.batches += 1
+        self._batches.inc()
         shard = self.shards[index]
         run = self._run_scratch
         self._run_scratch = []
@@ -309,6 +373,8 @@ class IngestBus:
         queue.clear()
         self._spare_queues[index] = queue
         self._run_scratch = run
+        if token is not None:
+            spans.span_end(token)
 
     def _flush_run(self, shard: EngineShard,
                    run: list[tuple[str, Any]]) -> None:
@@ -322,14 +388,14 @@ class IngestBus:
             return
         if len(run) == 1:
             shard.ingest(*run[0])
-            self.stats.applied += 1
+            self._applied.inc()
         else:
             flips, touched = shard.ingest_batch(run)
             count = len(run)
-            self.stats.applied += count
-            self.stats.batched_writes += count
-            self.stats.atoms_flipped += flips
-            self.stats.clauses_touched += touched
+            self._applied.inc(count)
+            self._batched_writes.inc(count)
+            self._atoms_flipped.inc(flips)
+            self._clauses_touched.inc(touched)
         run.clear()
 
     def _schedule_single(self, index: int, entry: _Write | _Event) -> None:
@@ -349,7 +415,7 @@ class IngestBus:
             return
         for target in self._mirror_routes.get(entry.variable, ()):
             if target != index:
-                self.stats.mirrored += 1
+                self._mirrored.inc()
                 self._apply(self.shards[target], entry)
 
     def _apply(self, shard: EngineShard, entry: _Write | _Event) -> None:
@@ -357,7 +423,7 @@ class IngestBus:
             return
         if isinstance(entry, _Write):
             shard.ingest(entry.variable, entry.value)
-            self.stats.applied += 1
+            self._applied.inc()
         else:
             shard.post_event(entry.event_type, entry.subject,
                              only=entry.only)

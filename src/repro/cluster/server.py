@@ -41,6 +41,9 @@ from repro.core.priority import PriorityOrder
 from repro.core.rule import Rule
 from repro.core.server import ConflictPolicy, coerce_reading
 from repro.errors import DuplicateRuleError, UnknownRuleError
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+from repro.obs.trace import Telemetry
+from repro.obs.prom import render_prometheus
 from repro.sim.events import Simulator
 
 
@@ -96,9 +99,15 @@ class ClusterServer:
         adaptive_ticks: bool = True,
         max_trace: int | None = DEFAULT_MAX_TRACE,
         clock_tick_period: float = 60.0,
+        telemetry: bool = True,
     ) -> None:
         self.simulator = simulator
         self.router = router if router is not None else ShardRouter(shard_count)
+        # One Telemetry per shard (its own registry + span recorder, so
+        # shards never contend) plus one cluster registry for the bus;
+        # telemetry() folds them into per-shard and aggregate views.
+        self.telemetry_enabled = telemetry
+        self._bus_registry = MetricsRegistry()
         self.shards = [
             EngineShard(
                 index,
@@ -114,12 +123,17 @@ class ClusterServer:
                 adaptive_ticks=adaptive_ticks,
                 max_trace=max_trace,
                 clock_tick_period=clock_tick_period,
+                telemetry=(
+                    Telemetry(shard=index, clock=lambda: simulator.now)
+                    if telemetry else None
+                ),
             )
             for index in range(self.router.shard_count)
         ]
         self.bus = IngestBus(
             simulator, self.shards, self.router,
             coalesce=coalesce, batch=batch, drain_delay=drain_delay,
+            registry=self._bus_registry,
         )
         self._shard_of_rule: dict[str, int] = {}
         self._home_of_rule: dict[str, str] = {}
@@ -404,6 +418,62 @@ class ClusterServer:
 
     def stats(self) -> BusStats:
         return self.bus.stats
+
+    def telemetry(self) -> dict:
+        """The cluster's merged health snapshot, JSON-ready.
+
+        ``shards`` holds one registry snapshot per shard (ingest latency
+        percentiles, span-stage histograms, queue depth, tick/epoch/wheel
+        /columnar counters, the recent-spans ring) tagged with its shard
+        id; ``aggregate`` is their fold — counters and gauges summed,
+        histograms merged bucket-for-bucket with percentiles recomputed;
+        ``bus`` carries the cluster-wide ingest counters plus derived
+        coalesce/mirror/batched-write rates.  With ``telemetry=False``
+        the shard views are empty but the bus section still reports."""
+        shard_snapshots = [
+            snapshot
+            for shard in self.shards
+            if (snapshot := shard.telemetry_snapshot(
+                queue_depth=self.bus.pending(shard.shard_id))) is not None
+        ]
+        bus = self.bus.registry.snapshot()
+        published = bus["counters"].get("bus.published", 0)
+        applied = bus["counters"].get("bus.applied", 0)
+        bus["rates"] = {
+            "coalesce": (
+                bus["counters"].get("bus.coalesced", 0) / published
+                if published else 0.0
+            ),
+            "mirror": (
+                bus["counters"].get("bus.mirrored", 0) / published
+                if published else 0.0
+            ),
+            "batched_write": (
+                bus["counters"].get("bus.batched_writes", 0) / applied
+                if applied else 0.0
+            ),
+        }
+        return {
+            "enabled": self.telemetry_enabled,
+            "shards": shard_snapshots,
+            "aggregate": merge_snapshots(shard_snapshots),
+            "bus": bus,
+        }
+
+    def prometheus(self) -> str:
+        """The cluster snapshot in Prometheus text exposition format:
+        every shard's samples labelled ``shard="<id>"`` plus the bus's
+        cluster-wide counters, one scrape-ready document."""
+        snapshot = self.telemetry()
+        parts = [
+            render_prometheus(
+                shard_snapshot,
+                extra_labels={"shard": str(shard_snapshot["shard"])},
+            )
+            for shard_snapshot in snapshot["shards"]
+        ]
+        parts.append(render_prometheus(snapshot["bus"]))
+        return "".join(parts)
 
     def rule_count(self) -> int:
         return len(self._shard_of_rule)

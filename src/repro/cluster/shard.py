@@ -19,6 +19,7 @@ it owns — the property the cluster equivalence tests pin down.
 from __future__ import annotations
 
 import math
+from time import perf_counter_ns
 from typing import Any, Callable, Collection
 
 from repro.core.action import ActionSpec
@@ -27,6 +28,7 @@ from repro.core.engine import DEFAULT_MAX_TRACE, PromptPolicy
 from repro.core.priority import PriorityOrder
 from repro.core.rule import Rule
 from repro.core.server import ConflictPolicy, build_rule_stack
+from repro.obs.metrics import DEFAULT_LATENCY_BOUNDS_MS, SIZE_BOUNDS
 from repro.sim.events import Simulator
 
 Dispatch = Callable[[ActionSpec], None]
@@ -55,9 +57,26 @@ class EngineShard:
         adaptive_ticks: bool = True,
         max_trace: int | None = DEFAULT_MAX_TRACE,
         clock_tick_period: float = 60.0,
+        telemetry=None,
     ) -> None:
         self.shard_id = shard_id
         self.simulator = simulator
+        # Observability seam: a repro.obs.trace.Telemetry (or None).
+        # Latency histograms are bound once here; when telemetry is off
+        # every ingest pays one None check and no clock reads.
+        self.telemetry = telemetry
+        if telemetry is not None and telemetry.enabled:
+            registry = telemetry.registry
+            self._write_hist = registry.histogram(
+                "ingest.write_ms", DEFAULT_LATENCY_BOUNDS_MS)
+            self._batch_hist = registry.histogram(
+                "ingest.batch_ms", DEFAULT_LATENCY_BOUNDS_MS)
+            self._batch_sizes = registry.histogram(
+                "ingest.batch_size", SIZE_BOUNDS)
+        else:
+            self._write_hist = None
+            self._batch_hist = None
+            self._batch_sizes = None
         stack = build_rule_stack(
             simulator,
             dispatch=dispatch if dispatch is not None else _discard_dispatch,
@@ -69,6 +88,7 @@ class EngineShard:
             wheel=wheel,
             columnar=columnar,
             max_trace=max_trace,
+            telemetry=telemetry,
         )
         self.database = stack.database
         self.priorities = stack.priorities
@@ -96,6 +116,7 @@ class EngineShard:
         self.clock_tick_period = clock_tick_period
         self.adaptive_ticks = adaptive_ticks and self.engine.wheel
         self.ticks = 0  # clock_tick invocations (scheduling observability)
+        self.tick_sleeps = 0  # adaptive re-arms that skipped ≥1 grid tick
         self._tick_anchor = simulator.now
         self._tick_deadline: float | None = None
         self._tick_handle = None
@@ -128,13 +149,26 @@ class EngineShard:
     # -- world-state feeds -----------------------------------------------------
 
     def ingest(self, variable: str, value: Any) -> None:
+        hist = self._write_hist
+        if hist is None:
+            self.engine.ingest(variable, value)
+            return
+        start = perf_counter_ns()
         self.engine.ingest(variable, value)
+        hist.observe((perf_counter_ns() - start) / 1e6)
 
     def ingest_batch(self, writes: "list[tuple[str, Any]]") -> tuple[int, int]:
         """Apply a drained run of writes through the engine's bulk entry
         point (per-event semantics preserved); returns the batch's
         ``(atoms_flipped, clauses_touched)`` counter deltas."""
-        return self.engine.ingest_batch(writes)
+        hist = self._batch_hist
+        if hist is None:
+            return self.engine.ingest_batch(writes)
+        start = perf_counter_ns()
+        result = self.engine.ingest_batch(writes)
+        hist.observe((perf_counter_ns() - start) / 1e6)
+        self._batch_sizes.observe(len(writes))
+        return result
 
     def post_event(
         self,
@@ -266,8 +300,12 @@ class EngineShard:
             else self.simulator.now
         )
         if demand == math.inf:
+            self.tick_sleeps += 1
             return  # nothing clock-driven; the demand hook re-arms us
         self._tick_deadline = self._next_grid(demand)
+        if self.adaptive_ticks \
+                and self._tick_deadline > self._next_grid(self.simulator.now):
+            self.tick_sleeps += 1
         self._tick_handle = self.simulator.call_at(
             self._tick_deadline, self._run_tick
         )
@@ -287,6 +325,50 @@ class EngineShard:
             self._tick_handle.cancel()
         self._tick_deadline = target
         self._tick_handle = self.simulator.call_at(target, self._run_tick)
+
+    # -- telemetry -------------------------------------------------------------
+
+    def telemetry_snapshot(self, *, queue_depth: int | None = None) -> dict | None:
+        """One JSON-ready health snapshot of this shard (None when the
+        shard runs without telemetry).
+
+        Folds the cheap plain-int counters the hot paths maintain
+        anyway (ticks, adaptive-tick sleeps, rule-churn epochs, wheel
+        arming, columnar sweep counters) into the shard's registry at
+        snapshot time — instrumenting those loops live would buy nothing
+        but overhead — then returns the registry snapshot tagged with
+        the shard id and the recent-spans ring."""
+        telemetry = self.telemetry
+        if telemetry is None or not telemetry.enabled:
+            return None
+        registry = telemetry.registry
+        registry.counter("shard.ticks").value = self.ticks
+        registry.counter("shard.tick_sleeps").value = self.tick_sleeps
+        registry.counter("shard.epochs").value = self.epoch
+        registry.gauge("shard.rules").set(float(len(self.database)))
+        registry.gauge("shard.mirror_variables").set(
+            float(len(self._mirror_rules)))
+        if queue_depth is not None:
+            registry.gauge("bus.queue_depth").set(float(queue_depth))
+        wheel = self.engine.wheel_stats()
+        if wheel is not None:
+            registry.gauge("wheel.armed").set(float(wheel["armed"]))
+            registry.counter("wheel.armed_total").value = wheel["armed_total"]
+        columnar = self.engine.columnar_stats
+        if columnar is not None:
+            for field in ("writes", "batches", "batch_writes",
+                          "atoms_flipped", "clauses_touched",
+                          "vector_sweeps", "scalar_sweeps"):
+                registry.counter(f"columnar.{field}").value = \
+                    getattr(columnar, field)
+        snapshot = registry.snapshot()
+        snapshot["shard"] = self.shard_id
+        snapshot["spans"] = [
+            {"stage": span.stage, "at": span.at, "ms": span.ms,
+             "home": span.home, "size": span.size}
+            for span in telemetry.spans.recent()
+        ]
+        return snapshot
 
     # -- lifecycle -------------------------------------------------------------
 

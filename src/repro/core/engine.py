@@ -104,6 +104,19 @@ competing rules) → chosen rule, or None to keep the status quo."""
 _HELD_EPSILON = 1e-6
 
 DEFAULT_MAX_TRACE = 100_000
+
+# Power-of-two buckets for wake fan-out sizes.  Spelled inline rather
+# than imported: core modules may not import the live obs package (only
+# its no-op facade) — see tools/check_obs_imports.py.
+_SIZE_BOUNDS = tuple(float(2 ** i) for i in range(17))
+
+# The per-write stages (sweep, fanout) fire once per ingested value, so
+# even token-and-clock-read span cost adds ~2% to a worst-case columnar
+# batch.  They are sampled deterministically 1-in-N instead — uniform
+# over a stream, so stage percentiles stay representative, while exact
+# volume lives in the unsampled counters (columnar.writes etc.).  The
+# per-batch / per-tick / per-dispatch stages are never sampled.
+_SPAN_SAMPLE = 8
 """Default trace ring-buffer capacity — generous enough for scenario
 time-charts, bounded so long-running homes don't grow without limit."""
 
@@ -263,6 +276,7 @@ class RuleEngine:
         wheel: bool = True,
         columnar: bool = True,
         max_trace: int | None = DEFAULT_MAX_TRACE,
+        telemetry: Any = None,
     ) -> None:
         self.database = database
         self.priorities = priorities
@@ -278,6 +292,12 @@ class RuleEngine:
         # The columnar backend is the array-layout successor of the
         # shared network: same clause dedup, flat storage.
         self.columnar = columnar and self.shared
+        # Observability seam — duck-typed against repro.obs.trace.Telemetry
+        # (this module never imports the obs package; the cluster layer
+        # passes a live object in, everyone else gets None).  Instruments
+        # are bound once so hot paths never go through the registry, and
+        # when disabled every seam degrades to one None check.
+        self.set_telemetry(telemetry)
         self.world = WorldState(simulator)
         self.world.on_held_armed = self._arm_held_timer
         if max_trace is not None and max_trace <= 0:
@@ -477,9 +497,18 @@ class RuleEngine:
                     # Columnar fast path: the backend owns the threshold
                     # index and verifies the whole candidate window in
                     # one sweep — no per-atom candidate list is built.
+                    spans = self._spans
+                    token = None
+                    if spans is not None:
+                        self._sweep_tick = tick = \
+                            (self._sweep_tick + 1) % _SPAN_SAMPLE
+                        if tick == 0:
+                            token = spans.span_begin("sweep")
                     dirty = self._columnar.numeric_write(
                         variable, old_numeric, new_numeric, self.world
                     )
+                    if token is not None:
+                        spans.span_end(token, size=len(dirty))
                     self._finish_wake(variable, dirty)
                     return
                 candidates = self.database.numeric_candidates(
@@ -519,10 +548,16 @@ class RuleEngine:
         loop) plus batch-level observability: returns ``(atoms_flipped,
         clauses_touched)`` deltas for this batch, ``(0, 0)`` on the
         object-graph paths."""
+        spans = self._spans
+        token = spans.span_begin("batch") if spans is not None else None
         columnar = self._columnar
         if columnar is None:
+            applied = 0
             for variable, value in writes:
                 self.ingest(variable, value)
+                applied += 1
+            if token is not None:
+                spans.span_end(token, size=applied)
             return 0, 0
         stats = columnar.stats
         flips_before = stats.atoms_flipped
@@ -533,6 +568,8 @@ class RuleEngine:
             applied += 1
         stats.batches += 1
         stats.batch_writes += applied
+        if token is not None:
+            spans.span_end(token, size=applied)
         return (
             stats.atoms_flipped - flips_before,
             stats.clauses_touched - touched_before,
@@ -543,6 +580,36 @@ class RuleEngine:
         """The columnar backend's hot-path counters (None when the
         engine runs an object-graph path)."""
         return self._columnar.stats if self._columnar is not None else None
+
+    def set_telemetry(self, telemetry: Any) -> None:
+        """(Re)bind the observability plane.  Passing ``None`` (or a
+        disabled plane) detaches every instrument, restoring the
+        exact disabled-construction hot path; passing a live plane
+        binds its instruments once so the seams never touch the
+        registry.  Safe mid-stream: telemetry is a pure read-side
+        plane, so toggling it cannot perturb evaluation."""
+        self.telemetry = telemetry
+        self._sweep_tick = 0
+        self._fanout_tick = 0
+        if telemetry is not None and telemetry.enabled:
+            self._spans = telemetry.spans
+            self._wheel_wake_counter = telemetry.registry.counter(
+                "wheel.wakes")
+            self._wheel_wake_sizes = telemetry.registry.histogram(
+                "wheel.wake_size", _SIZE_BOUNDS)
+        else:
+            self._spans = None
+            self._wheel_wake_counter = None
+            self._wheel_wake_sizes = None
+
+    def wheel_stats(self) -> dict | None:
+        """The time wheel's schedule counters (None with the wheel off):
+        ``armed`` distinct boundaries currently scheduled, ``armed_total``
+        boundaries ever armed (subscriptions plus re-arms)."""
+        wheel = self._time_wheel
+        if wheel is None:
+            return None
+        return {"armed": len(wheel), "armed_total": wheel.armed_total}
 
     def _propagate_deltas(self, variable: str,
                           candidates: Iterable) -> None:
@@ -585,11 +652,19 @@ class RuleEngine:
     def _finish_wake(self, variable: str, dirty: set[str]) -> None:
         """Shared tail of every ingest: add the variable's watchers and
         watch sets to the flip-derived wake set, then evaluate."""
+        spans = self._spans
+        token = None
+        if spans is not None:
+            self._fanout_tick = tick = (self._fanout_tick + 1) % _SPAN_SAMPLE
+            if tick == 0:
+                token = spans.span_begin("fanout")
         watchers = self.database.variable_watchers(variable)
         if watchers:
             dirty.update(watchers)
         self._wake_watch_sets(variable, dirty, refresh_stale_bits=True)
         self._evaluate_dirty(dirty, full=False)
+        if token is not None:
+            spans.span_end(token, size=len(dirty))
 
     def _wake_watch_sets(
         self, variable: str, dirty: set[str], *, refresh_stale_bits: bool
@@ -690,11 +765,17 @@ class RuleEngine:
             if dirty:
                 self.reevaluate(dirty)
             return
+        spans = self._spans
+        token = spans.span_begin("wheel") if spans is not None else None
         wake = self._time_wheel.advance(self.simulator.now)
         if self._tick_stateful:
             wake |= self._tick_stateful
         self._wake_watch_sets(CLOCK_VARIABLE, wake, refresh_stale_bits=False)
         self._evaluate_dirty(wake, full=True)
+        if token is not None:
+            spans.span_end(token, size=len(wake))
+            self._wheel_wake_counter.inc(len(wake))
+            self._wheel_wake_sizes.observe(len(wake))
 
     def clock_demand(self) -> float:
         """The earliest simulated time the next ``clock_tick`` can do
@@ -942,18 +1023,24 @@ class RuleEngine:
         The access check here is defence in depth: registration already
         rejects unauthorized rules, but imported/legacy rules must still
         be stopped at the device boundary."""
-        if self.access_check is not None:
+        spans = self._spans
+        token = spans.span_begin("action") if spans is not None else None
+        try:
+            if self.access_check is not None:
+                try:
+                    self.access_check(rule, spec)
+                except ReproError as exc:
+                    self._trace("error", rule.name, spec.device_udn,
+                                f"access denied: {exc}")
+                    return
             try:
-                self.access_check(rule, spec)
+                self.dispatch(spec)
             except ReproError as exc:
                 self._trace("error", rule.name, spec.device_udn,
-                            f"access denied: {exc}")
-                return
-        try:
-            self.dispatch(spec)
-        except ReproError as exc:
-            self._trace("error", rule.name, spec.device_udn,
-                        f"dispatch failed: {exc}")
+                            f"dispatch failed: {exc}")
+        finally:
+            if token is not None:
+                spans.span_end(token)
 
     def _release_holdings(self, rule_name: str) -> None:
         freed = [udn for udn, (name, _) in self._holders.items() if name == rule_name]

@@ -88,6 +88,7 @@ def build_rule_stack(
     wheel: bool = True,
     columnar: bool = True,
     max_trace: int | None = DEFAULT_MAX_TRACE,
+    telemetry=None,
 ) -> RuleStack:
     """Build the database/checkers/engine/pipeline quartet shared by the
     single-home server and every cluster shard — one wiring site, so an
@@ -112,6 +113,7 @@ def build_rule_stack(
         wheel=wheel,
         columnar=columnar,
         max_trace=max_trace,
+        telemetry=telemetry,
     )
     pipeline = RulePipeline(
         database, engine, priorities, access, consistency, conflicts,
@@ -213,6 +215,7 @@ class HomeServer:
         wheel: bool = True,
         columnar: bool = True,
         max_trace: int | None = DEFAULT_MAX_TRACE,
+        telemetry=None,
     ) -> None:
         self.simulator = simulator
         self.control_point = ControlPoint(bus, simulator, name=name)
@@ -227,6 +230,7 @@ class HomeServer:
             wheel=wheel,
             columnar=columnar,
             max_trace=max_trace,
+            telemetry=telemetry,
         )
         self.database = stack.database
         self.priorities = stack.priorities

@@ -65,13 +65,14 @@ class TimeWheel:
     ``_next`` slot and skipped.
     """
 
-    __slots__ = ("_heap", "_subs", "_atoms", "_next")
+    __slots__ = ("_heap", "_subs", "_atoms", "_next", "armed_total")
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, str]] = []
         self._subs: dict[str, set[str]] = {}        # atom key -> rule names
         self._atoms: dict[str, TimeWindowAtom] = {}
         self._next: dict[str, float] = {}           # atom key -> armed time
+        self.armed_total = 0    # boundaries ever armed (subscribe + re-arm)
 
     def __len__(self) -> int:
         """Distinct window atoms currently scheduled."""
@@ -95,6 +96,7 @@ class TimeWheel:
             when = next_boundary(atom, now)
             self._next[key] = when
             heapq.heappush(self._heap, (when, key))
+            self.armed_total += 1
         return tuple(keys)
 
     def unsubscribe(self, rule_name: str, keys: Iterable[str]) -> None:
@@ -122,6 +124,7 @@ class TimeWheel:
             upcoming = next_boundary(self._atoms[key], now)
             self._next[key] = upcoming
             heapq.heappush(heap, (upcoming, key))
+            self.armed_total += 1
         return woken
 
     def peek(self) -> float | None:

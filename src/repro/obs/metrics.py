@@ -1,0 +1,304 @@
+"""Zero-dependency metrics registry: counters, gauges, bucket histograms.
+
+The registry is the storage half of the observability plane
+(:mod:`repro.obs.trace` is the timing half).  Design constraints, in
+order:
+
+no per-sample allocation on the hot path
+    A histogram is a tuple of precomputed log-spaced bucket bounds plus
+    one flat count list — ``observe`` is a bisect and two integer adds.
+    Counters and gauges are one attribute write.  Instruments are
+    memoized by ``(name, labels)``, so hot code binds them once at
+    construction and never goes through the registry per event.
+
+snapshots are JSON-ready
+    :meth:`MetricsRegistry.snapshot` returns plain dicts/lists/scalars;
+    the overflow bucket and overflow percentiles render as the string
+    ``"+Inf"`` (the Prometheus spelling) rather than ``math.inf`` so
+    ``json.dumps`` output stays strict-JSON parseable.
+
+per-shard snapshots merge into cluster aggregates
+    :func:`merge_snapshots` sums counters and gauges and adds histogram
+    buckets bound-for-bound, then recomputes percentiles from the merged
+    cumulative counts — the cluster facade's aggregate view is exactly a
+    fold of its shard views.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BOUNDS_MS",
+    "SIZE_BOUNDS",
+    "merge_snapshots",
+]
+
+INF_LABEL = "+Inf"
+"""JSON/Prometheus spelling of the overflow bucket bound."""
+
+# Log-spaced latency buckets: 1 µs → 10 s in quarter-decade steps (ms
+# units).  Precomputed once; every latency histogram shares the tuple.
+DEFAULT_LATENCY_BOUNDS_MS: tuple[float, ...] = tuple(
+    round(10.0 ** (exponent / 4.0), 9) for exponent in range(-12, 17)
+)
+
+# Power-of-two size buckets (batch sizes, wake fan-outs): 1 → 65536.
+SIZE_BOUNDS: tuple[float, ...] = tuple(float(2 ** i) for i in range(17))
+
+_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class Counter:
+    """Monotonic event count.  ``inc`` is one integer add."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time level (queue depth, armed boundaries)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with quantile estimates.
+
+    ``bounds`` are the inclusive upper bounds of each bucket; one extra
+    overflow bucket catches values beyond the last bound.  ``observe``
+    never allocates: one bisect into the (shared, precomputed) bounds
+    tuple, one list-index increment, two scalar adds.
+
+    :meth:`percentile` returns the upper bound of the bucket holding the
+    requested quantile — a conservative (over-) estimate with relative
+    error bounded by the bucket spacing (≤ one quarter-decade for the
+    default latency bounds) — ``math.inf`` when the quantile lands in
+    the overflow bucket, and ``None`` while the histogram is empty.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total")
+
+    def __init__(self, bounds: Iterable[float] | None = None) -> None:
+        self.bounds: tuple[float, ...] = (
+            tuple(bounds) if bounds is not None else DEFAULT_LATENCY_BOUNDS_MS
+        )
+        if any(b2 <= b1 for b1, b2 in zip(self.bounds, self.bounds[1:])):
+            raise ValueError("histogram bounds must increase strictly")
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def percentile(self, quantile: float) -> float | None:
+        if self.count == 0:
+            return None
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1]: {quantile}")
+        rank = max(1, math.ceil(quantile * self.count))
+        cumulative = 0
+        for index, bucket in enumerate(self.bucket_counts):
+            cumulative += bucket
+            if cumulative >= rank:
+                if index == len(self.bounds):
+                    return math.inf
+                return self.bounds[index]
+        return math.inf  # unreachable: cumulative ends at self.count
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def reset(self) -> None:
+        for index in range(len(self.bucket_counts)):
+            self.bucket_counts[index] = 0
+        self.count = 0
+        self.total = 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: cumulative buckets (Prometheus style) plus
+        count/sum and the standard quantile estimates."""
+        cumulative: list[list] = []
+        running = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            running += bucket
+            cumulative.append([bound, running])
+        cumulative.append([INF_LABEL, self.count])
+        return {
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "buckets": cumulative,
+            **{
+                f"p{int(q * 100)}": _json_value(self.percentile(q))
+                for q in _QUANTILES
+            },
+        }
+
+
+def _json_value(value: float | None):
+    if value is None:
+        return None
+    if value == math.inf:
+        return INF_LABEL
+    return value
+
+
+def _label_key(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class MetricsRegistry:
+    """Named, optionally labelled instruments, memoized per identity.
+
+    ``counter("bus.published")`` always returns the same object, so hot
+    paths bind instruments once; labels become part of the identity
+    (``gauge("bus.queue_depth", shard="0")``) and of the snapshot key
+    (``'bus.queue_depth{shard="0"}'``) — the exact spelling the
+    Prometheus formatter emits.
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = name + _label_key(labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = name + _label_key(labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Iterable[float] | None = None,
+        **labels: str,
+    ) -> Histogram:
+        key = name + _label_key(labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(bounds)
+        return instrument
+
+    def snapshot(self) -> dict:
+        """One JSON-ready dict of every instrument's current value."""
+        return {
+            "counters": {
+                key: counter.value
+                for key, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                key: gauge.value
+                for key, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                key: histogram.snapshot()
+                for key, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument in place (bound references stay valid —
+        resetting must not detach hot-path instruments)."""
+        for counter in self._counters.values():
+            counter.value = 0
+        for gauge in self._gauges.values():
+            gauge.value = 0.0
+        for histogram in self._histograms.values():
+            histogram.reset()
+
+
+def _merge_histograms(snapshots: list[dict]) -> dict:
+    """Fold same-name histogram snapshots: buckets add bound-for-bound,
+    percentiles are re-derived from the merged cumulative counts."""
+    first = snapshots[0]
+    bounds = [bucket[0] for bucket in first["buckets"]]
+    for other in snapshots[1:]:
+        if [bucket[0] for bucket in other["buckets"]] != bounds:
+            raise ValueError("cannot merge histograms with differing bounds")
+    count = sum(snap["count"] for snap in snapshots)
+    total = round(sum(snap["sum"] for snap in snapshots), 9)
+    cumulative = [
+        [bound, sum(snap["buckets"][i][1] for snap in snapshots)]
+        for i, bound in enumerate(bounds)
+    ]
+    merged = {"count": count, "sum": total, "buckets": cumulative}
+    for quantile in _QUANTILES:
+        label = f"p{int(quantile * 100)}"
+        if count == 0:
+            merged[label] = None
+            continue
+        rank = max(1, math.ceil(quantile * count))
+        value: float | str = INF_LABEL
+        for bound, running in cumulative:
+            if running >= rank:
+                value = bound
+                break
+        merged[label] = value
+    return merged
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Aggregate per-shard registry snapshots into one cluster view.
+
+    Counters and gauges sum (a fleet's queue depth is the sum of its
+    shards'); histograms merge bucket-by-bucket with percentiles
+    recomputed over the union.  Unknown top-level keys are ignored, so
+    shard snapshots may carry extra context (shard id, span rings)."""
+    snapshots = list(snapshots)
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histogram_parts: dict[str, list[dict]] = {}
+    for snap in snapshots:
+        for key, value in snap.get("counters", {}).items():
+            counters[key] = counters.get(key, 0) + value
+        for key, value in snap.get("gauges", {}).items():
+            gauges[key] = gauges.get(key, 0) + value
+        for key, value in snap.get("histograms", {}).items():
+            histogram_parts.setdefault(key, []).append(value)
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": {
+            key: _merge_histograms(parts)
+            for key, parts in sorted(histogram_parts.items())
+        },
+    }

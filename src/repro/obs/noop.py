@@ -1,0 +1,113 @@
+"""The no-op telemetry facade — the only obs module core code may import.
+
+Every instrument here has the exact duck-typed surface of its live
+counterpart in :mod:`repro.obs.metrics` / :mod:`repro.obs.trace` but
+does nothing: no state, no allocation, no timing calls.  Hot layers
+default their ``telemetry`` seam to :data:`NOOP_TELEMETRY` (or to
+``None`` plus an ``enabled`` guard), so an engine built without the
+observability plane pays one attribute read — unmeasurable next to any
+evaluation work.
+
+This module deliberately imports **nothing** (not even other obs
+modules): ``tools/check_obs_imports.py`` lints that ``repro.core.*``
+never imports the obs package at module top level *except* this facade,
+keeping the evaluation core importable and testable with the telemetry
+subsystem absent, stubbed, or broken.
+"""
+
+from __future__ import annotations
+
+
+class NoopCounter:
+    """Counter that counts nothing (``value`` reads as 0)."""
+
+    __slots__ = ()
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class NoopGauge:
+    """Gauge that holds nothing (``value`` reads as 0)."""
+
+    __slots__ = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class NoopHistogram:
+    """Histogram that observes nothing (empty percentiles)."""
+
+    __slots__ = ()
+    count = 0
+    total = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, quantile: float):
+        return None
+
+
+_NOOP_COUNTER = NoopCounter()
+_NOOP_GAUGE = NoopGauge()
+_NOOP_HISTOGRAM = NoopHistogram()
+
+
+class NoopRegistry:
+    """Registry whose instruments are shared do-nothing singletons."""
+
+    __slots__ = ()
+
+    def counter(self, name: str, **labels: str) -> NoopCounter:
+        return _NOOP_COUNTER
+
+    def gauge(self, name: str, **labels: str) -> NoopGauge:
+        return _NOOP_GAUGE
+
+    def histogram(self, name: str, bounds=None, **labels: str) -> NoopHistogram:
+        return _NOOP_HISTOGRAM
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def reset(self) -> None:
+        pass
+
+
+class NoopSpans:
+    """Span recorder whose begin/end pair is two empty calls."""
+
+    __slots__ = ()
+
+    def span_begin(self, stage: str, *, home=None, size=None):
+        return None
+
+    def span_end(self, token, *, size=None):
+        return 0.0
+
+    def recent(self):
+        return []
+
+
+class NoopTelemetry:
+    """The disabled telemetry seam: ``enabled`` is False so guarded hot
+    paths skip instrumentation entirely; unguarded calls still no-op."""
+
+    __slots__ = ()
+    enabled = False
+    shard = None
+    registry = NoopRegistry()
+    spans = NoopSpans()
+
+
+NOOP_TELEMETRY = NoopTelemetry()

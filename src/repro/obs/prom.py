@@ -1,0 +1,121 @@
+"""Prometheus text exposition of telemetry snapshots.
+
+:func:`render_prometheus` turns the JSON-ready snapshot structures of
+:mod:`repro.obs.metrics` (a single registry snapshot, or the cluster
+facade's merged per-shard view) into the Prometheus text format —
+counters as ``_total``, gauges bare, histograms as the canonical
+``_bucket{le=...}`` / ``_sum`` / ``_count`` triple.  Metric names are
+sanitised (dots → underscores, ``repro_`` prefix) and labels carried in
+snapshot keys (``'bus.queue_depth{shard="0"}'``) pass through; an extra
+label set (e.g. ``{"shard": "2"}``) can be folded into every sample,
+which is how the cluster exposition distinguishes shards.
+
+:func:`parse_prometheus` is the inverse used by the round-trip tests
+(and by any scraper-less consumer): text → ``{(name, labels): value}``.
+Together they pin the exposition format — a rendered snapshot parses
+back to exactly the values the registry held.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import INF_LABEL
+
+__all__ = ["render_prometheus", "parse_prometheus", "metric_name"]
+
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+
+
+def metric_name(key: str) -> tuple[str, dict[str, str]]:
+    """Split a snapshot key into (sanitised metric name, labels)."""
+    labels: dict[str, str] = {}
+    base = key
+    brace = key.find("{")
+    if brace != -1:
+        base = key[:brace]
+        for match in _LABEL.finditer(key[brace:]):
+            labels[match.group("key")] = match.group("value")
+    return "repro_" + _SANITIZE.sub("_", base), labels
+
+
+def _label_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{value}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    snapshot: dict, *, extra_labels: dict[str, str] | None = None,
+) -> str:
+    """One registry snapshot → Prometheus exposition text.
+
+    ``snapshot`` is the dict :meth:`MetricsRegistry.snapshot` (or a
+    :func:`merge_snapshots` aggregate) returns; unknown top-level keys
+    are ignored.  ``extra_labels`` are merged into every sample."""
+    extra = extra_labels or {}
+    lines: list[str] = []
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = metric_name(key)
+        labels.update(extra)
+        lines.append(f"# TYPE {name}_total counter")
+        lines.append(f"{name}_total{_label_text(labels)} "
+                     f"{_format_value(value)}")
+    for key, value in snapshot.get("gauges", {}).items():
+        name, labels = metric_name(key)
+        labels.update(extra)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{_label_text(labels)} {_format_value(value)}")
+    for key, hist in snapshot.get("histograms", {}).items():
+        name, labels = metric_name(key)
+        labels.update(extra)
+        lines.append(f"# TYPE {name} histogram")
+        for bound, cumulative in hist["buckets"]:
+            le = INF_LABEL if bound == INF_LABEL else _format_value(bound)
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = le
+            lines.append(f"{name}_bucket{_label_text(bucket_labels)} "
+                         f"{cumulative}")
+        lines.append(f"{name}_sum{_label_text(labels)} "
+                     f"{_format_value(hist['sum'])}")
+        lines.append(f"{name}_count{_label_text(labels)} {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Exposition text → ``{(metric name, sorted label items): value}``.
+
+    Comment/TYPE lines are skipped; ``+Inf`` bucket bounds parse to
+    ``float('inf')`` in the ``le`` label's place (kept as the string so
+    round-trips compare exactly)."""
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _LINE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        labels: dict[str, str] = {}
+        if match.group("labels"):
+            for pair in _LABEL.finditer(match.group("labels")):
+                labels[pair.group("key")] = pair.group("value")
+        key = (match.group("name"), tuple(sorted(labels.items())))
+        if key in samples:
+            raise ValueError(f"duplicate sample: {key}")
+        samples[key] = float(match.group("value"))
+    return samples

@@ -63,6 +63,58 @@ def render_guidance(guidance: GuidanceService, lookup: LookupService,
     return "\n".join(lines)
 
 
+def render_telemetry(snapshot: dict) -> str:
+    """The cluster health snapshot (:meth:`ClusterServer.telemetry`) as
+    a live admin table: one row per shard — rules hosted, queue depth,
+    ingest latency p50/p95 (batch entry point), ticks, wheel wakes,
+    rule-churn epochs — plus the cluster aggregate row and the bus's
+    counters and derived rates."""
+    header = (
+        f"{'shard':>9} {'rules':>6} {'queue':>6} {'p50 ms':>9} "
+        f"{'p95 ms':>9} {'ticks':>6} {'wakes':>6} {'epochs':>7}"
+    )
+    lines = [header, "-" * len(header)]
+
+    def _row(label: str, view: dict) -> str:
+        counters = view.get("counters", {})
+        gauges = view.get("gauges", {})
+        batch = view.get("histograms", {}).get("ingest.batch_ms", {})
+        single = view.get("histograms", {}).get("ingest.write_ms", {})
+        source = batch if batch.get("count") else single
+
+        def _quantile(name: str) -> str:
+            value = source.get(name)
+            if value is None:
+                return "-"
+            return value if isinstance(value, str) else f"{value:.4f}"
+
+        return (
+            f"{label:>9} {gauges.get('shard.rules', 0):>6.0f} "
+            f"{gauges.get('bus.queue_depth', 0):>6.0f} "
+            f"{_quantile('p50'):>9} {_quantile('p95'):>9} "
+            f"{counters.get('shard.ticks', 0):>6} "
+            f"{counters.get('wheel.wakes', 0):>6} "
+            f"{counters.get('shard.epochs', 0):>7}"
+        )
+
+    for shard_view in snapshot.get("shards", ()):
+        lines.append(_row(str(shard_view.get("shard", "?")), shard_view))
+    lines.append(_row("all", snapshot.get("aggregate", {})))
+    bus = snapshot.get("bus", {})
+    counters = bus.get("counters", {})
+    if counters:
+        lines.append("bus: " + " ".join(
+            f"{key.removeprefix('bus.')}={value}"
+            for key, value in counters.items()
+        ))
+    rates = bus.get("rates", {})
+    if rates:
+        lines.append("rates: " + " ".join(
+            f"{key}={value:.3f}" for key, value in rates.items()
+        ))
+    return "\n".join(lines)
+
+
 def render_priority_dialog(server: HomeServer, rule: Rule,
                            reports: list[ConflictReport]) -> str:
     """The Fig. 7 dialog: conflicting rules in current priority order."""

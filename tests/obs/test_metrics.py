@@ -1,0 +1,156 @@
+"""Registry instrument semantics, histogram edge cases, snapshot merge."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+def test_counter_and_gauge_basics():
+    counter = Counter()
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    gauge = Gauge()
+    gauge.set(3.0)
+    gauge.inc()
+    gauge.dec(0.5)
+    assert gauge.value == 3.5
+
+
+def test_empty_histogram_percentiles_are_none():
+    histogram = Histogram()
+    assert histogram.percentile(0.5) is None
+    assert histogram.percentile(0.99) is None
+    assert histogram.mean is None
+    snapshot = histogram.snapshot()
+    assert snapshot["count"] == 0
+    assert snapshot["p50"] is None
+    assert snapshot["p95"] is None
+    assert snapshot["p99"] is None
+
+
+def test_percentile_quantile_domain():
+    histogram = Histogram()
+    histogram.observe(1.0)
+    with pytest.raises(ValueError):
+        histogram.percentile(0.0)
+    with pytest.raises(ValueError):
+        histogram.percentile(1.5)
+    assert histogram.percentile(1.0) is not None
+
+
+def test_values_beyond_last_bound_land_in_overflow():
+    histogram = Histogram(bounds=(1.0, 10.0))
+    histogram.observe(5.0)
+    histogram.observe(1e9)   # far past the last bound
+    histogram.observe(math.inf)
+    assert histogram.count == 3
+    assert histogram.percentile(1 / 3) == 10.0   # the in-range sample
+    assert histogram.percentile(0.5) == math.inf  # median is overflowed
+    assert histogram.percentile(0.99) == math.inf
+    snapshot = histogram.snapshot()
+    # Cumulative buckets end with the +Inf bucket carrying the total.
+    assert snapshot["buckets"][-1] == ["+Inf", 3]
+    assert snapshot["p99"] == "+Inf"
+    json.dumps(snapshot)  # strict JSON: no math.inf leaks
+
+
+def test_percentile_is_bucket_upper_bound():
+    histogram = Histogram(bounds=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.5, 1.7, 3.0):
+        histogram.observe(value)
+    assert histogram.percentile(0.25) == 1.0
+    assert histogram.percentile(0.5) == 2.0
+    assert histogram.percentile(1.0) == 4.0
+    assert histogram.mean == pytest.approx((0.5 + 1.5 + 1.7 + 3.0) / 4)
+
+
+def test_bounds_must_increase_strictly():
+    with pytest.raises(ValueError):
+        Histogram(bounds=(1.0, 1.0, 2.0))
+
+
+def test_snapshot_after_reset_is_empty_and_instruments_stay_bound():
+    registry = MetricsRegistry()
+    counter = registry.counter("x.count")
+    histogram = registry.histogram("x.ms")
+    counter.inc(3)
+    histogram.observe(1.0)
+    registry.reset()
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["x.count"] == 0
+    assert snapshot["histograms"]["x.ms"]["count"] == 0
+    assert snapshot["histograms"]["x.ms"]["p50"] is None
+    # The previously bound instruments must keep recording after reset.
+    counter.inc()
+    histogram.observe(2.0)
+    assert registry.snapshot()["counters"]["x.count"] == 1
+    assert registry.snapshot()["histograms"]["x.ms"]["count"] == 1
+
+
+def test_registry_memoizes_by_name_and_labels():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.counter("a") is not registry.counter("b")
+    assert registry.gauge("g", shard="0") is registry.gauge("g", shard="0")
+    assert registry.gauge("g", shard="0") is not registry.gauge("g", shard="1")
+    registry.gauge("g", shard="0").set(2.0)
+    assert registry.snapshot()["gauges"]['g{shard="0"}'] == 2.0
+
+
+def test_merge_snapshots_sums_and_rederives_percentiles():
+    registries = [MetricsRegistry() for _ in range(3)]
+    for index, registry in enumerate(registries):
+        registry.counter("n").inc(index + 1)
+        registry.gauge("depth").set(float(index))
+        histogram = registry.histogram("ms", (1.0, 10.0, 100.0))
+        for value in [0.5] * (index + 1) + [50.0]:
+            histogram.observe(value)
+    merged = merge_snapshots(r.snapshot() for r in registries)
+    assert merged["counters"]["n"] == 6
+    assert merged["gauges"]["depth"] == 3.0
+    hist = merged["histograms"]["ms"]
+    assert hist["count"] == 9          # (1+1) + (2+1) + (3+1)
+    # 6 of 9 samples sit in the first bucket -> p50 is its bound.
+    assert hist["p50"] == 1.0
+    assert hist["p99"] == 100.0
+    assert hist["buckets"][-1] == ["+Inf", 9]
+    assert hist["sum"] == pytest.approx(6 * 0.5 + 3 * 50.0)
+
+
+def test_merge_rejects_mismatched_bounds():
+    first = MetricsRegistry()
+    second = MetricsRegistry()
+    first.histogram("ms", (1.0, 2.0)).observe(1.0)
+    second.histogram("ms", (1.0, 3.0)).observe(1.0)
+    with pytest.raises(ValueError):
+        merge_snapshots([first.snapshot(), second.snapshot()])
+
+
+def test_merge_of_empty_histograms_keeps_none_percentiles():
+    first = MetricsRegistry()
+    second = MetricsRegistry()
+    first.histogram("ms")
+    second.histogram("ms")
+    merged = merge_snapshots([first.snapshot(), second.snapshot()])
+    assert merged["histograms"]["ms"]["count"] == 0
+    assert merged["histograms"]["ms"]["p95"] is None
+
+
+def test_default_latency_bounds_cover_micro_to_ten_seconds():
+    assert DEFAULT_LATENCY_BOUNDS_MS[0] == pytest.approx(0.001)
+    assert DEFAULT_LATENCY_BOUNDS_MS[-1] == pytest.approx(10_000.0)
+    assert all(
+        later > earlier for earlier, later in
+        zip(DEFAULT_LATENCY_BOUNDS_MS, DEFAULT_LATENCY_BOUNDS_MS[1:])
+    )

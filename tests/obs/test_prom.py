@@ -1,0 +1,70 @@
+"""Prometheus text exposition: format shape and exact round-trips."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import metric_name, parse_prometheus, render_prometheus
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("bus.published").inc(42)
+    registry.counter("bus.coalesced").inc(7)
+    registry.gauge("bus.queue_depth", shard="2").set(3.0)
+    histogram = registry.histogram("ingest.write_ms", (0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        histogram.observe(value)
+    return registry
+
+
+def test_metric_name_sanitizes_and_extracts_labels():
+    name, labels = metric_name('bus.queue_depth{shard="2"}')
+    assert name == "repro_bus_queue_depth"
+    assert labels == {"shard": "2"}
+    assert metric_name("span.batch_ms") == ("repro_span_batch_ms", {})
+
+
+def test_render_shape():
+    text = render_prometheus(_populated_registry().snapshot())
+    assert "# TYPE repro_bus_published_total counter" in text
+    assert "repro_bus_published_total 42" in text
+    assert 'repro_bus_queue_depth{shard="2"} 3' in text
+    assert "# TYPE repro_ingest_write_ms histogram" in text
+    assert 'repro_ingest_write_ms_bucket{le="+Inf"} 5' in text
+    assert "repro_ingest_write_ms_count 5" in text
+
+
+def test_round_trip_recovers_every_value():
+    snapshot = _populated_registry().snapshot()
+    samples = parse_prometheus(render_prometheus(snapshot))
+    assert samples[("repro_bus_published_total", ())] == 42
+    assert samples[("repro_bus_coalesced_total", ())] == 7
+    assert samples[("repro_bus_queue_depth", (("shard", "2"),))] == 3.0
+    # Histogram: cumulative buckets, sum, count all survive the text form.
+    assert samples[("repro_ingest_write_ms_bucket", (("le", "0.1"),))] == 1
+    assert samples[("repro_ingest_write_ms_bucket", (("le", "1"),))] == 3
+    assert samples[("repro_ingest_write_ms_bucket", (("le", "10"),))] == 4
+    assert samples[("repro_ingest_write_ms_bucket", (("le", "+Inf"),))] == 5
+    assert samples[("repro_ingest_write_ms_count", ())] == 5
+    assert samples[("repro_ingest_write_ms_sum", ())] == \
+        pytest.approx(0.05 + 0.5 + 0.5 + 5.0 + 50.0)
+
+
+def test_extra_labels_fold_into_every_sample():
+    text = render_prometheus(
+        _populated_registry().snapshot(), extra_labels={"shard": "0"}
+    )
+    samples = parse_prometheus(text)
+    assert samples[("repro_bus_published_total", (("shard", "0"),))] == 42
+    assert all("shard" in dict(labels) for _, labels in samples)
+
+
+def test_parse_rejects_garbage_and_duplicates():
+    with pytest.raises(ValueError):
+        parse_prometheus("!!! not a sample\n")
+    with pytest.raises(ValueError):
+        parse_prometheus("repro_x_total 1\nrepro_x_total 2\n")
+
+
+def test_parse_skips_comments_and_blanks():
+    assert parse_prometheus("# HELP x\n# TYPE x counter\n\n") == {}

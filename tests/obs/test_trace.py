@@ -1,0 +1,73 @@
+"""Span recorder semantics: stage histograms, ring, clock, no-op twin."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.noop import NOOP_TELEMETRY
+from repro.obs.trace import STAGES, SpanRecorder, Telemetry
+
+
+def test_span_end_observes_stage_histogram_and_ring():
+    registry = MetricsRegistry()
+    recorder = SpanRecorder(registry)
+    token = recorder.span_begin("batch", home="home-0001", size=None)
+    elapsed = recorder.span_end(token, size=16)
+    assert elapsed >= 0.0
+    snapshot = registry.snapshot()
+    assert snapshot["histograms"]["span.batch_ms"]["count"] == 1
+    (record,) = recorder.recent()
+    assert record.stage == "batch"
+    assert record.home == "home-0001"
+    assert record.size == 16       # end-time size overrides begin-time
+    assert record.ms == elapsed
+    assert "batch" in record.describe()
+
+
+def test_ring_is_capped_and_oldest_first():
+    recorder = SpanRecorder(MetricsRegistry(), max_spans=3)
+    for index in range(5):
+        recorder.span_end(recorder.span_begin("drain", size=index))
+    records = recorder.recent()
+    assert len(records) == 3
+    assert [record.size for record in records] == [2, 3, 4]
+
+
+def test_sim_clock_stamps_span_start():
+    times = iter((120.0, 999.0))
+    recorder = SpanRecorder(MetricsRegistry(), clock=lambda: next(times))
+    recorder.span_end(recorder.span_begin("wheel"))
+    assert recorder.recent()[0].at == 120.0  # stamped at begin, not end
+
+
+def test_stage_taxonomy_is_the_documented_pipeline():
+    assert STAGES == ("drain", "batch", "sweep", "fanout", "wheel", "action")
+
+
+def test_telemetry_defaults():
+    telemetry = Telemetry(shard=3)
+    assert telemetry.enabled
+    assert telemetry.shard == 3
+    assert telemetry.spans.registry is telemetry.registry
+
+
+def test_noop_telemetry_is_inert_and_disabled():
+    assert not NOOP_TELEMETRY.enabled
+    token = NOOP_TELEMETRY.spans.span_begin("batch", home="h", size=4)
+    assert NOOP_TELEMETRY.spans.span_end(token, size=9) == 0.0
+    assert NOOP_TELEMETRY.spans.recent() == []
+    registry = NOOP_TELEMETRY.registry
+    registry.counter("x").inc(5)
+    registry.gauge("y").set(2.0)
+    registry.histogram("z").observe(1.0)
+    assert registry.counter("x").value == 0
+    assert registry.histogram("z").percentile(0.5) is None
+    assert registry.snapshot() == {
+        "counters": {}, "gauges": {}, "histograms": {},
+    }
+
+
+def test_noop_module_imports_nothing():
+    import repro.obs.noop as noop
+
+    source = open(noop.__file__).read()
+    body = [line for line in source.splitlines()
+            if line.startswith(("import ", "from "))]
+    assert body == ["from __future__ import annotations"]

@@ -5,7 +5,7 @@ itself must actually catch the failure modes it exists for."""
 
 import json
 
-from benchmarks.check_ledger import DEFAULT_PATH, validate_ledger
+from benchmarks.check_ledger import A10_STAGES, DEFAULT_PATH, validate_ledger
 
 
 def test_committed_ledger_is_clean():
@@ -38,3 +38,37 @@ def test_smoke_and_full_rows_do_not_collide():
     base = {"experiment": "A7", "row": "x", "measured_ms": 1.0, "run": "r"}
     rows = [dict(base, config="full"), dict(base, config="smoke")]
     assert validate_ledger(rows) == []
+
+
+def test_a10_stage_taxonomy_matches_the_span_recorder():
+    from repro.obs.trace import STAGES
+
+    assert A10_STAGES == STAGES
+
+
+def test_validator_flags_unknown_a10_stage():
+    rows = [
+        {"experiment": "A10", "row": "span teleport p50 @ x", "config": "full",
+         "measured_ms": 1.0, "run": "r"},
+        {"experiment": "A10", "row": "telemetry-enabled batch ingest @ x",
+         "config": "full", "measured_ms": 1.0, "run": "r"},
+        {"experiment": "A10", "row": "telemetry-disabled batch ingest @ x",
+         "config": "full", "measured_ms": 1.0, "run": "r"},
+    ]
+    errors = validate_ledger(rows)
+    assert any("unknown stage 'teleport'" in error for error in errors)
+
+
+def test_validator_flags_unpaired_a10_overhead_row():
+    enabled_only = [
+        {"experiment": "A10", "row": "telemetry-enabled batch ingest @ x",
+         "config": "smoke", "measured_ms": 1.0, "run": "r"},
+    ]
+    errors = validate_ledger(enabled_only)
+    assert any("missing telemetry-disabled" in error for error in errors)
+    # A10 rows in one config must not demand a pair in the other.
+    paired = enabled_only + [
+        {"experiment": "A10", "row": "telemetry-disabled batch ingest @ x",
+         "config": "smoke", "measured_ms": 1.0, "run": "r"},
+    ]
+    assert validate_ledger(paired) == []
