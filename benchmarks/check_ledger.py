@@ -105,6 +105,39 @@ def validate_ledger(rows: object) -> list[str]:
                 f"A10 ({config}): missing {side} ingest row — the "
                 f"overhead comparison must record both sides"
             )
+    # A11 invariants: the WAL overhead comparison stays a pair, and a
+    # recovery-time sweep without its cold-replay baseline (or vice
+    # versa) means the speedup claim was never measured against
+    # anything.
+    a11_sides: dict[str, set[str]] = {}
+    a11_kinds: dict[str, set[str]] = {}
+    for entry in rows:
+        if not isinstance(entry, dict) or entry.get("experiment") != "A11":
+            continue
+        row = entry.get("row")
+        if not isinstance(row, str):
+            continue
+        config = entry.get("config", "full")
+        for side in ("wal-enabled", "wal-disabled"):
+            if row.startswith(side):
+                a11_sides.setdefault(config, set()).add(side)
+        if row.startswith("restore @"):
+            a11_kinds.setdefault(config, set()).add("restore")
+        if row.startswith("cold full replay"):
+            a11_kinds.setdefault(config, set()).add("cold replay")
+    for config, sides in sorted(a11_sides.items()):
+        for side in sorted({"wal-enabled", "wal-disabled"} - sides):
+            errors.append(
+                f"A11 ({config}): missing {side} ingest row — the WAL "
+                f"overhead comparison must record both sides"
+            )
+    for config, kinds in sorted(a11_kinds.items()):
+        for kind in sorted({"restore", "cold replay"} - kinds):
+            errors.append(
+                f"A11 ({config}): missing {kind} row — the recovery "
+                f"sweep must record restore times and the cold-replay "
+                f"baseline together"
+            )
     return errors
 
 

@@ -102,8 +102,17 @@ def record_result(experiment: str, row: str, measured_ms: float) -> None:
         entry.get("config", "full"),
         entry.get("row") or "",
     ))
+    document = json.dumps(rows, indent=2) + "\n"
     try:
-        RESULTS_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+        # Atomic replace: a crash (or ctrl-C) mid-write must never leave
+        # a truncated ledger behind — benchmarks run from a src layout,
+        # so fall back to a plain write if repro isn't importable.
+        try:
+            from repro.support.fsio import atomic_write_text
+        except ImportError:
+            RESULTS_PATH.write_text(document)
+        else:
+            atomic_write_text(str(RESULTS_PATH), document)
     except OSError:
         pass  # read-only checkout: keep the printed row at least
 

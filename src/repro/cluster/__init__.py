@@ -8,9 +8,19 @@ ingestion from arbitration with per-shard FIFO batch drains and safe
 write coalescing, and the :class:`ClusterServer` facade keeps the
 single-home `HomeServer` API shape so applications scale by swapping
 the facade.
+
+The durability plane (:mod:`repro.cluster.durability`) adds crash
+recovery: per-shard snapshots plus a write-ahead log of drained ingest
+batches, restored via :meth:`ClusterServer.restore`.
 """
 
 from repro.cluster.bus import BusStats, IngestBus
+from repro.cluster.durability import (
+    ALL_CRASH_SITES,
+    DurabilityPlane,
+    RecoveryReport,
+    restore_cluster,
+)
 from repro.cluster.router import (
     PlacementPlan,
     ShardRouter,
@@ -21,12 +31,16 @@ from repro.cluster.server import ClusterServer
 from repro.cluster.shard import EngineShard
 
 __all__ = [
+    "ALL_CRASH_SITES",
     "BusStats",
     "ClusterServer",
+    "DurabilityPlane",
     "EngineShard",
     "IngestBus",
     "PlacementPlan",
+    "RecoveryReport",
     "ShardRouter",
     "home_key",
+    "restore_cluster",
     "stable_hash",
 ]

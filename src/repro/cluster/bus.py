@@ -212,6 +212,44 @@ class IngestBus:
         # hosting a mirror of the variable); maintained by the cluster
         # facade as rules register and are removed.
         self._mirror_routes: dict[str, tuple[int, ...]] = {}
+        # Durability hook (None when the cluster runs ephemeral): every
+        # detached drain batch is logged append-before-apply, and
+        # applied_counts[i] counts the entries *actually applied* to
+        # shard i — the durable input prefix recovery re-feeds from.
+        self._durability = None
+        self.applied_counts: list[int] = [0] * count
+
+    # -- durability ------------------------------------------------------------
+
+    def attach_durability(self, plane) -> None:
+        """Bind a :class:`~repro.cluster.durability.DurabilityPlane`: each
+        drained batch is WAL-logged before it is applied.  Requires the
+        batched drain path — per-event dispatch (``batch=False``) applies
+        straight off the simulator with no batch boundary to log."""
+        if not self.batch:
+            raise ValueError(
+                "durability requires the batched bus (batch=True)"
+            )
+        self._durability = plane
+
+    def apply_entries(self, index: int, entries: Sequence) -> int:
+        """Replay one WAL batch through the normal apply machinery.
+
+        ``entries`` are decoded WAL entries — ``["w", variable, value]``
+        or ``["e", event_type, subject, only]`` — applied with the exact
+        drain semantics (consecutive writes as one batched run, events
+        as barriers), so replay reproduces the counter deltas and
+        evaluation order of the original drain.  Returns the number of
+        entries applied."""
+        run: list[tuple[str, Any]] = []
+        for entry in entries:
+            if entry[0] == "w":
+                run.append((entry[1], entry[2]))
+                continue
+            self._flush_run(index, run)
+            self._apply(index, _Event(entry[1], entry[2], entry[3]))
+        self._flush_run(index, run)
+        return len(entries)
 
     # -- mirror routes ---------------------------------------------------------
 
@@ -358,25 +396,31 @@ class IngestBus:
         self._spare_queues[index] = None
         self._queues[index] = spare if spare is not None else []
         self._batches.inc()
-        shard = self.shards[index]
+        plane = self._durability
+        if plane is not None:
+            # Append-before-apply: once the record is on disk the batch
+            # is recoverable no matter where the apply loop dies.
+            plane.log_batch(index, self.shards[index].epoch, queue)
         run = self._run_scratch
         self._run_scratch = []
         for entry in queue:
+            if plane is not None:
+                plane.fire("drain-apply")
             if isinstance(entry, _Write):
                 # Consecutive writes drain as one batched run; an event
                 # is a barrier (it must observe the writes before it).
                 run.append((entry.variable, entry.value))
                 continue
-            self._flush_run(shard, run)
-            self._apply(shard, entry)
-        self._flush_run(shard, run)
+            self._flush_run(index, run)
+            self._apply(index, entry)
+        self._flush_run(index, run)
         queue.clear()
         self._spare_queues[index] = queue
         self._run_scratch = run
         if token is not None:
             spans.span_end(token)
 
-    def _flush_run(self, shard: EngineShard,
+    def _flush_run(self, index: int,
                    run: list[tuple[str, Any]]) -> None:
         """Apply a run of consecutive writes; singletons take the plain
         ingest path, longer runs the shard's batch entry point (same
@@ -386,13 +430,16 @@ class IngestBus:
         if self._closed:
             run.clear()
             return
+        shard = self.shards[index]
         if len(run) == 1:
             shard.ingest(*run[0])
             self._applied.inc()
+            self.applied_counts[index] += 1
         else:
             flips, touched = shard.ingest_batch(run)
             count = len(run)
             self._applied.inc(count)
+            self.applied_counts[index] += count
             self._batched_writes.inc(count)
             self._atoms_flipped.inc(flips)
             self._clauses_touched.inc(touched)
@@ -410,23 +457,25 @@ class IngestBus:
         """Apply one per-event entry; writes fan out to the variable's
         mirror subscribers at apply time (owner first), so routes added
         or removed between publish and apply are honoured."""
-        self._apply(self.shards[index], entry)
+        self._apply(index, entry)
         if self._closed or not isinstance(entry, _Write):
             return
         for target in self._mirror_routes.get(entry.variable, ()):
             if target != index:
                 self._mirrored.inc()
-                self._apply(self.shards[target], entry)
+                self._apply(target, entry)
 
-    def _apply(self, shard: EngineShard, entry: _Write | _Event) -> None:
+    def _apply(self, index: int, entry: _Write | _Event) -> None:
         if self._closed:
             return
+        shard = self.shards[index]
         if isinstance(entry, _Write):
             shard.ingest(entry.variable, entry.value)
             self._applied.inc()
         else:
             shard.post_event(entry.event_type, entry.subject,
                              only=entry.only)
+        self.applied_counts[index] += 1
 
     def _coalesce_safe(self, index: int, variable: str) -> bool:
         shard = self.shards[index]

@@ -100,9 +100,29 @@ class ClusterServer:
         max_trace: int | None = DEFAULT_MAX_TRACE,
         clock_tick_period: float = 60.0,
         telemetry: bool = True,
+        durability=None,
     ) -> None:
         self.simulator = simulator
         self.router = router if router is not None else ShardRouter(shard_count)
+        # Construction config, recorded verbatim in the durability
+        # manifest so ClusterServer.restore can rebuild an identically
+        # configured cluster (hash-based ShardRouter placement is a pure
+        # function of shard_count; custom routers are not snapshotted).
+        self._config = {
+            "shard_count": self.router.shard_count,
+            "coalesce": coalesce,
+            "batch": batch,
+            "drain_delay": drain_delay,
+            "prefer_intervals": prefer_intervals,
+            "incremental": incremental,
+            "shared": shared,
+            "wheel": wheel,
+            "columnar": columnar,
+            "adaptive_ticks": adaptive_ticks,
+            "max_trace": max_trace,
+            "clock_tick_period": clock_tick_period,
+            "telemetry": telemetry,
+        }
         # One Telemetry per shard (its own registry + span recorder, so
         # shards never contend) plus one cluster registry for the bus;
         # telemetry() folds them into per-shard and aggregate views.
@@ -151,6 +171,41 @@ class ClusterServer:
         # (registration time, home) spans per rule name — an entry
         # belongs to the home whose span covers its timestamp.
         self._home_spans: dict[str, list[tuple[float, str]]] = {}
+        self.durability = None
+        if durability is not None:
+            self.attach_durability(durability)
+
+    # -- durability ------------------------------------------------------------
+
+    def attach_durability(self, plane) -> None:
+        """Install a :class:`~repro.cluster.durability.DurabilityPlane`:
+        binds its metrics to the bus registry, hooks WAL logging into
+        the drain path, and takes the initial checkpoint.  For bulk
+        loads, register rules first and attach after — every subsequent
+        rule add/remove re-checkpoints eagerly (snapshots must agree
+        with their WAL's rule epoch)."""
+        self.durability = plane
+        plane.bind(self)
+        self.bus.attach_durability(plane)
+        plane.checkpoint()
+
+    def checkpoint(self) -> dict:
+        """Force a snapshot generation now (the WAL tail folds into it);
+        returns the committed manifest."""
+        if self.durability is None:
+            raise RuntimeError("no durability plane attached")
+        return self.durability.checkpoint()
+
+    @classmethod
+    def restore(cls, directory: str, simulator: Simulator, rules,
+                **kwargs) -> tuple["ClusterServer", Any]:
+        """Rebuild a cluster from a durability directory: snapshot
+        overlay + WAL tail replay.  See
+        :func:`repro.cluster.durability.restore_cluster` (whose
+        signature this forwards) for the recovery contract; returns
+        ``(server, RecoveryReport)``."""
+        from repro.cluster.durability import restore_cluster
+        return restore_cluster(directory, simulator, rules, **kwargs)
 
     # -- rule lifecycle --------------------------------------------------------
 
@@ -225,6 +280,11 @@ class ClusterServer:
         self._home_spans.setdefault(rule.name, []).append(
             (self.simulator.now, home)
         )
+        if self.durability is not None:
+            # Rule churn changes what a WAL record means (epochs, rule
+            # ids, placement); re-checkpoint eagerly so the snapshot
+            # and its WAL always agree.
+            self.durability.checkpoint()
         return reports
 
     def _install_mirrors(
@@ -288,6 +348,8 @@ class ClusterServer:
                     del shards[index]
             if not shards:
                 del self._remote_watchers[foreign]
+        if self.durability is not None:
+            self.durability.checkpoint()
         return rule
 
     def add_priority_order(self, order: PriorityOrder) -> PriorityOrder:
@@ -489,7 +551,10 @@ class ClusterServer:
         ]
 
     def shutdown(self) -> None:
-        """Cancel clock ticks and scheduled drains on every shard."""
+        """Cancel clock ticks and scheduled drains on every shard; a
+        durability plane's WAL writers are fsynced and closed."""
         self.bus.shutdown()
         for shard in self.shards:
             shard.shutdown()
+        if self.durability is not None:
+            self.durability.close()

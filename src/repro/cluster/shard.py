@@ -370,6 +370,39 @@ class EngineShard:
         ]
         return snapshot
 
+    # -- durability ------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """JSON-ready snapshot of this shard's runtime state — the
+        engine's durable core plus the shard-level scheduling identity
+        (epoch, tick anchor, counters) a restore must carry to keep the
+        rule-churn caches and the fixed-cadence tick grid aligned."""
+        return {
+            "engine": self.engine.runtime_snapshot(),
+            "epoch": self.epoch,
+            "tick_anchor": self._tick_anchor,
+            "ticks": self.ticks,
+            "tick_sleeps": self.tick_sleeps,
+        }
+
+    def recover(self, state: dict) -> None:
+        """Recovery phase 2 for this shard: overlay the engine runtime
+        (truth/states/holders/trace/wheel/held timers — rules must have
+        been re-registered against the phase-1 world first), restore
+        shard identity and re-arm the clock on the original grid.
+
+        The restored shard may fire extra no-op grid ticks the original
+        run slept through (adaptive-tick sleep decisions are not
+        replayed); those are trace-invisible by the adaptive-tick
+        equivalence argument, so observable behaviour matches.
+        """
+        self.engine.restore_runtime(state["engine"])
+        self.epoch = state["epoch"]
+        self._tick_anchor = state["tick_anchor"]
+        self.ticks = state["ticks"]
+        self.tick_sleeps = state["tick_sleeps"]
+        self._arm_clock()
+
     # -- lifecycle -------------------------------------------------------------
 
     def trace(self) -> list:

@@ -84,7 +84,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Collection, Iterable
 
-from repro.core.action import ActionSpec
+from repro.core.action import ActionSpec, Setting
 from repro.core.columnar import ColumnarState, ColumnarStats
 from repro.core.condition import CLOCK_VARIABLE, DurationAtom, TimeWindowAtom
 from repro.core.database import RuleDatabase
@@ -259,6 +259,31 @@ def keep_status_quo_policy(device_udn: str, competing: list[Rule]) -> Rule | Non
     return None
 
 
+def _spec_to_jsonable(spec: ActionSpec) -> dict:
+    """ActionSpec → plain JSON dict (snapshot holder serialization)."""
+    return {
+        "device_udn": spec.device_udn,
+        "device_name": spec.device_name,
+        "service_id": spec.service_id,
+        "action_name": spec.action_name,
+        "settings": [[s.parameter, s.value] for s in spec.settings],
+        "verb_text": spec.verb_text,
+    }
+
+
+def _spec_from_jsonable(data: dict) -> ActionSpec:
+    return ActionSpec(
+        device_udn=data["device_udn"],
+        device_name=data["device_name"],
+        service_id=data["service_id"],
+        action_name=data["action_name"],
+        settings=tuple(
+            Setting(parameter, value) for parameter, value in data["settings"]
+        ),
+        verb_text=data["verb_text"],
+    )
+
+
 class RuleEngine:
     """Evaluates rules against the world state and drives devices."""
 
@@ -307,6 +332,11 @@ class RuleEngine:
         self._state: dict[str, RuleState] = {}
         self._holders: dict[str, tuple[str, ActionSpec]] = {}  # udn -> (rule, spec)
         self._held_atom_rules: dict[str, set[str]] = {}  # atom key -> rule names
+        # Pending held-duration recheck timers, as (fire time, atom key).
+        # Tracked so a snapshot can re-arm the *exact* pending set —
+        # including stale timers whose key was since re-held — which is
+        # what makes restart traces reproduce DENIED re-arbitrations.
+        self._held_timers: list[tuple[float, str]] = []
         # -- incremental-evaluation state ----------------------------------------
         # Engine-side plan map, not a shortcut for database.plan_of():
         # rule_removed() runs after the database entry is gone and still
@@ -1083,15 +1113,147 @@ class RuleEngine:
     def rule_truth(self, rule_name: str) -> bool:
         return self._truth.get(rule_name, False)
 
+    # -- durability (snapshot / restore) ------------------------------------------------------------
+
+    def runtime_snapshot(self) -> dict:
+        """JSON-ready snapshot of every piece of runtime state that is
+        *not* a pure function of (world, registered rules).
+
+        Backend state — columnar atom/clause columns, shared-network
+        nodes, per-rule bitsets, watch-variable indexes — is deliberately
+        absent: re-registering the rules against the restored world
+        rebuilds it exactly (subscription evaluates first-seen atoms
+        against the world).  What must be carried verbatim is the world
+        itself, edge-trigger memory (truth), the arbitration outcome
+        (states, holders), held-since bookkeeping with its pending
+        recheck timers, the wheel's armed boundaries (a boundary between
+        the last tick and the snapshot would otherwise be skipped by
+        strictly-after re-subscription), enable flags and the trace ring.
+        """
+        world = self.world
+        now = self.simulator.now
+        wheel = self._time_wheel
+        return {
+            "world": {
+                "numeric": dict(world._numeric),
+                "discrete": dict(world._discrete),
+                "sets": {
+                    variable: sorted(members)
+                    for variable, members in world._sets.items()
+                },
+                "held_since": dict(world._held_since),
+            },
+            "held_timers": [
+                [when, key] for when, key in self._held_timers if when >= now
+            ],
+            "truth": dict(self._truth),
+            "state": {
+                name: state.value for name, state in self._state.items()
+            },
+            "holders": {
+                udn: [name, _spec_to_jsonable(spec)]
+                for udn, (name, spec) in self._holders.items()
+            },
+            "enabled": {
+                rule.name: rule.enabled
+                for rule in self.database.all_rules()
+            },
+            "disabled_dirty": sorted(self._disabled_dirty),
+            "trace": [
+                [e.time, e.kind, e.rule, e.device, e.detail]
+                for e in self.trace
+            ],
+            "wheel": (
+                {"next": dict(wheel._next), "armed_total": wheel.armed_total}
+                if wheel is not None else None
+            ),
+        }
+
+    def restore_world(self, snapshot: dict) -> None:
+        """Recovery phase 1: overlay the world *before* rules re-register,
+        so registration-time subscription evaluates atoms against the
+        restored values and every backend rebuilds in its final state."""
+        world = self.world
+        data = snapshot["world"]
+        world._numeric.clear()
+        world._numeric.update(data["numeric"])
+        world._discrete.clear()
+        world._discrete.update(data["discrete"])
+        world._sets.clear()
+        for variable, members in data["sets"].items():
+            world._sets[variable] = frozenset(members)
+        world._held_since.clear()
+        world._held_since.update(data["held_since"])
+
+    def restore_runtime(self, snapshot: dict) -> None:
+        """Recovery phase 2, after rules re-registered: overlay truth,
+        states, holders and the trace (erasing registration-time firing
+        side effects), rebuild the DENIED/until watch sets those states
+        imply, restore the wheel schedule and re-arm held rechecks."""
+        database = self.database
+        for name, enabled in snapshot["enabled"].items():
+            if name in database:
+                database.get(name).enabled = enabled
+        self._truth.clear()
+        self._truth.update(snapshot["truth"])
+        self._state.clear()
+        for name, value in snapshot["state"].items():
+            self._state[name] = RuleState(value)
+        self._holders.clear()
+        for udn, (name, spec) in snapshot["holders"].items():
+            self._holders[udn] = (name, _spec_from_jsonable(spec))
+        self._disabled_dirty.clear()
+        self._disabled_dirty.update(
+            name for name in snapshot["disabled_dirty"] if name in database
+        )
+        # The watch sets are exactly what _set_state maintains: a pure
+        # function of each rule's restored state and watch variables.
+        self._denied_watch.clear()
+        self._until_watch.clear()
+        if self.incremental:
+            holding = (RuleState.ACTIVE, RuleState.FALLBACK)
+            for name, state in self._state.items():
+                if name not in database:
+                    continue
+                if state is RuleState.DENIED:
+                    self._watch(self._denied_watch, name)
+                elif state in holding and name in self._has_until:
+                    self._watch(self._until_watch, name)
+        self.trace.clear()
+        for time, kind, rule, device, detail in snapshot["trace"]:
+            self.trace.append(TraceEntry(time, kind, rule, device, detail))
+        wheel_data = snapshot.get("wheel")
+        if wheel_data is not None and self._time_wheel is not None:
+            self._time_wheel.restore_schedule(
+                wheel_data["next"], wheel_data["armed_total"]
+            )
+        del self._held_timers[:]
+        for when, key in snapshot["held_timers"]:
+            self._schedule_held_recheck(when, key)
+
     # -- duration timers --------------------------------------------------------------------------------
 
     def _arm_held_timer(self, key: str, duration: float) -> None:
+        # Same float arithmetic as call_after(now + (duration + eps)):
+        # snapshot restores must re-arm at bit-identical times.
+        self._schedule_held_recheck(
+            self.simulator.now + (duration + _HELD_EPSILON), key
+        )
+
+    def _schedule_held_recheck(self, when: float, key: str) -> None:
+        entry = (when, key)
+        self._held_timers.append(entry)
+
         def recheck() -> None:
+            try:
+                self._held_timers.remove(entry)
+            except ValueError:
+                pass
             rules = list(self._held_atom_rules.get(key, ()))
             if rules:
                 self.reevaluate(rules)
 
-        self.simulator.call_after(duration + _HELD_EPSILON, recheck)
+        self.simulator.call_at(when, recheck)
 
     def _trace(self, kind: str, rule: str, device: str = "", detail: str = "") -> None:
         self.trace.append(

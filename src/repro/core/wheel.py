@@ -127,6 +127,34 @@ class TimeWheel:
             self.armed_total += 1
         return woken
 
+    def schedule(self) -> dict[str, float]:
+        """Authoritative armed-boundary map (atom key -> absolute time);
+        snapshotted by the durability plane."""
+        return dict(self._next)
+
+    def restore_schedule(
+        self, schedule: dict[str, float], armed_total: int | None = None
+    ) -> None:
+        """Overlay a snapshotted boundary map onto a freshly re-subscribed
+        wheel.
+
+        Re-subscription at restore time arms each atom's next boundary
+        *strictly after* the snapshot instant — which silently skips a
+        boundary lying between the last pre-crash tick and the snapshot.
+        Overwriting ``_next`` with the snapshotted times (old heap
+        entries fall to lazy deletion) makes the first post-restore tick
+        observe exactly the crossings the uninterrupted run would have.
+        Keys absent from the current wheel (rules not re-registered) are
+        ignored.
+        """
+        for key, when in schedule.items():
+            if key not in self._next or self._next[key] == when:
+                continue
+            self._next[key] = when
+            heapq.heappush(self._heap, (when, key))
+        if armed_total is not None:
+            self.armed_total = armed_total
+
     def peek(self) -> float | None:
         """The earliest armed boundary (None when nothing is scheduled);
         introspection for tests and schedulers."""

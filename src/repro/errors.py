@@ -122,5 +122,22 @@ class UnknownRuleError(RuleError):
     """Lookup of a rule name that is not in the database."""
 
 
+class ArchiveError(RuleError):
+    """A household archive could not be decoded: truncated or invalid
+    JSON, a missing or unsupported format marker, or a structurally
+    malformed document.  Subclasses :class:`RuleError` so existing
+    callers catching rule errors around :func:`restore_household`
+    keep working."""
+
+
+class RecoveryError(ReproError):
+    """Cluster crash recovery could not proceed at all: missing or
+    undecodable manifest, unsupported snapshot format, or a snapshot
+    file the manifest references that cannot be read.  Tolerable damage
+    (torn WAL tails, checksum failures, epoch mismatches) does *not*
+    raise — it truncates replay and is surfaced in the
+    ``RecoveryReport`` instead."""
+
+
 class LookupServiceError(ReproError):
     """Malformed query to the sensor/device lookup service."""

@@ -14,10 +14,14 @@ Public API:
 * :class:`~repro.sim.events.Simulator` — clock + queue + run loop.
 * :class:`~repro.sim.events.PeriodicTask` — recurring callback handle.
 * :func:`~repro.sim.rng.seeded_rng` — deterministic RNG factory.
+* :class:`~repro.sim.faults.FaultInjector` /
+  :class:`~repro.sim.faults.SimulatedCrash` — deterministic crash-point
+  injection for the durability plane's recovery suite.
 """
 
 from repro.sim.clock import SimTime, VirtualClock, hhmm, parse_time_of_day
 from repro.sim.events import EventHandle, EventQueue, PeriodicTask, Simulator
+from repro.sim.faults import FaultInjector, SimulatedCrash
 from repro.sim.rng import seeded_rng
 
 __all__ = [
@@ -27,7 +31,9 @@ __all__ = [
     "parse_time_of_day",
     "EventHandle",
     "EventQueue",
+    "FaultInjector",
     "PeriodicTask",
+    "SimulatedCrash",
     "Simulator",
     "seeded_rng",
 ]

@@ -1,0 +1,95 @@
+"""Deterministic crash-point injection for the durability plane.
+
+The recovery suite proves restart equivalence by crashing a cluster at
+*arbitrary* points — mid-drain before the WAL append, after it, between
+two applied entries, halfway through a snapshot write — and checking
+that snapshot + WAL-tail replay reproduces the uninterrupted twin
+exactly.  A :class:`FaultInjector` holds a countdown per named crash
+site; instrumented code calls :meth:`check` as it passes each site, and
+the injector raises :class:`SimulatedCrash` when a countdown reaches
+zero.  Plans are either spelled out explicitly or drawn from the shared
+deterministic RNG (:func:`repro.sim.rng.seeded_rng`), so every crash a
+randomized run discovers is replayable from its seed.
+
+:class:`SimulatedCrash` deliberately does **not** derive from
+:class:`~repro.errors.ReproError`: the engine's dispatch guard swallows
+`ReproError` to keep a home running past a misbehaving appliance, and a
+simulated power cut must never be absorbed that way — it has to unwind
+the whole stack like a real one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.sim.rng import seeded_rng
+
+
+class SimulatedCrash(Exception):
+    """An injected crash; carries the site that tripped it."""
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"simulated crash at {site!r}")
+        self.site = site
+
+
+class FaultInjector:
+    """Countdown-per-site crash planner.
+
+    ``plan`` maps site names to hit counts: a countdown of 1 crashes on
+    the first pass through the site, 3 on the third.  Once a crash has
+    fired the injector is *spent* — subsequent checks pass, so the
+    restarted system can run through the same sites unharmed.
+    """
+
+    def __init__(self, plan: Mapping[str, int] | None = None) -> None:
+        self._plan: dict[str, int] = dict(plan or {})
+        for site, countdown in self._plan.items():
+            if countdown <= 0:
+                raise ValueError(
+                    f"countdown for site {site!r} must be positive: "
+                    f"{countdown}"
+                )
+        self.crashed_at: str | None = None
+        self.hits: dict[str, int] = {}
+
+    @classmethod
+    def random(
+        cls, seed: int | str, sites: Iterable[str], max_countdown: int = 5
+    ) -> "FaultInjector":
+        """One crash at a seeded-random site and countdown — the
+        randomized equivalence suite's plan factory."""
+        rng = seeded_rng(seed)
+        ordered = sorted(sites)
+        if not ordered:
+            raise ValueError("no crash sites to choose from")
+        site = ordered[rng.randrange(len(ordered))]
+        return cls({site: rng.randint(1, max_countdown)})
+
+    @property
+    def spent(self) -> bool:
+        return self.crashed_at is not None
+
+    def check(self, site: str) -> None:
+        """Pass through a crash site; raises :class:`SimulatedCrash`
+        when this visit exhausts the site's countdown."""
+        self.hits[site] = self.hits.get(site, 0) + 1
+        if self.crashed_at is not None:
+            return
+        remaining = self._plan.get(site)
+        if remaining is None:
+            return
+        remaining -= 1
+        if remaining > 0:
+            self._plan[site] = remaining
+            return
+        del self._plan[site]
+        self.crashed_at = site
+        raise SimulatedCrash(site)
+
+    def describe(self) -> str:
+        plan = ", ".join(
+            f"{site}@{count}" for site, count in sorted(self._plan.items())
+        )
+        status = f"crashed at {self.crashed_at!r}" if self.spent else "armed"
+        return f"FaultInjector({plan or 'empty'}; {status})"

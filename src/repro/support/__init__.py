@@ -12,14 +12,18 @@
   sensor values, configuration parameters.
 * :mod:`repro.support.exchange` — rule import/export ("users can import
   a rule registered in the database, and customize it").
+* :mod:`repro.support.fsio` — crash-safe atomic file replacement.
+* :mod:`repro.support.wal` — framed, checksummed write-ahead logging.
 """
 
 from repro.support.authoring import AuthoringSession
 from repro.support.console import ConsoleFrontend
 from repro.support.exchange import RuleExporter, RuleImporter, RulePackage
+from repro.support.fsio import atomic_write_bytes, atomic_write_text
 from repro.support.guidance import GuidanceService
 from repro.support.lookup import LookupQuery, LookupService
 from repro.support.persistence import restore_household, save_household
+from repro.support.wal import WalReadReport, WalWriter, read_wal
 
 __all__ = [
     "AuthoringSession",
@@ -30,6 +34,11 @@ __all__ = [
     "GuidanceService",
     "LookupQuery",
     "LookupService",
+    "WalReadReport",
+    "WalWriter",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "read_wal",
     "restore_household",
     "save_household",
 ]

@@ -1,0 +1,64 @@
+"""Crash-safe file commits.
+
+Every durable artifact in the repository — household archives, shard
+snapshots, the cluster recovery manifest, the benchmark ledger — goes
+through one primitive: write the new content to a temporary file in the
+*same directory*, flush and ``fsync`` it, then ``os.replace`` it over
+the destination and fsync the directory.  POSIX rename atomicity then
+guarantees a reader (or a recovery pass after a power cut) observes
+either the complete old file or the complete new file, never a torn
+mixture — the property the durability plane's fault-injection suite
+pins down by crashing between every pair of steps.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def fsync_directory(path: str) -> None:
+    """Flush a directory's entry table (best effort: some platforms and
+    filesystems reject ``open``/``fsync`` on directories)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data`` (tmp + fsync + rename).
+
+    The temporary file lives next to the destination so the rename
+    never crosses filesystems; on any failure it is removed, leaving
+    the previous content of ``path`` untouched.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    fsync_directory(directory)
+
+
+def atomic_write_text(path: str, text: str,
+                      encoding: str = "utf-8") -> None:
+    """Atomically replace ``path`` with ``text``."""
+    atomic_write_bytes(path, text.encode(encoding))

@@ -10,7 +10,14 @@ or were replaced (binding errors surface per rule, not as a corrupt
 database).
 
 Format: one JSON document (versioned), building on the per-user package
-format of :mod:`repro.support.exchange`.
+format of :mod:`repro.support.exchange`.  Undecodable or unversioned
+documents raise :class:`~repro.errors.ArchiveError`; damage *inside* a
+well-formed archive (an unbindable rule, a word that no longer parses, a
+priority naming a vanished device) is reported per item and never stops
+the rest of the restore — the engine stays serviceable with whatever did
+bind.  :func:`save_household` writes through the atomic-replace helper
+(:mod:`repro.support.fsio`), so a crash mid-save never corrupts an
+existing archive.
 """
 
 from __future__ import annotations
@@ -20,23 +27,28 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.server import HomeServer
-from repro.errors import CadelError, RuleError
+from repro.errors import ArchiveError, CadelError, ReproError, RuleError
 from repro.support.authoring import AuthoringSession
+from repro.support.fsio import atomic_write_text
 
 ARCHIVE_FORMAT = "cadel-household/1"
 
 
 @dataclass
 class RestoreReport:
-    """What a restore managed to bring back."""
+    """What a restore managed to bring back — and what it had to skip."""
 
     rules_restored: int = 0
     rules_failed: list[tuple[str, str]] = field(default_factory=list)
     words_restored: int = 0
+    words_failed: list[tuple[str, str]] = field(default_factory=list)
     priorities_restored: int = 0
+    priorities_failed: list[tuple[str, str]] = field(default_factory=list)
 
     def ok(self) -> bool:
-        return not self.rules_failed
+        return not (
+            self.rules_failed or self.words_failed or self.priorities_failed
+        )
 
 
 def _word_sentences(session: AuthoringSession,
@@ -59,9 +71,13 @@ def _word_sentences(session: AuthoringSession,
 
 
 def save_household(
-    server: HomeServer, sessions: dict[str, AuthoringSession]
+    server: HomeServer,
+    sessions: dict[str, AuthoringSession],
+    path: str | None = None,
 ) -> str:
-    """Serialize rules, words and priorities to a JSON document."""
+    """Serialize rules, words and priorities to a JSON document; with
+    ``path``, also commit it to disk atomically (temp file + rename), so
+    an interrupted save leaves any previous archive intact."""
     users: dict[str, Any] = {}
     shared_conditions: dict[str, str] = {}
     shared_configurations: dict[str, str] = {}
@@ -105,7 +121,7 @@ def save_household(
                 "context": order.label or None,
             })
 
-    return json.dumps(
+    document = json.dumps(
         {
             "format": ARCHIVE_FORMAT,
             "users": users,
@@ -115,6 +131,32 @@ def save_household(
         },
         indent=2,
     )
+    if path is not None:
+        atomic_write_text(path, document)
+    return document
+
+
+def _parse_archive(archive_json: str) -> dict:
+    """Decode and version-check an archive document, raising the typed
+    :class:`~repro.errors.ArchiveError` on anything undecodable —
+    truncated or invalid JSON, a non-object document, a missing or
+    unsupported format marker."""
+    try:
+        data = json.loads(archive_json)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ArchiveError(
+            f"archive is not valid JSON (truncated or corrupt): {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise ArchiveError(
+            "archive must be a JSON object, got "
+            f"{type(data).__name__}"
+        )
+    if data.get("format") != ARCHIVE_FORMAT:
+        raise ArchiveError(
+            f"unsupported archive format: {data.get('format')!r}"
+        )
+    return data
 
 
 def restore_household(
@@ -122,26 +164,36 @@ def restore_household(
 ) -> RestoreReport:
     """Replay an archive through fresh authoring sessions.
 
-    Rules that no longer bind (device gone) are reported, not fatal.
-    Priority orders are restored by the first session whose user appears
-    in the ranking (matching who would have created them).
+    Rules that no longer bind (device gone), words that no longer parse
+    and priorities naming vanished devices are reported per item, not
+    fatal — every other item still restores, and the engine stays
+    serviceable.  Priority orders are restored by the first session
+    whose user appears in the ranking (matching who would have created
+    them).
     """
-    data = json.loads(archive_json)
-    if data.get("format") != ARCHIVE_FORMAT:
-        raise RuleError(f"unsupported archive format: {data.get('format')!r}")
+    data = _parse_archive(archive_json)
+    if not sessions:
+        raise ArchiveError("no authoring sessions to restore into")
     report = RestoreReport()
 
     any_session = next(iter(sessions.values()))
-    for sentence in data.get("shared_condition_words", {}).values():
-        command = any_session.parser.parse(sentence)
-        any_session.shared_words.define_condition(command.word, command.expr)
-        report.words_restored += 1
-    for sentence in data.get("shared_configuration_words", {}).values():
-        command = any_session.parser.parse(sentence)
-        any_session.shared_words.define_configuration(
-            command.word, command.settings
-        )
-        report.words_restored += 1
+    for word, sentence in data.get("shared_condition_words", {}).items():
+        try:
+            command = any_session.parser.parse(sentence)
+            any_session.shared_words.define_condition(
+                command.word, command.expr)
+            report.words_restored += 1
+        except ReproError as exc:
+            report.words_failed.append((word, str(exc)))
+    for word, sentence in data.get("shared_configuration_words", {}).items():
+        try:
+            command = any_session.parser.parse(sentence)
+            any_session.shared_words.define_configuration(
+                command.word, command.settings
+            )
+            report.words_restored += 1
+        except ReproError as exc:
+            report.words_failed.append((word, str(exc)))
 
     for user, payload in data.get("users", {}).items():
         session = sessions.get(user)
@@ -151,14 +203,21 @@ def restore_household(
                 for rule in payload.get("rules", ())
             )
             continue
-        for sentence in payload.get("condition_words", {}).values():
-            command = session.parser.parse(sentence)
-            session.words.define_condition(command.word, command.expr)
-            report.words_restored += 1
-        for sentence in payload.get("configuration_words", {}).values():
-            command = session.parser.parse(sentence)
-            session.words.define_configuration(command.word, command.settings)
-            report.words_restored += 1
+        for word, sentence in payload.get("condition_words", {}).items():
+            try:
+                command = session.parser.parse(sentence)
+                session.words.define_condition(command.word, command.expr)
+                report.words_restored += 1
+            except ReproError as exc:
+                report.words_failed.append((word, str(exc)))
+        for word, sentence in payload.get("configuration_words", {}).items():
+            try:
+                command = session.parser.parse(sentence)
+                session.words.define_configuration(
+                    command.word, command.settings)
+                report.words_restored += 1
+            except ReproError as exc:
+                report.words_failed.append((word, str(exc)))
         for rule in payload.get("rules", ()):
             try:
                 session.submit(rule["text"], rule_name=rule["name"])
@@ -171,9 +230,12 @@ def restore_household(
             (sessions[user] for user in order["ranking"] if user in sessions),
             any_session,
         )
-        owner_session.set_priority(
-            order["device"], list(order["ranking"]),
-            context=order.get("context"),
-        )
-        report.priorities_restored += 1
+        try:
+            owner_session.set_priority(
+                order["device"], list(order["ranking"]),
+                context=order.get("context"),
+            )
+            report.priorities_restored += 1
+        except ReproError as exc:
+            report.priorities_failed.append((order["device"], str(exc)))
     return report

@@ -1,0 +1,61 @@
+"""Deterministic crash-point injection (repro.sim.faults)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.faults import FaultInjector, SimulatedCrash
+
+
+def test_countdown_crashes_on_nth_pass():
+    faults = FaultInjector({"site-a": 3})
+    faults.check("site-a")
+    faults.check("site-a")
+    with pytest.raises(SimulatedCrash) as excinfo:
+        faults.check("site-a")
+    assert excinfo.value.site == "site-a"
+    assert faults.crashed_at == "site-a"
+
+
+def test_unplanned_sites_pass_and_are_counted():
+    faults = FaultInjector({"site-a": 1})
+    faults.check("site-b")
+    faults.check("site-b")
+    assert faults.hits == {"site-b": 2}
+    assert faults.crashed_at is None
+
+
+def test_spent_injector_is_harmless():
+    """After the crash the restarted system re-runs the same sites."""
+    faults = FaultInjector({"site-a": 1})
+    with pytest.raises(SimulatedCrash):
+        faults.check("site-a")
+    assert faults.spent
+    faults.check("site-a")  # no raise
+    faults.check("site-a")
+    assert faults.hits["site-a"] == 3
+
+
+def test_nonpositive_countdown_rejected():
+    with pytest.raises(ValueError):
+        FaultInjector({"site-a": 0})
+
+
+def test_random_plan_is_seed_deterministic():
+    sites = ("alpha", "beta", "gamma")
+    first = FaultInjector.random(42, sites)
+    second = FaultInjector.random(42, sites)
+    assert first.describe() == second.describe()
+    varied = {FaultInjector.random(seed, sites).describe()
+              for seed in range(30)}
+    assert len(varied) > 1  # different seeds hit different plans
+
+
+def test_random_plan_needs_sites():
+    with pytest.raises(ValueError):
+        FaultInjector.random(1, ())
+
+
+def test_simulated_crash_is_not_a_repro_error():
+    """The engine's dispatch guard absorbs ReproError; a simulated
+    power cut must unwind the whole stack instead."""
+    assert not issubclass(SimulatedCrash, ReproError)

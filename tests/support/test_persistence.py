@@ -1,8 +1,10 @@
 """Tests for household persistence across a simulated server restart."""
 
+import json
+
 import pytest
 
-from repro.errors import RuleError
+from repro.errors import ArchiveError, RuleError
 from repro.support.persistence import (
     restore_household,
     save_household,
@@ -178,8 +180,6 @@ class TestSaveRestore:
 
     def test_unbindable_rule_reported(self):
         """A rule naming a device the new home lacks fails cleanly."""
-        import json
-
         fresh = Stack()
         archive = json.dumps({
             "format": "cadel-household/1",
@@ -200,3 +200,87 @@ class TestSaveRestore:
         assert not report.ok()
         assert report.rules_failed[0][0] == "ghost"
         assert "no device" in report.rules_failed[0][1]
+
+
+class TestDamagedArchives:
+    """A power cut can hand the restore path anything: truncated JSON,
+    the wrong document shape, items that no longer parse or bind.  The
+    typed boundary is ArchiveError for undecodable documents; everything
+    inside a well-formed archive degrades per item."""
+
+    def test_truncated_archive_raises_archive_error(self):
+        old = populated_stack()
+        sessions = {name: old.session(name) for name in ("Tom", "Alan")}
+        archive = save_household(old.server, sessions)
+        fresh = Stack()
+        with pytest.raises(ArchiveError, match="not valid JSON"):
+            restore_household(
+                {"Tom": fresh.session("Tom")}, archive[:len(archive) // 2])
+
+    def test_archive_error_is_a_rule_error(self):
+        # Callers predating the typed error catch RuleError; the new
+        # class must keep slotting into those handlers.
+        assert issubclass(ArchiveError, RuleError)
+
+    def test_non_object_archive_rejected(self):
+        fresh = Stack()
+        with pytest.raises(ArchiveError, match="JSON object"):
+            restore_household({"Tom": fresh.session("Tom")}, "[1, 2, 3]")
+
+    def test_restore_needs_at_least_one_session(self):
+        old = populated_stack()
+        archive = save_household(
+            old.server, {name: old.session(name) for name in ("Tom", "Alan")}
+        )
+        with pytest.raises(ArchiveError, match="no authoring sessions"):
+            restore_household({}, archive)
+
+    def test_unparseable_word_reported_not_fatal(self):
+        old = populated_stack()
+        archive = json.loads(save_household(
+            old.server, {name: old.session(name) for name in ("Tom", "Alan")}
+        ))
+        archive["shared_condition_words"]["mangled"] = "zxqv blorp &&&"
+        fresh = Stack()
+        report = restore_household(
+            {name: fresh.session(name) for name in ("Tom", "Alan")},
+            json.dumps(archive),
+        )
+        assert not report.ok()
+        assert [word for word, _reason in report.words_failed] == ["mangled"]
+        # Everything else still restored around the damage.
+        assert report.rules_restored == 2
+        assert fresh.session("Alan").words.has_condition("sweltering")
+
+    def test_priority_for_vanished_device_reported(self):
+        old = populated_stack()
+        archive = json.loads(save_household(
+            old.server, {name: old.session(name) for name in ("Tom", "Alan")}
+        ))
+        archive["priorities"].append({
+            "device": "jacuzzi", "ranking": ["Tom", "Alan"], "context": None,
+        })
+        fresh = Stack()
+        report = restore_household(
+            {name: fresh.session(name) for name in ("Tom", "Alan")},
+            json.dumps(archive),
+        )
+        assert not report.ok()
+        assert [device for device, _ in report.priorities_failed] \
+            == ["jacuzzi"]
+        assert report.priorities_restored == 1  # the stereo order survived
+
+    def test_save_to_path_commits_atomically(self, tmp_path):
+        old = populated_stack()
+        sessions = {name: old.session(name) for name in ("Tom", "Alan")}
+        path = tmp_path / "household.json"
+        path.write_text("previous archive")
+        document = save_household(old.server, sessions, path=str(path))
+        assert path.read_text() == document
+        assert list(tmp_path.iterdir()) == [path]  # no temp litter
+        fresh = Stack()
+        report = restore_household(
+            {name: fresh.session(name) for name in ("Tom", "Alan")},
+            path.read_text(),
+        )
+        assert report.ok()
