@@ -138,6 +138,39 @@ def validate_ledger(rows: object) -> list[str]:
                 f"sweep must record restore times and the cold-replay "
                 f"baseline together"
             )
+    # A12 invariants: the distribution sweep records both backends (a
+    # process-only sweep has no in-thread twin to compare against), and
+    # the wire-codec overhead row never lands without its apply-cost
+    # baseline — the ≤15% acceptance claim is a ratio of the two.
+    a12_backends: dict[str, set[str]] = {}
+    a12_codec: dict[str, set[str]] = {}
+    for entry in rows:
+        if not isinstance(entry, dict) or entry.get("experiment") != "A12":
+            continue
+        row = entry.get("row")
+        if not isinstance(row, str):
+            continue
+        config = entry.get("config", "full")
+        if row.startswith("aggregate ingest,"):
+            for backend in ("process", "thread"):
+                if f"({backend}" in row:
+                    a12_backends.setdefault(config, set()).add(backend)
+        if row.startswith("wire codec encode+decode"):
+            a12_codec.setdefault(config, set()).add("wire codec")
+        if row.startswith("columnar batch apply"):
+            a12_codec.setdefault(config, set()).add("batch apply baseline")
+    for config, backends in sorted(a12_backends.items()):
+        for backend in sorted({"process", "thread"} - backends):
+            errors.append(
+                f"A12 ({config}): missing {backend}-backend ingest rows "
+                f"— the distribution sweep must record both backends"
+            )
+    for config, parts in sorted(a12_codec.items()):
+        for part in sorted({"wire codec", "batch apply baseline"} - parts):
+            errors.append(
+                f"A12 ({config}): missing {part} row — codec overhead "
+                f"is a ratio and needs both sides recorded"
+            )
     return errors
 
 

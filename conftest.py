@@ -1,0 +1,40 @@
+"""Repo-root pytest hooks shared by ``tests/`` and ``benchmarks/``.
+
+Provides the ``hard_timeout(seconds)`` marker: a SIGALRM-backed
+deadline around the test call.  Process-backed suites talk to worker
+children over blocking sockets; an IPC protocol bug could otherwise
+wedge the whole run instead of failing one test.  No third-party
+timeout plugin is assumed.
+"""
+
+import signal
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "hard_timeout(seconds): fail the test via SIGALRM once the "
+        "wall-clock deadline passes (main thread, POSIX only)",
+    )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("hard_timeout")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        return (yield)
+    seconds = float(marker.args[0]) if marker.args else 60.0
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded its hard_timeout of {seconds:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

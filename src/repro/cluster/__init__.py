@@ -12,6 +12,13 @@ the facade.
 The durability plane (:mod:`repro.cluster.durability`) adds crash
 recovery: per-shard snapshots plus a write-ahead log of drained ingest
 batches, restored via :meth:`ClusterServer.restore`.
+
+The process plane (:mod:`repro.cluster.wire` +
+:mod:`repro.cluster.worker`) moves shards out of process: a framed wire
+protocol carries batches, barriers, mirror routes, and telemetry pulls
+to per-core worker processes, each hosting one `EngineShard` behind a
+:class:`ShardClient` proxy, selected via
+``ClusterServer(backend="process")``.
 """
 
 from repro.cluster.bus import BusStats, IngestBus
@@ -29,6 +36,8 @@ from repro.cluster.router import (
 )
 from repro.cluster.server import ClusterServer
 from repro.cluster.shard import EngineShard
+from repro.cluster.wire import FrameReader, WireDecoder, WireEncoder
+from repro.cluster.worker import ShardClient
 
 __all__ = [
     "ALL_CRASH_SITES",
@@ -36,10 +45,14 @@ __all__ = [
     "ClusterServer",
     "DurabilityPlane",
     "EngineShard",
+    "FrameReader",
     "IngestBus",
     "PlacementPlan",
     "RecoveryReport",
+    "ShardClient",
     "ShardRouter",
+    "WireDecoder",
+    "WireEncoder",
     "home_key",
     "restore_cluster",
     "stable_hash",

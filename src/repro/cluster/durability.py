@@ -71,18 +71,20 @@ import json
 import os
 from dataclasses import dataclass, field
 from time import perf_counter_ns
-from typing import Any, Callable, Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.cluster.server import ClusterServer
+from repro.cluster.wire import decode_value as _decode_value
+from repro.cluster.wire import encode_value as _encode_value
 from repro.core.action import ActionSpec
 from repro.core.priority import PriorityOrder
 from repro.core.rule import Rule
-from repro.errors import RecoveryError
+from repro.errors import RecoveryError, WorkerCrashed
 from repro.obs.metrics import DEFAULT_LATENCY_BOUNDS_MS
 from repro.sim.faults import FaultInjector
 from repro.sim.events import Simulator
-from repro.support.fsio import atomic_write_bytes, atomic_write_text
-from repro.support.wal import WAL_CRASH_SITES, WalWriter, read_wal
+from repro.support.fsio import atomic_write_text
+from repro.support.wal import WAL_CRASH_SITES, encode_record, read_wal
 
 MANIFEST_NAME = "MANIFEST.json"
 MANIFEST_FORMAT = "repro-cluster-snapshot/1"
@@ -96,25 +98,6 @@ CRASH_MANIFEST_COMMIT = "manifest-commit"
 ALL_CRASH_SITES = WAL_CRASH_SITES + (
     CRASH_DRAIN_APPLY, CRASH_SNAPSHOT_WRITE, CRASH_MANIFEST_COMMIT,
 )
-
-
-def _discard_action(spec: ActionSpec) -> None:
-    """Dispatch sink while rules re-register during recovery: firing
-    side effects already happened before the crash."""
-
-
-def _encode_value(value: Any) -> Any:
-    # frozenset is the one non-JSON value the ingest path produces
-    # (set-unit readings); tag it so decode round-trips the type.
-    if isinstance(value, frozenset):
-        return {"set": sorted(value)}
-    return value
-
-
-def _decode_value(value: Any) -> Any:
-    if isinstance(value, dict) and "set" in value:
-        return frozenset(value["set"])
-    return value
 
 
 def _encode_entries(entries: Sequence) -> list:
@@ -166,7 +149,10 @@ class DurabilityPlane:
         self.fsync_interval = fsync_interval
         self.faults = faults
         self._server: ClusterServer | None = None
-        self._writers: list[WalWriter] = []
+        # WAL writers live *behind the shard surface* (the process
+        # backend appends in-worker); this flag tracks whether the
+        # current generation's logs are open.
+        self._wal_ready = False
         self._manifest: dict | None = None
         self._epochs: list[int] = []
         self._wal_seq = 0
@@ -191,6 +177,14 @@ class DurabilityPlane:
         return os.path.join(self.directory, name)
 
     def bind(self, server: ClusterServer) -> None:
+        if self.faults is not None and any(
+            getattr(shard, "backend", "thread") == "process"
+            for shard in server.shards
+        ):
+            raise RecoveryError(
+                "crash-point injection is not supported on the process "
+                "backend; crash the worker process instead"
+            )
         self._server = server
         registry = server.bus.registry
         self._checkpoints = registry.counter("recovery.checkpoints")
@@ -210,8 +204,9 @@ class DurabilityPlane:
         live WAL writers too — test harnesses attach the plane cleanly
         (the initial checkpoint must commit) and arm faults afterwards."""
         self.faults = faults
-        for writer in self._writers:
-            writer.faults = faults
+        if self._server is not None:
+            for shard in self._server.shards:
+                shard.wal_arm_faults(faults)
 
     # -- write path ------------------------------------------------------------
 
@@ -231,7 +226,7 @@ class DurabilityPlane:
         happens — in which case those records are exactly what the old
         generation needs.
         """
-        if not self._writers:
+        if not self._wal_ready:
             return  # first checkpoint in flight; effects land in it
         if epoch != self._epochs[index] and not self._checkpointing:
             self.checkpoint()
@@ -242,7 +237,11 @@ class DurabilityPlane:
             "epoch": epoch,
             "n": _encode_entries(entries),
         }
-        size = self._writers[index].append(payload)
+        # Encode once; the shard surface appends the same frame bytes
+        # whether the writer is local or in a worker process (where the
+        # WAL frame rides the socket ahead of the batch it describes,
+        # preserving append-before-apply).
+        size = self._server.shards[index].wal_append(encode_record(payload))
         if self._wal_records is not None:
             self._wal_records.inc()
             self._wal_bytes.inc(size)
@@ -273,14 +272,14 @@ class DurabilityPlane:
             epochs: list[int] = []
             total_bytes = 0
             for index, shard in enumerate(server.shards):
-                state = shard.snapshot_state()
-                epochs.append(state["epoch"])
                 self.fire(CRASH_SNAPSHOT_WRITE)
                 snap_name = f"snap-{snapshot_id}-shard{index}.json"
-                data = json.dumps(
-                    state, separators=(",", ":")).encode("utf-8")
-                atomic_write_bytes(self._path(snap_name), data)
-                total_bytes += len(data)
+                # The shard serializes and writes its own snapshot — on
+                # the process backend that happens in the worker, so
+                # snapshot I/O parallelizes across shards' cores.
+                info = shard.snapshot_to(self._path(snap_name))
+                epochs.append(info["epoch"])
+                total_bytes += info["bytes"]
                 shard_files.append({
                     "snapshot": snap_name,
                     "wal": f"wal-{snapshot_id}-shard{index}.log",
@@ -311,18 +310,16 @@ class DurabilityPlane:
                 self._path(MANIFEST_NAME),
                 json.dumps(manifest, indent=2) + "\n",
             )
-            # Committed: swap generations.
-            old_writers = self._writers
-            self._writers = [
-                WalWriter(
+            # Committed: swap generations (each shard closes its old
+            # writer and opens the new name).
+            for shard, entry in zip(server.shards, shard_files):
+                shard.wal_close()
+                shard.wal_open(
                     self._path(entry["wal"]),
                     fsync_interval=self.fsync_interval,
                     faults=self.faults,
                 )
-                for entry in shard_files
-            ]
-            for writer in old_writers:
-                writer.close()
+            self._wal_ready = True
             self._manifest = manifest
             self._snapshot_id = snapshot_id
             self._epochs = epochs
@@ -360,12 +357,22 @@ class DurabilityPlane:
     def sync(self) -> None:
         """Force-fsync every shard's WAL (a durability barrier between
         the batched fsync intervals)."""
-        for writer in self._writers:
-            writer.sync()
+        if self._server is None:
+            return
+        for shard in self._server.shards:
+            shard.wal_sync()
 
     def close(self) -> None:
-        for writer in self._writers:
-            writer.close()
+        if self._server is None:
+            return
+        for shard in self._server.shards:
+            try:
+                shard.wal_close()
+            except WorkerCrashed:
+                # A dead worker's WAL is already as durable as it will
+                # get; close must not block cluster shutdown.
+                pass
+        self._wal_ready = False
 
 
 # -- recovery --------------------------------------------------------------------
@@ -428,6 +435,7 @@ def restore_cluster(
     fsync_interval: int = 16,
     faults: FaultInjector | None = None,
     attach: bool = True,
+    backend: str | None = None,
 ) -> tuple[ClusterServer, RecoveryReport]:
     """Rebuild a cluster from its durability directory.
 
@@ -440,6 +448,10 @@ def restore_cluster(
     serving cluster plus a :class:`RecoveryReport`; with ``attach`` a
     fresh :class:`DurabilityPlane` (and an immediate checkpoint folding
     the replayed tail into a new snapshot generation) is installed.
+
+    ``backend`` overrides the manifest's recorded shard backend — a
+    cluster that crashed as worker processes may restore in-thread and
+    vice versa; the durable state is backend-agnostic.
     """
     start = perf_counter_ns()
     try:
@@ -464,9 +476,19 @@ def restore_cluster(
         )
     simulator.run_until(snapshot_time)
     config = manifest["config"]
+    resolved_backend = (
+        backend if backend is not None
+        else config.get("backend", "thread")
+    )
+    if faults is not None and resolved_backend == "process":
+        raise RecoveryError(
+            "crash-point injection is not supported on the process "
+            "backend"
+        )
     server = ClusterServer(
         simulator,
         shard_count=config["shard_count"],
+        backend=resolved_backend,
         dispatch=dispatch,
         coalesce=config["coalesce"],
         batch=config["batch"],
@@ -498,17 +520,13 @@ def restore_cluster(
     # Phase 1: worlds first, so re-registration subscribes every backend
     # against the restored values.
     for shard, state in zip(server.shards, states):
-        shard.engine.restore_world(state["engine"])
+        shard.restore_world(state)
     # Re-register in the original order (shard-local rule ids, and with
     # them evaluation order, depend on it) with side-effect hooks
     # disarmed: restored holders already reflect pre-crash dispatches,
     # and held timers are restored verbatim in phase 2.
-    saved_hooks = []
     for shard in server.shards:
-        engine = shard.engine
-        saved_hooks.append((engine.dispatch, engine.world.on_held_armed))
-        engine.dispatch = _discard_action
-        engine.world.on_held_armed = None
+        shard.set_recovery_hooks(True)
     try:
         by_name = {rule.name: rule for rule in rules}
         for name in manifest["rules"]:
@@ -521,10 +539,8 @@ def restore_cluster(
         for order in priority_orders:
             server.add_priority_order(order)
     finally:
-        for shard, (dispatch_hook, held_hook) in zip(server.shards,
-                                                     saved_hooks):
-            shard.engine.dispatch = dispatch_hook
-            shard.engine.world.on_held_armed = held_hook
+        for shard in server.shards:
+            shard.set_recovery_hooks(False)
     # Registration stamped fresh home spans at the snapshot time;
     # overlay the recorded history (it also covers removed rules).
     server._home_spans = {

@@ -86,6 +86,7 @@ class ClusterServer:
         shard_count: int = 4,
         router: ShardRouter | None = None,
         dispatch: Callable[[ActionSpec], None] | None = None,
+        backend: str = "thread",
         coalesce: bool = True,
         batch: bool = True,
         drain_delay: float = 0.0,
@@ -102,7 +103,11 @@ class ClusterServer:
         telemetry: bool = True,
         durability=None,
     ) -> None:
+        if backend not in ("thread", "process"):
+            raise ValueError(
+                f"backend must be 'thread' or 'process': {backend!r}")
         self.simulator = simulator
+        self.backend = backend
         self.router = router if router is not None else ShardRouter(shard_count)
         # Construction config, recorded verbatim in the durability
         # manifest so ClusterServer.restore can rebuild an identically
@@ -110,6 +115,7 @@ class ClusterServer:
         # function of shard_count; custom routers are not snapshotted).
         self._config = {
             "shard_count": self.router.shard_count,
+            "backend": backend,
             "coalesce": coalesce,
             "batch": batch,
             "drain_delay": drain_delay,
@@ -128,28 +134,58 @@ class ClusterServer:
         # telemetry() folds them into per-shard and aggregate views.
         self.telemetry_enabled = telemetry
         self._bus_registry = MetricsRegistry()
-        self.shards = [
-            EngineShard(
-                index,
-                simulator,
-                dispatch=dispatch,
-                prompt_policy=prompt_policy,
-                conflict_policy=conflict_policy,
-                prefer_intervals=prefer_intervals,
-                incremental=incremental,
-                shared=shared,
-                wheel=wheel,
-                columnar=columnar,
-                adaptive_ticks=adaptive_ticks,
-                max_trace=max_trace,
-                clock_tick_period=clock_tick_period,
-                telemetry=(
-                    Telemetry(shard=index, clock=lambda: simulator.now)
-                    if telemetry else None
-                ),
-            )
-            for index in range(self.router.shard_count)
-        ]
+        if backend == "process":
+            # One worker process per shard; the engine configuration
+            # ships in the HELLO and the Telemetry (if any) is built
+            # worker-side on the worker's private clock.
+            from repro.cluster.worker import ShardClient
+            shard_config = {
+                "prompt_policy": prompt_policy,
+                "conflict_policy": conflict_policy,
+                "prefer_intervals": prefer_intervals,
+                "incremental": incremental,
+                "shared": shared,
+                "wheel": wheel,
+                "columnar": columnar,
+                "adaptive_ticks": adaptive_ticks,
+                "max_trace": max_trace,
+                "clock_tick_period": clock_tick_period,
+                "telemetry": telemetry,
+            }
+            self.shards = []
+            try:
+                for index in range(self.router.shard_count):
+                    self.shards.append(ShardClient(
+                        index, simulator,
+                        config=shard_config, dispatch=dispatch,
+                    ))
+            except BaseException:
+                for client in self.shards:
+                    client.shutdown()
+                raise
+        else:
+            self.shards = [
+                EngineShard(
+                    index,
+                    simulator,
+                    dispatch=dispatch,
+                    prompt_policy=prompt_policy,
+                    conflict_policy=conflict_policy,
+                    prefer_intervals=prefer_intervals,
+                    incremental=incremental,
+                    shared=shared,
+                    wheel=wheel,
+                    columnar=columnar,
+                    adaptive_ticks=adaptive_ticks,
+                    max_trace=max_trace,
+                    clock_tick_period=clock_tick_period,
+                    telemetry=(
+                        Telemetry(shard=index, clock=lambda: simulator.now)
+                        if telemetry else None
+                    ),
+                )
+                for index in range(self.router.shard_count)
+            ]
         self.bus = IngestBus(
             simulator, self.shards, self.router,
             coalesce=coalesce, batch=batch, drain_delay=drain_delay,
@@ -171,6 +207,7 @@ class ClusterServer:
         # (registration time, home) spans per rule name — an entry
         # belongs to the home whose span covers its timestamp.
         self._home_spans: dict[str, list[tuple[float, str]]] = {}
+        self._shutdown = False
         self.durability = None
         if durability is not None:
             self.attach_durability(durability)
@@ -411,8 +448,21 @@ class ClusterServer:
             )
 
     def flush(self) -> None:
-        """Drain every shard's pending ingest batch immediately."""
+        """Drain every shard's pending ingest batch immediately.
+
+        On the process backend this is also the counter barrier: each
+        worker settles its pipelined feeds and its accumulated batch
+        counter deltas fold into the bus registry (the thread backend
+        folds them synchronously at apply time)."""
         self.bus.flush()
+        if self.backend == "process":
+            registry = self.bus.registry
+            for shard in self.shards:
+                flips, touched = shard.barrier()
+                if flips:
+                    registry.counter("bus.atoms_flipped").inc(flips)
+                if touched:
+                    registry.counter("bus.clauses_touched").inc(touched)
 
     # -- introspection ---------------------------------------------------------
 
@@ -434,13 +484,13 @@ class ClusterServer:
         return self._mirrors_of_rule.get(name, frozenset())
 
     def rule_truth(self, name: str) -> bool:
-        return self.shards[self.shard_of_rule(name)].engine.rule_truth(name)
+        return self.shards[self.shard_of_rule(name)].rule_truth(name)
 
     def rule_state(self, name: str) -> RuleState:
-        return self.shards[self.shard_of_rule(name)].engine.rule_state(name)
+        return self.shards[self.shard_of_rule(name)].rule_state(name)
 
     def holder_of(self, udn: str) -> tuple[str, ActionSpec] | None:
-        return self.shards[self.router.shard_of(udn)].engine.holder_of(udn)
+        return self.shards[self.router.shard_of(udn)].holder_of(udn)
 
     def _home_at(self, rule_name: str, when: float) -> str | None:
         """The home a rule name belonged to at a point in time (spans
@@ -467,7 +517,7 @@ class ClusterServer:
         tagged = [
             (entry.time, index, position, entry)
             for index, shard in enumerate(self.shards)
-            for position, entry in enumerate(shard.engine.trace)
+            for position, entry in enumerate(shard.trace())
         ]
         tagged.sort(key=lambda item: item[:3])
         entries = [entry for _, _, _, entry in tagged]
@@ -544,17 +594,26 @@ class ClusterServer:
         """One summary line per shard (rules, hosted mirrors, pending
         queue depth)."""
         return [
-            f"shard {shard.shard_id}: {len(shard.database)} rules, "
+            f"shard {shard.shard_id}: {shard.rule_count()} rules, "
             f"{len(shard.mirror_variables())} mirrors, "
             f"{self.bus.pending(shard.shard_id)} queued"
             for shard in self.shards
         ]
 
     def shutdown(self) -> None:
-        """Cancel clock ticks and scheduled drains on every shard; a
-        durability plane's WAL writers are fsynced and closed."""
+        """Stop the cluster.  Idempotent — a second call is a no-op.
+
+        Order matters on the process backend: scheduled drains are
+        cancelled first, then the durability plane closes (its WAL
+        close/fsync RPCs must reach workers that are still alive), and
+        only then are the shards stopped — which, for worker processes,
+        joins them with a deadline and escalates to terminate/kill so no
+        child is ever leaked."""
+        if self._shutdown:
+            return
+        self._shutdown = True
         self.bus.shutdown()
-        for shard in self.shards:
-            shard.shutdown()
         if self.durability is not None:
             self.durability.close()
+        for shard in self.shards:
+            shard.shutdown()

@@ -18,6 +18,7 @@ it owns — the property the cluster equivalence tests pin down.
 
 from __future__ import annotations
 
+import json
 import math
 from time import perf_counter_ns
 from typing import Any, Callable, Collection
@@ -30,6 +31,8 @@ from repro.core.rule import Rule
 from repro.core.server import ConflictPolicy, build_rule_stack
 from repro.obs.metrics import DEFAULT_LATENCY_BOUNDS_MS, SIZE_BOUNDS
 from repro.sim.events import Simulator
+from repro.support.fsio import atomic_write_bytes
+from repro.support.wal import WalWriter
 
 Dispatch = Callable[[ActionSpec], None]
 
@@ -39,7 +42,18 @@ def _discard_dispatch(spec: ActionSpec) -> None:
 
 
 class EngineShard:
-    """A self-contained rule engine for the homes one shard owns."""
+    """A self-contained rule engine for the homes one shard owns.
+
+    The public methods below form the **shard surface** — the contract
+    :class:`~repro.cluster.worker.ShardClient` re-implements over the
+    wire so the bus, facade and durability plane route to in-thread and
+    out-of-process shards uniformly.  Code above this class must not
+    reach into ``shard.engine``/``shard.database`` directly.
+    """
+
+    #: Which side of the process boundary this shard runs on; the
+    #: out-of-process proxy (`ShardClient`) reports ``"process"``.
+    backend = "thread"
 
     def __init__(
         self,
@@ -106,6 +120,9 @@ class EngineShard:
         # goes (matching every other index's pruning guarantee).
         self._mirror_rules: dict[str, set[str]] = {}    # variable -> rules
         self._rule_mirrors: dict[str, frozenset[str]] = {}
+        # This shard's WAL writer (None while durability is detached);
+        # owned here so the process backend appends in-worker.
+        self._wal: WalWriter | None = None
         # -- clock ticks -----------------------------------------------------
         # With the time wheel on, a tick at a non-boundary time with no
         # DENIED/until/disabled/stateful clock-watchers is a no-op, so
@@ -146,6 +163,20 @@ class EngineShard:
     def conflict_log(self) -> list[ConflictReport]:
         return self.pipeline.conflict_log
 
+    def rule_count(self) -> int:
+        return len(self.database)
+
+    # -- engine reads ----------------------------------------------------------
+
+    def rule_truth(self, name: str) -> bool:
+        return self.engine.rule_truth(name)
+
+    def rule_state(self, name: str):
+        return self.engine.rule_state(name)
+
+    def holder_of(self, udn: str):
+        return self.engine.holder_of(udn)
+
     # -- world-state feeds -----------------------------------------------------
 
     def ingest(self, variable: str, value: Any) -> None:
@@ -181,6 +212,16 @@ class EngineShard:
         shard hosts several homes, and a home-targeted event must not
         wake a co-located neighbour's rules)."""
         self.engine.post_event(event_type, subject, only=only)
+
+    def barrier(self) -> tuple[int, int]:
+        """Settle every feed sent so far and return the accumulated
+        ``(atoms_flipped, clauses_touched)`` deltas not yet reported.
+
+        An in-thread shard applies synchronously and returns its batch
+        counters from :meth:`ingest_batch` directly, so here this is a
+        no-op returning zeros; the process proxy pipelines its feeds and
+        folds the worker-side counters back through this call."""
+        return (0, 0)
 
     # -- coalescing safety -----------------------------------------------------
 
@@ -385,6 +426,64 @@ class EngineShard:
             "tick_sleeps": self.tick_sleeps,
         }
 
+    def restore_world(self, state: dict) -> None:
+        """Recovery phase 1: overlay the engine's world from a
+        :meth:`snapshot_state` dict *before* rules re-register."""
+        self.engine.restore_world(state["engine"])
+
+    def set_recovery_hooks(self, disarmed: bool) -> None:
+        """Disarm (or rearm) the engine's outward side effects —
+        dispatch and held-timer arming — around recovery's
+        re-registration pass."""
+        if disarmed:
+            self.engine.disarm_side_effects()
+        else:
+            self.engine.rearm_side_effects()
+
+    def wal_open(
+        self,
+        path: str,
+        *,
+        fsync_interval: int = 16,
+        faults=None,
+    ) -> None:
+        """(Re)open this shard's write-ahead log at ``path`` — the WAL
+        lives behind the shard surface so the process backend appends
+        (and fsyncs) in the worker, parallelizing durability I/O with
+        the other shards' drains.  Any previous generation's writer is
+        closed first."""
+        self.wal_close()
+        self._wal = WalWriter(path, fsync_interval=fsync_interval,
+                              faults=faults)
+
+    def wal_append(self, frame: bytes) -> int:
+        """Append one pre-framed WAL record; returns its size."""
+        return self._wal.append_frame(frame)
+
+    def wal_sync(self) -> None:
+        if self._wal is not None:
+            self._wal.sync()
+
+    def wal_close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    def wal_arm_faults(self, faults) -> None:
+        """Swap the crash-point injector on the live WAL writer."""
+        if self._wal is not None:
+            self._wal.faults = faults
+
+    def snapshot_to(self, path: str) -> dict:
+        """Serialize :meth:`snapshot_state` and write it atomically at
+        ``path`` (in-worker for the process backend, so snapshot I/O
+        parallelizes); returns ``{"epoch", "bytes"}`` for the caller's
+        manifest bookkeeping."""
+        state = self.snapshot_state()
+        data = json.dumps(state, separators=(",", ":")).encode("utf-8")
+        atomic_write_bytes(path, data)
+        return {"epoch": state["epoch"], "bytes": len(data)}
+
     def recover(self, state: dict) -> None:
         """Recovery phase 2 for this shard: overlay the engine runtime
         (truth/states/holders/trace/wheel/held timers — rules must have
@@ -410,6 +509,7 @@ class EngineShard:
 
     def shutdown(self) -> None:
         self._stopped = True
+        self.wal_close()
         if self._tick_handle is not None:
             self._tick_handle.cancel()
             self._tick_handle = None

@@ -1,0 +1,348 @@
+"""Framed wire protocol between the cluster parent and shard workers.
+
+A connection is a byte stream of frames, each ``[u32 len][u8 type]``
+followed by ``len`` payload bytes (length counts the payload only) —
+the same length-prefixed discipline as the WAL framing in
+:mod:`repro.support.wal`, minus the checksum: the socket is a reliable
+stream, so corruption detection buys nothing and the 5-byte header
+keeps hot batches cheap.
+
+Frame types split by payload codec:
+
+* **Pickled batch payloads** — the ingest hot path.  Batch rows intern
+  their variable names through a per-connection key table
+  (:class:`WireEncoder`/:class:`WireDecoder`) so a steady-state batch
+  sends small integers, not repeated strings; new names ride along as
+  ``defs`` in the frame that first uses them.  The payload itself is a
+  pickle, not JSON: protocol-5 pickling of (int, float) rows runs ~4x
+  faster than JSON float formatting, which would otherwise dominate
+  the codec budget (benchmark A12 pins codec ≤15% of batch apply).
+* **JSON payloads** — events and all plain-data calls: rare control
+  traffic where a self-describing text payload aids debugging.
+* **Pickled payloads** — calls that carry rich objects (``Rule``,
+  ``PriorityOrder``, ``ConflictReport`` lists, exceptions).
+* **Raw payloads** — pre-encoded WAL record frames forwarded verbatim.
+
+Pickled frames are parent↔worker within one trust domain — the
+connection is a private ``socketpair`` inherited at fork, never a
+listening socket — the same trade the snapshot plane already makes.
+
+One-way frames (BATCH, EVENT, ACTION, WAL) are pipelined with no
+acknowledgement; the stream's FIFO order guarantees any later CALL on
+the same connection observes their effects.  CALL/CALL_P carry a
+request id echoed by the matching RESULT/RESULT_P/ERROR.
+
+Every time-bearing frame carries the parent simulator's ``now`` so the
+worker's private clock can catch up (firing its grid-snapped ticks in
+order) before the payload is applied — see
+:class:`repro.cluster.worker.WorkerHost` for the handshake.
+
+Malformed input — bad length prefix, oversized frame, unknown type,
+truncated stream, undecodable payload, or a key-table id the
+connection never defined — raises :class:`repro.errors.WireError`.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+from typing import Any, Iterator, Sequence
+
+from repro.errors import WireError
+
+_HEADER = struct.Struct("<IB")
+
+HEADER_SIZE = _HEADER.size
+
+#: Hard ceiling on a single frame's payload; a length prefix beyond it
+#: means a desynchronized or corrupt stream, not a big batch.
+MAX_FRAME = 64 * 1024 * 1024
+
+# -- frame types ---------------------------------------------------------------
+
+HELLO = 1        # parent → worker: pickled handshake config
+HELLO_ACK = 2    # worker → parent: JSON [shard_id, pid]
+BATCH = 3        # parent → worker, one-way: pickled (t, defs, keys, values)
+EVENT = 4        # parent → worker, one-way: JSON [t, event_type, subject, only]
+CALL = 5         # parent → worker: JSON [req_id, method, t, args]
+CALL_P = 6       # parent → worker: pickled (req_id, method, t, args, kwargs)
+RESULT = 7       # worker → parent: JSON [req_id, value]
+RESULT_P = 8     # worker → parent: pickled (req_id, value)
+ERROR = 9        # worker → parent: pickled (req_id, exception, traceback_text)
+ACTION = 10      # worker → parent, one-way: pickled ActionSpec
+WAL = 11         # parent → worker, one-way: raw encoded WAL record bytes
+BYE = 12         # parent → worker: empty; worker closes WAL and exits
+
+FRAME_NAMES = {
+    HELLO: "HELLO", HELLO_ACK: "HELLO_ACK", BATCH: "BATCH", EVENT: "EVENT",
+    CALL: "CALL", CALL_P: "CALL_P", RESULT: "RESULT", RESULT_P: "RESULT_P",
+    ERROR: "ERROR", ACTION: "ACTION", WAL: "WAL", BYE: "BYE",
+}
+
+_KNOWN_TYPES = frozenset(FRAME_NAMES)
+
+
+# -- framing -------------------------------------------------------------------
+
+def encode_frame(frame_type: int, payload: bytes = b"") -> bytes:
+    if frame_type not in _KNOWN_TYPES:
+        raise WireError(f"cannot encode unknown frame type {frame_type}")
+    if len(payload) > MAX_FRAME:
+        raise WireError(
+            f"{FRAME_NAMES[frame_type]} payload of {len(payload)} bytes "
+            f"exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    return _HEADER.pack(len(payload), frame_type) + payload
+
+
+def decode_header(header: bytes) -> tuple[int, int]:
+    """``(payload_length, frame_type)`` from a 5-byte header, validated."""
+    if len(header) != HEADER_SIZE:
+        raise WireError(
+            f"truncated frame header: {len(header)} of {HEADER_SIZE} bytes"
+        )
+    length, frame_type = _HEADER.unpack(header)
+    if frame_type not in _KNOWN_TYPES:
+        raise WireError(f"unknown frame type {frame_type}")
+    if length > MAX_FRAME:
+        raise WireError(
+            f"frame length {length} exceeds MAX_FRAME ({MAX_FRAME}); "
+            "stream is desynchronized"
+        )
+    return length, frame_type
+
+
+class FrameReader:
+    """Incremental frame splitter over an arbitrary chunking of the
+    byte stream (the synchronous twin of the worker's
+    ``readexactly`` loop; the parent's blocking receive path and the
+    fuzz tests share it)."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    def frames(self) -> Iterator[tuple[int, bytes]]:
+        """Yield every complete ``(frame_type, payload)`` buffered so
+        far, leaving any partial frame for the next :meth:`feed`."""
+        while len(self._buffer) >= HEADER_SIZE:
+            length, frame_type = decode_header(bytes(self._buffer[:HEADER_SIZE]))
+            end = HEADER_SIZE + length
+            if len(self._buffer) < end:
+                return
+            payload = bytes(self._buffer[HEADER_SIZE:end])
+            del self._buffer[:end]
+            yield frame_type, payload
+
+    def at_eof(self) -> None:
+        """Call when the stream closes: leftover bytes mean the last
+        frame was cut short."""
+        if self._buffer:
+            raise WireError(
+                f"stream ended mid-frame with {len(self._buffer)} "
+                "unconsumed bytes"
+            )
+
+
+# -- value tagging -------------------------------------------------------------
+
+def encode_value(value: Any) -> Any:
+    """Tag the one non-JSON value the ingest path produces (frozenset
+    readings) so decode round-trips the type.  Shared with the WAL
+    entry codec in :mod:`repro.cluster.durability`."""
+    if isinstance(value, frozenset):
+        return {"set": sorted(value)}
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and "set" in value:
+        return frozenset(value["set"])
+    return value
+
+
+# -- payload codecs ------------------------------------------------------------
+
+def _dump_json(obj: Any) -> bytes:
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8")
+
+
+def _load_json(payload: bytes) -> Any:
+    try:
+        return json.loads(payload)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise WireError(f"undecodable JSON payload: {exc}") from exc
+
+
+def encode_pickled(obj: Any) -> bytes:
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_pickled(payload: bytes) -> Any:
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # pickle raises a zoo of types
+        raise WireError(f"undecodable pickled payload: {exc}") from exc
+
+
+def encode_call(req_id: int, method: str, t: float, args: Sequence) -> bytes:
+    return encode_frame(CALL, _dump_json([req_id, method, t, list(args)]))
+
+
+def decode_call(payload: bytes) -> tuple[int, str, float, list]:
+    req_id, method, t, args = _load_json(payload)
+    return req_id, method, t, args
+
+
+def encode_call_pickled(
+    req_id: int, method: str, t: float, args: Sequence, kwargs: dict
+) -> bytes:
+    return encode_frame(
+        CALL_P, encode_pickled((req_id, method, t, list(args), kwargs))
+    )
+
+
+def encode_result(req_id: int, value: Any) -> bytes:
+    return encode_frame(RESULT, _dump_json([req_id, value]))
+
+
+def decode_result(payload: bytes) -> tuple[int, Any]:
+    req_id, value = _load_json(payload)
+    return req_id, value
+
+
+def encode_result_pickled(req_id: int, value: Any) -> bytes:
+    return encode_frame(RESULT_P, encode_pickled((req_id, value)))
+
+
+def encode_error(req_id: int, exception: BaseException, tb_text: str) -> bytes:
+    try:
+        payload = encode_pickled((req_id, exception, tb_text))
+    except Exception:
+        # An unpicklable exception must still surface typed-ish: ship a
+        # WireError carrying its repr rather than wedging the reply.
+        payload = encode_pickled(
+            (req_id, WireError(f"unpicklable worker exception: "
+                               f"{exception!r}"), tb_text)
+        )
+    return encode_frame(ERROR, payload)
+
+
+# -- interned batch/event codec ------------------------------------------------
+
+class WireEncoder:
+    """Parent-side batch/event encoder with a per-connection key table.
+
+    Variable names are interned: the first batch naming a variable
+    carries a ``(id, name)`` definition, every later row sends the
+    integer id.  :meth:`reset` restarts the table for a reconnect (the
+    fresh decoder on the other end starts empty too).
+
+    The payload is a protocol-5 pickle of ``(t, defs, keys, values)``
+    with keys and values as parallel flat lists: values ship natively
+    (no frozenset tagging needed) and homogeneous int/float lists
+    serialize at C speed — see the module docstring for why JSON lost
+    the hot path."""
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+
+    def reset(self) -> None:
+        self._ids.clear()
+
+    def _intern(self, name: str, defs: list) -> int:
+        key_id = self._ids.get(name)
+        if key_id is None:
+            key_id = len(self._ids)
+            self._ids[name] = key_id
+            defs.append((key_id, name))
+        return key_id
+
+    def encode_batch(
+        self, t: float, writes: Sequence[tuple[str, Any]]
+    ) -> bytes:
+        defs: list = []
+        ids = self._ids
+        # Keys and values ship as parallel flat lists: homogeneous
+        # lists pickle measurably faster than per-row pairs, and the
+        # steady state is two straight-line comprehensions — _intern
+        # only runs the round a name is first seen.
+        try:
+            keys = [ids[variable] for variable, _ in writes]
+        except KeyError:
+            keys = [self._intern(variable, defs)
+                    for variable, _ in writes]
+        values = [value for _, value in writes]
+        return encode_frame(BATCH, pickle.dumps(
+            (t, defs, keys, values), protocol=pickle.HIGHEST_PROTOCOL))
+
+    def encode_event(
+        self,
+        t: float,
+        event_type: str,
+        subject: str | None,
+        only: Sequence[str] | None,
+    ) -> bytes:
+        # Events are rare control traffic; their strings go uninterned.
+        payload = [t, event_type, subject,
+                   sorted(only) if only is not None else None]
+        return encode_frame(EVENT, _dump_json(payload))
+
+
+class WireDecoder:
+    """Worker-side twin of :class:`WireEncoder`: registers definitions
+    as they arrive and resolves key ids back to names.
+
+    The key table is a plain list — the encoder assigns ids densely
+    from zero, so id→name resolution is an index, not a hash probe."""
+
+    def __init__(self) -> None:
+        self._names: list[str] = []
+
+    def reset(self) -> None:
+        self._names.clear()
+
+    def decode_batch(
+        self, payload: bytes
+    ) -> tuple[float, list[tuple[str, Any]]]:
+        try:
+            t, defs, keys, values = decode_pickled(payload)
+            names = self._names
+            for key_id, name in defs:
+                if key_id != len(names):
+                    raise WireError(
+                        f"key-table definition {key_id} out of order "
+                        f"(expected {len(names)}); stream is "
+                        "desynchronized"
+                    )
+                names.append(name)
+            if len(keys) != len(values):
+                raise WireError(
+                    f"malformed BATCH payload: {len(keys)} keys vs "
+                    f"{len(values)} values"
+                )
+            if keys and (min(keys) < 0 or max(keys) >= len(names)):
+                raise WireError(
+                    "batch references a key-table id this connection "
+                    "never defined"
+                )
+            writes = list(zip(map(names.__getitem__, keys), values))
+        except WireError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise WireError(f"malformed BATCH payload: {exc}") from exc
+        return t, writes
+
+    def decode_event(
+        self, payload: bytes
+    ) -> tuple[float, str, str | None, list[str] | None]:
+        try:
+            t, event_type, subject, only = _load_json(payload)
+        except WireError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise WireError(f"malformed EVENT payload: {exc}") from exc
+        return t, event_type, subject, only

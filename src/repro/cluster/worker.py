@@ -1,0 +1,657 @@
+"""Out-of-process shards: the worker process and its parent-side proxy.
+
+The thread-backed cluster is bounded by the GIL — N
+:class:`~repro.cluster.shard.EngineShard`\\ s drain on one interpreter,
+so A6's "linear scaling" is time-sliced, not parallel.  This module
+moves each shard into its own worker process behind the framed wire
+protocol of :mod:`repro.cluster.wire`:
+
+:class:`ShardClient` (parent side)
+    Implements the shard surface over a blocking ``socketpair``, so the
+    :class:`~repro.cluster.bus.IngestBus`,
+    :class:`~repro.cluster.server.ClusterServer` and
+    :class:`~repro.cluster.durability.DurabilityPlane` route to local
+    and remote shards uniformly — ``backend="process"`` is the only
+    difference an application sees.  Ingest batches, events and WAL
+    records are **one-way** frames: the client pipelines them without
+    waiting, and the stream's FIFO order guarantees any later call
+    (query, registration barrier, snapshot) observes their effects.
+    Batch counter deltas accumulate worker-side and fold back through
+    :meth:`ShardClient.barrier`.
+
+:class:`WorkerHost` (worker side)
+    An asyncio loop hosting one ``EngineShard`` on a **private
+    simulator**.  The clock handshake: HELLO carries the parent
+    simulator's ``now`` (the tick-grid anchor), and every subsequent
+    time-bearing frame carries the parent's ``now`` again; the worker
+    :meth:`~repro.sim.events.Simulator.catch_up`\\ s before applying, so
+    grid-snapped adaptive ticks and held-duration timers fire in the
+    same order the shared-simulator drain produces.  Ties at exactly
+    the drain time resolve as in WAL replay (timers first) — the same
+    known limitation documented in :mod:`repro.cluster.durability`,
+    avoided the same way (fractional ingest timestamps).
+
+    The worker owns its shard's WAL writer and snapshot serialization
+    (:meth:`EngineShard.wal_append` / :meth:`EngineShard.snapshot_to`),
+    so durability I/O parallelizes across cores with the drains.
+
+Deadlock discipline: the worker writes replies and forwarded actions
+with buffered ``write()`` and only ``drain()``\\ s after a RESULT/ERROR
+frame — at which point the parent is guaranteed to be reading.  Action
+frames ride in front of the next reply; the parent dispatches them
+while awaiting it (and during shutdown's trailing drain).
+
+Failures stay typed: worker-side exceptions travel back pickled
+(the taxonomy in :mod:`repro.errors` pins the round-trip) and a dead
+worker surfaces as :class:`~repro.errors.WorkerCrashed` with the
+process exit code.  Crash-point injection
+(:class:`~repro.sim.faults.FaultInjector`) is **not** supported on the
+process backend — a real ``kill -9`` does the same job with no
+cross-process plumbing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import socket
+import traceback
+from collections import deque
+from typing import Any, Callable, Collection
+
+from repro.cluster import wire
+from repro.cluster.shard import EngineShard
+from repro.core.engine import RuleState
+from repro.errors import RecoveryError, WireError, WorkerCrashed, WorkerError
+from repro.sim.events import Simulator
+
+#: Seconds the parent waits for the worker's HELLO_ACK.
+HANDSHAKE_TIMEOUT = 30.0
+#: Seconds granted at each escalation step of ShardClient.shutdown
+#: (drain, join) before moving on to terminate then kill.
+SHUTDOWN_GRACE = 5.0
+
+_RECV_CHUNK = 1 << 16
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def _worker_main(child_sock, parent_sock, shard_id: int) -> None:
+    """Process entry point (module-level so the spawn start method can
+    pickle it).  ``parent_sock`` is the parent's end, inherited across
+    fork — closed immediately so the parent closing its copy reads as
+    EOF here instead of wedging the worker forever."""
+    try:
+        parent_sock.close()
+    except OSError:
+        pass
+    try:
+        asyncio.run(_serve(child_sock, shard_id))
+    except (WireError, ConnectionError, EOFError):
+        # A torn handshake or mid-frame disconnect means the parent is
+        # gone or broken; there is nobody left to report to.
+        pass
+    finally:
+        try:
+            child_sock.close()
+        except OSError:
+            pass
+
+
+async def _serve(sock, shard_id: int) -> None:
+    sock.setblocking(False)
+    if sock.family == getattr(socket, "AF_UNIX", object()):
+        reader, writer = await asyncio.open_unix_connection(sock=sock)
+    else:
+        reader, writer = await asyncio.open_connection(sock=sock)
+    try:
+        header = await reader.readexactly(wire.HEADER_SIZE)
+        length, frame_type = wire.decode_header(header)
+        payload = await reader.readexactly(length)
+        if frame_type != wire.HELLO:
+            raise WireError(
+                f"expected HELLO as the first frame, got "
+                f"{wire.FRAME_NAMES[frame_type]}"
+            )
+        host = WorkerHost(shard_id, reader, writer, wire.decode_pickled(payload))
+        await host.run()
+    finally:
+        writer.close()
+
+
+class WorkerHost:
+    """One shard's engine + clock + WAL, served over the wire."""
+
+    def __init__(self, shard_id: int, reader, writer, hello: dict) -> None:
+        self.shard_id = shard_id
+        self.reader = reader
+        self.writer = writer
+        self.simulator = Simulator()
+        # The parent's now at spawn becomes this shard's tick-grid
+        # anchor — the same anchor an in-thread shard built at cluster
+        # construction records.
+        self.simulator.catch_up(hello["t0"])
+        self.decoder = wire.WireDecoder()
+        self._flips = 0
+        self._touched = 0
+        config = dict(hello["config"])
+        telemetry = None
+        if config.pop("telemetry", False):
+            from repro.obs.trace import Telemetry
+            telemetry = Telemetry(
+                shard=shard_id, clock=lambda: self.simulator.now)
+        dispatch = self._forward_action if hello["has_dispatch"] else None
+        self.shard = EngineShard(
+            shard_id, self.simulator, dispatch=dispatch,
+            telemetry=telemetry, **config,
+        )
+
+    def _forward_action(self, spec) -> None:
+        # Buffered, never drained here: flushed when the loop next
+        # yields; the parent reads these while awaiting its next reply.
+        self.writer.write(
+            wire.encode_frame(wire.ACTION, wire.encode_pickled(spec)))
+
+    async def run(self) -> None:
+        self.writer.write(wire.encode_frame(
+            wire.HELLO_ACK,
+            json.dumps([self.shard_id, os.getpid()]).encode("utf-8"),
+        ))
+        await self.writer.drain()
+        reader = self.reader
+        while True:
+            try:
+                header = await reader.readexactly(wire.HEADER_SIZE)
+                length, frame_type = wire.decode_header(header)
+                payload = (
+                    await reader.readexactly(length) if length else b""
+                )
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return  # parent went away without BYE; exit quietly
+            if frame_type == wire.BATCH:
+                t, writes = self.decoder.decode_batch(payload)
+                self.simulator.catch_up(t)
+                if len(writes) == 1:
+                    # Mirrors the bus's _flush_run split: singletons take
+                    # the plain ingest path and stay out of the batch
+                    # counters.
+                    self.shard.ingest(*writes[0])
+                else:
+                    flips, touched = self.shard.ingest_batch(writes)
+                    self._flips += flips
+                    self._touched += touched
+            elif frame_type == wire.EVENT:
+                t, event_type, subject, only = \
+                    self.decoder.decode_event(payload)
+                self.simulator.catch_up(t)
+                self.shard.post_event(event_type, subject, only=only)
+            elif frame_type == wire.WAL:
+                self.shard.wal_append(payload)
+            elif frame_type == wire.CALL:
+                req_id, method, t, args = wire.decode_call(payload)
+                await self._handle_call(req_id, method, t, args, {},
+                                        pickled=False)
+            elif frame_type == wire.CALL_P:
+                req_id, method, t, args, kwargs = \
+                    wire.decode_pickled(payload)
+                await self._handle_call(req_id, method, t, args, kwargs,
+                                        pickled=True)
+            elif frame_type == wire.BYE:
+                self.shard.shutdown()  # closes the WAL too
+                return
+            else:
+                raise WireError(
+                    f"worker cannot handle "
+                    f"{wire.FRAME_NAMES[frame_type]} frames"
+                )
+
+    async def _handle_call(
+        self, req_id: int, method: str, t: float,
+        args: list, kwargs: dict, *, pickled: bool,
+    ) -> None:
+        try:
+            self.simulator.catch_up(t)
+            handler = getattr(self, "_call_" + method, None)
+            if handler is None or method.startswith("_"):
+                raise WorkerError(f"unknown shard method {method!r}")
+            result = handler(*args, **kwargs)
+        except Exception as exc:
+            self.writer.write(
+                wire.encode_error(req_id, exc, traceback.format_exc()))
+        else:
+            self.writer.write(
+                wire.encode_result_pickled(req_id, result) if pickled
+                else wire.encode_result(req_id, result)
+            )
+        # The parent is now blocked awaiting this reply, so draining
+        # here cannot deadlock — and it flushes any buffered ACTIONs.
+        await self.writer.drain()
+
+    # -- JSON-called handlers --------------------------------------------------
+
+    def _call_barrier(self):
+        deltas = [self._flips, self._touched]
+        self._flips = 0
+        self._touched = 0
+        return deltas
+
+    def _call_coalesce_safe(self, variable):
+        return self.shard.coalesce_safe(variable)
+
+    def _call_adopt_mirrors(self, rule_name, variables):
+        return self.shard.adopt_mirrors(rule_name, variables)
+
+    def _call_release_mirrors(self, rule_name):
+        return self.shard.release_mirrors(rule_name)
+
+    def _call_mirrors_of_rule(self, rule_name):
+        return sorted(self.shard.mirrors_of_rule(rule_name))
+
+    def _call_mirror_variables(self):
+        return sorted(self.shard.mirror_variables())
+
+    def _call_rule_truth(self, name):
+        return self.shard.rule_truth(name)
+
+    def _call_rule_state(self, name):
+        return self.shard.rule_state(name).value
+
+    def _call_rule_count(self):
+        return self.shard.rule_count()
+
+    def _call_telemetry_snapshot(self, queue_depth):
+        return self.shard.telemetry_snapshot(queue_depth=queue_depth)
+
+    def _call_set_recovery_hooks(self, disarmed):
+        self.shard.set_recovery_hooks(disarmed)
+
+    def _call_wal_open(self, path, fsync_interval):
+        self.shard.wal_open(path, fsync_interval=fsync_interval)
+
+    def _call_wal_sync(self):
+        self.shard.wal_sync()
+
+    def _call_wal_close(self):
+        self.shard.wal_close()
+
+    def _call_snapshot_to(self, path):
+        return self.shard.snapshot_to(path)
+
+    # -- pickle-called handlers ------------------------------------------------
+
+    def _call_register_rule(self, rule, validate=True):
+        reports = self.shard.register_rule(rule, validate=validate)
+        return reports, self.shard.epoch
+
+    def _call_remove_rule(self, name):
+        rule = self.shard.remove_rule(name)
+        return rule, self.shard.epoch
+
+    def _call_add_priority_order(self, order):
+        return self.shard.add_priority_order(order)
+
+    def _call_conflict_log(self):
+        return list(self.shard.conflict_log)
+
+    def _call_holder_of(self, udn):
+        return self.shard.holder_of(udn)
+
+    def _call_variable_value(self, variable):
+        return self.shard.variable_value(variable)
+
+    def _call_trace(self):
+        return self.shard.trace()
+
+    def _call_snapshot_state(self):
+        return self.shard.snapshot_state()
+
+    def _call_restore_world(self, state):
+        self.shard.restore_world(state)
+
+    def _call_recover(self, state):
+        self.shard.recover(state)
+        return self.shard.epoch
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+class ShardClient:
+    """The shard surface, proxied to one worker process.
+
+    Construction spawns the worker (``fork`` where available, else
+    ``spawn``), ships the engine configuration in a pickled HELLO and
+    blocks for the HELLO_ACK.  The proxy is synchronous and single-
+    threaded like the in-thread shard it replaces; it is not safe for
+    concurrent use from multiple threads.
+    """
+
+    backend = "process"
+    #: The bus's telemetry duck-check reads this: span recording happens
+    #: worker-side, surfaced through telemetry_snapshot().
+    telemetry = None
+
+    def __init__(
+        self,
+        shard_id: int,
+        simulator: Simulator,
+        *,
+        config: dict,
+        dispatch: Callable | None = None,
+        handshake_timeout: float = HANDSHAKE_TIMEOUT,
+    ) -> None:
+        self.shard_id = shard_id
+        self.simulator = simulator
+        self.dispatch = dispatch
+        self.epoch = 0
+        self.worker_pid: int | None = None
+        self._encoder = wire.WireEncoder()
+        self._frames = wire.FrameReader()
+        self._pending: deque[tuple[int, bytes]] = deque()
+        self._next_req = 0
+        self._closed = False
+        try:
+            hello = wire.encode_pickled({
+                "t0": simulator.now,
+                "config": dict(config),
+                "has_dispatch": dispatch is not None,
+            })
+        except Exception as exc:
+            raise WorkerError(
+                f"cluster config for shard {shard_id} is not picklable "
+                f"(the process backend ships it to the worker): {exc}"
+            ) from exc
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        parent_sock, child_sock = socket.socketpair()
+        self._sock = parent_sock
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_sock, parent_sock, shard_id),
+            name=f"repro-shard-{shard_id}",
+            daemon=True,
+        )
+        try:
+            self.process.start()
+            child_sock.close()
+            self._sock.settimeout(handshake_timeout)
+            self._sock.sendall(wire.encode_frame(wire.HELLO, hello))
+            frame_type, payload = self._recv_frame()
+            if frame_type != wire.HELLO_ACK:
+                raise WireError(
+                    f"expected HELLO_ACK, got "
+                    f"{wire.FRAME_NAMES[frame_type]}"
+                )
+            acked_id, self.worker_pid = json.loads(payload)
+            if acked_id != shard_id:
+                raise WireError(
+                    f"worker acknowledged shard {acked_id}, "
+                    f"expected {shard_id}"
+                )
+            self._sock.settimeout(None)
+        except BaseException:
+            self._closed = True
+            self._sock.close()
+            if self.process.is_alive():
+                self.process.terminate()
+            self.process.join(1.0)
+            raise
+
+    # -- transport -------------------------------------------------------------
+
+    def _crashed(self, detail: str) -> WorkerCrashed:
+        self._closed = True
+        self.process.join(0.5)
+        return WorkerCrashed(self.shard_id, self.process.exitcode, detail)
+
+    def _send(self, data: bytes) -> None:
+        if self._closed:
+            raise WorkerError(
+                f"shard {self.shard_id} client used after shutdown")
+        try:
+            self._sock.sendall(data)
+        except OSError as exc:
+            raise self._crashed(f"send failed: {exc}") from exc
+
+    def _recv_frame(self) -> tuple[int, bytes]:
+        while True:
+            if self._pending:
+                return self._pending.popleft()
+            self._pending.extend(self._frames.frames())
+            if self._pending:
+                continue
+            try:
+                data = self._sock.recv(_RECV_CHUNK)
+            except socket.timeout as exc:
+                raise WorkerError(
+                    f"shard {self.shard_id} worker did not reply within "
+                    f"the deadline"
+                ) from exc
+            except OSError as exc:
+                raise self._crashed(f"receive failed: {exc}") from exc
+            if not data:
+                raise self._crashed("connection closed")
+            self._frames.feed(data)
+
+    def _await(self, req_id: int) -> Any:
+        while True:
+            frame_type, payload = self._recv_frame()
+            if frame_type == wire.ACTION:
+                spec = wire.decode_pickled(payload)
+                if self.dispatch is not None:
+                    self.dispatch(spec)
+                continue
+            if frame_type == wire.RESULT:
+                got, value = wire.decode_result(payload)
+            elif frame_type == wire.RESULT_P:
+                got, value = wire.decode_pickled(payload)
+            elif frame_type == wire.ERROR:
+                got, exc, tb_text = wire.decode_pickled(payload)
+                if got != req_id:
+                    raise WireError(
+                        f"error reply for request {got}, expected {req_id}")
+                try:
+                    exc.worker_traceback = tb_text
+                except Exception:
+                    pass
+                raise exc
+            else:
+                raise WireError(
+                    f"unexpected {wire.FRAME_NAMES[frame_type]} frame "
+                    "from worker"
+                )
+            if got != req_id:
+                raise WireError(
+                    f"reply for request {got}, expected {req_id}")
+            return value
+
+    def _call(self, method: str, *args) -> Any:
+        req_id = self._next_req
+        self._next_req += 1
+        self._send(wire.encode_call(
+            req_id, method, self.simulator.now, args))
+        return self._await(req_id)
+
+    def _call_p(self, method: str, *args, **kwargs) -> Any:
+        req_id = self._next_req
+        self._next_req += 1
+        self._send(wire.encode_call_pickled(
+            req_id, method, self.simulator.now, args, kwargs))
+        return self._await(req_id)
+
+    # -- rule lifecycle --------------------------------------------------------
+
+    def register_rule(self, rule, *, validate: bool = True):
+        reports, self.epoch = self._call_p(
+            "register_rule", rule, validate=validate)
+        return reports
+
+    def remove_rule(self, name: str):
+        rule, self.epoch = self._call_p("remove_rule", name)
+        return rule
+
+    def add_priority_order(self, order):
+        return self._call_p("add_priority_order", order)
+
+    @property
+    def conflict_log(self):
+        return self._call_p("conflict_log")
+
+    def rule_count(self) -> int:
+        return self._call("rule_count")
+
+    # -- engine reads ----------------------------------------------------------
+
+    def rule_truth(self, name: str) -> bool:
+        return self._call("rule_truth", name)
+
+    def rule_state(self, name: str) -> RuleState:
+        return RuleState(self._call("rule_state", name))
+
+    def holder_of(self, udn: str):
+        return self._call_p("holder_of", udn)
+
+    def trace(self) -> list:
+        return self._call_p("trace")
+
+    # -- world-state feeds (one-way, pipelined) --------------------------------
+
+    def ingest(self, variable: str, value: Any) -> None:
+        self._send(self._encoder.encode_batch(
+            self.simulator.now, ((variable, value),)))
+
+    def ingest_batch(self, writes) -> tuple[int, int]:
+        self._send(self._encoder.encode_batch(self.simulator.now, writes))
+        return (0, 0)  # worker-side counters fold back through barrier()
+
+    def post_event(
+        self, event_type: str, subject: str | None = None,
+        *, only: Collection[str] | None = None,
+    ) -> None:
+        # Membership is materialized at send time — the same moment the
+        # drain applies (and the WAL logs) it on the thread backend.
+        self._send(self._encoder.encode_event(
+            self.simulator.now, event_type, subject,
+            sorted(only) if only is not None else None,
+        ))
+
+    def barrier(self) -> tuple[int, int]:
+        flips, touched = self._call("barrier")
+        return (flips, touched)
+
+    def coalesce_safe(self, variable: str) -> bool:
+        return self._call("coalesce_safe", variable)
+
+    # -- mirror hosting --------------------------------------------------------
+
+    def adopt_mirrors(self, rule_name: str,
+                      variables: Collection[str]) -> list[str]:
+        return self._call("adopt_mirrors", rule_name, sorted(variables))
+
+    def release_mirrors(self, rule_name: str) -> list[str]:
+        return self._call("release_mirrors", rule_name)
+
+    def mirrors_of_rule(self, rule_name: str) -> frozenset[str]:
+        return frozenset(self._call("mirrors_of_rule", rule_name))
+
+    def mirror_variables(self) -> frozenset[str]:
+        return frozenset(self._call("mirror_variables"))
+
+    def variable_value(self, variable: str) -> Any:
+        return self._call_p("variable_value", variable)
+
+    # -- telemetry -------------------------------------------------------------
+
+    def telemetry_snapshot(self, *, queue_depth: int | None = None):
+        return self._call("telemetry_snapshot", queue_depth)
+
+    # -- durability ------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return self._call_p("snapshot_state")
+
+    def restore_world(self, state: dict) -> None:
+        self._call_p("restore_world", state)
+
+    def set_recovery_hooks(self, disarmed: bool) -> None:
+        self._call("set_recovery_hooks", disarmed)
+
+    def recover(self, state: dict) -> None:
+        self.epoch = self._call_p("recover", state)
+
+    def wal_open(self, path: str, *, fsync_interval: int = 16,
+                 faults=None) -> None:
+        if faults is not None:
+            raise RecoveryError(
+                "crash-point injection is not supported on the process "
+                "backend; use kill() on the worker instead"
+            )
+        self._call("wal_open", path, fsync_interval)
+
+    def wal_append(self, frame: bytes) -> int:
+        self._send(wire.encode_frame(wire.WAL, frame))
+        return len(frame)
+
+    def wal_sync(self) -> None:
+        self._call("wal_sync")
+
+    def wal_close(self) -> None:
+        if not self._closed:
+            self._call("wal_close")
+
+    def wal_arm_faults(self, faults) -> None:
+        if faults is not None:
+            raise RecoveryError(
+                "crash-point injection is not supported on the process "
+                "backend"
+            )
+
+    def snapshot_to(self, path: str) -> dict:
+        return self._call("snapshot_to", path)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def kill(self) -> None:
+        """SIGKILL the worker mid-conversation (crash testing)."""
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(SHUTDOWN_GRACE)
+
+    def shutdown(self) -> None:
+        """Stop the worker and reap the process.  Idempotent.
+
+        Escalation: BYE + drain trailing action frames until EOF, join
+        with a deadline, then terminate, then kill — a wedged or dead
+        worker never leaks a child process."""
+        already_closed = self._closed
+        self._closed = True
+        if not already_closed:
+            try:
+                self._sock.sendall(wire.encode_frame(wire.BYE))
+                self._sock.settimeout(SHUTDOWN_GRACE)
+                while True:
+                    frame_type, payload = self._recv_frame()
+                    if frame_type == wire.ACTION \
+                            and self.dispatch is not None:
+                        self.dispatch(wire.decode_pickled(payload))
+            except (WorkerError, WireError, OSError):
+                pass  # crashed, wedged or already gone; escalate below
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self.process.join(SHUTDOWN_GRACE)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(1.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(1.0)
+
+
+__all__ = ["HANDSHAKE_TIMEOUT", "SHUTDOWN_GRACE", "ShardClient",
+           "WorkerHost"]

@@ -253,6 +253,10 @@ class WorldState:
         self._current_events = set()
 
 
+def _discard_dispatch(spec: ActionSpec) -> None:
+    """Action sink installed by :meth:`RuleEngine.disarm_side_effects`."""
+
+
 def keep_status_quo_policy(device_udn: str, competing: list[Rule]) -> Rule | None:
     """Default prompt policy: change nothing (the paper would pop the
     Fig. 7 dialog here; headless runs keep the current holder)."""
@@ -1114,6 +1118,22 @@ class RuleEngine:
         return self._truth.get(rule_name, False)
 
     # -- durability (snapshot / restore) ------------------------------------------------------------
+
+    def disarm_side_effects(self) -> None:
+        """Silence the engine's outward effects while rules re-register
+        during recovery: dispatched actions already fired before the
+        crash, and held-duration timers are restored verbatim in phase
+        2.  Must be paired with :meth:`rearm_side_effects`; calls do not
+        nest."""
+        self._saved_side_effects = (self.dispatch, self.world.on_held_armed)
+        self.dispatch = _discard_dispatch
+        self.world.on_held_armed = None
+
+    def rearm_side_effects(self) -> None:
+        """Restore the dispatch and held-timer hooks
+        :meth:`disarm_side_effects` saved."""
+        self.dispatch, self.world.on_held_armed = self._saved_side_effects
+        del self._saved_side_effects
 
     def runtime_snapshot(self) -> dict:
         """JSON-ready snapshot of every piece of runtime state that is

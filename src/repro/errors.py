@@ -4,6 +4,15 @@ All framework errors derive from :class:`ReproError` so applications can
 catch one base class.  Subsystems raise the most specific subclass that
 applies; error messages carry enough context (names, positions, values)
 to be actionable without a debugger.
+
+Every class here must **pickle round-trip** exactly (type, message and
+attributes): the process-distribution layer forwards worker-side
+failures to the parent as pickled payloads, and an exception that loses
+its arguments in transit would surface as an opaque ``TypeError`` in the
+wrong process.  Classes whose ``__init__`` signature differs from the
+stored ``args`` therefore define ``__reduce__``;
+``tests/test_error_pickling.py`` pins the round-trip for the whole
+taxonomy.
 """
 
 from __future__ import annotations
@@ -34,6 +43,9 @@ class ActionError(UPnPError):
         self.action = action
         self.reason = reason
 
+    def __reduce__(self):
+        return (type(self), (self.device, self.action, self.reason))
+
 
 class SubscriptionError(UPnPError):
     """Eventing subscription could not be established or renewed."""
@@ -56,12 +68,18 @@ class CadelSyntaxError(CadelError):
     """
 
     def __init__(self, message: str, text: str = "", position: int = 0):
+        self.message = message
         self.text = text
         self.position = position
         if text:
             pointer = " " * min(position, len(text)) + "^"
             message = f"{message}\n  {text}\n  {pointer}"
         super().__init__(message)
+
+    def __reduce__(self):
+        # args holds the pointer-decorated message; re-construct from the
+        # raw parts so unpickling never decorates twice.
+        return (type(self), (self.message, self.text, self.position))
 
 
 class CadelBindingError(CadelError):
@@ -99,6 +117,10 @@ class InconsistentRuleError(RuleError):
             f"rule {rule_name!r} is inconsistent (its condition can never hold){detail}"
         )
         self.rule_name = rule_name
+        self.reason = reason
+
+    def __reduce__(self):
+        return (type(self), (self.rule_name, self.reason))
 
 
 class UnresolvedConflictError(RuleError):
@@ -112,6 +134,9 @@ class UnresolvedConflictError(RuleError):
         )
         self.rule_names = list(rule_names)
         self.device = device
+
+    def __reduce__(self):
+        return (type(self), (self.rule_names, self.device))
 
 
 class DuplicateRuleError(RuleError):
@@ -141,3 +166,34 @@ class RecoveryError(ReproError):
 
 class LookupServiceError(ReproError):
     """Malformed query to the sensor/device lookup service."""
+
+
+class WireError(ReproError):
+    """A malformed frame on the cluster wire protocol: bad length
+    prefix, unknown frame type, oversized frame, truncated stream, or a
+    key-table reference the connection never defined."""
+
+
+class WorkerError(ReproError):
+    """Base class for shard-worker process failures (spawn, handshake,
+    protocol misuse, use after shutdown)."""
+
+
+class WorkerCrashed(WorkerError):
+    """A shard worker process died mid-conversation.  Carries the shard
+    id and, when known, the process exit code — a negative code is the
+    signal that killed it, mirroring ``Process.exitcode``."""
+
+    def __init__(self, shard_id: int, exitcode: int | None = None,
+                 detail: str = ""):
+        note = f" (exit code {exitcode})" if exitcode is not None else ""
+        extra = f": {detail}" if detail else ""
+        super().__init__(
+            f"worker process for shard {shard_id} died{note}{extra}"
+        )
+        self.shard_id = shard_id
+        self.exitcode = exitcode
+        self.detail = detail
+
+    def __reduce__(self):
+        return (type(self), (self.shard_id, self.exitcode, self.detail))

@@ -148,6 +148,17 @@ class Simulator:
                 )
         self.clock.advance_to(time)
 
+    def catch_up(self, time: SimTime) -> None:
+        """Advance to ``time`` if it is ahead; no-op otherwise.
+
+        The cross-process clock seam: every time-bearing wire frame
+        carries the parent simulator's ``now``, and the shard worker
+        catches its private simulator up before applying the payload —
+        firing grid-snapped clock ticks and held-duration timers in the
+        same order the parent's shared-simulator drain would have."""
+        if time > self.clock.now:
+            self.run_until(time)
+
     def run(self) -> None:
         """Drain the queue completely (use run_until for open-ended loops)."""
         fired = 0

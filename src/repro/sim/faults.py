@@ -32,6 +32,11 @@ class SimulatedCrash(Exception):
         super().__init__(f"simulated crash at {site!r}")
         self.site = site
 
+    def __reduce__(self):
+        # args holds the formatted message; rebuild from the site so a
+        # crash forwarded across a process boundary stays typed.
+        return (type(self), (self.site,))
+
 
 class FaultInjector:
     """Countdown-per-site crash planner.

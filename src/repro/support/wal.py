@@ -91,10 +91,15 @@ class WalWriter:
 
     def append(self, payload: dict) -> int:
         """Frame and append one record; returns its size in bytes."""
+        return self.append_frame(encode_record(payload))
+
+    def append_frame(self, frame: bytes) -> int:
+        """Append one already-framed record (the durability plane
+        encodes once and ships the same bytes to local writers and
+        remote shard workers); returns its size in bytes."""
         faults = self.faults
         if faults is not None:
             faults.check(CRASH_BEFORE_APPEND)
-        frame = encode_record(payload)
         if faults is not None:
             try:
                 faults.check(CRASH_TORN_APPEND)

@@ -1,0 +1,247 @@
+"""Property/fuzz tests for the cluster wire codec.
+
+The codec sits under every byte the process backend moves, so these
+tests lean on hypothesis: round-trips over randomized batches, events
+and call payloads; framing survival under arbitrary stream chunking;
+rejection of truncated frames, unknown types and oversized lengths;
+and key-table resync after a reconnect."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import wire
+from repro.errors import WireError
+
+# -- strategies ----------------------------------------------------------------
+
+variable_names = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF),
+    min_size=1, max_size=24,
+)
+
+scalar_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=16),
+    st.frozensets(st.text(max_size=8), max_size=4),
+)
+
+batches = st.lists(st.tuples(variable_names, scalar_values), max_size=32)
+
+timestamps = st.floats(min_value=0.0, max_value=86_400.0,
+                       allow_nan=False, allow_infinity=False)
+
+
+def roundtrip_frame(frame: bytes) -> tuple[int, bytes]:
+    reader = wire.FrameReader()
+    reader.feed(frame)
+    (decoded,) = list(reader.frames())
+    reader.at_eof()
+    return decoded
+
+
+# -- batch / event round-trips -------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(t=timestamps, writes=batches)
+def test_batch_roundtrip(t, writes):
+    encoder, decoder = wire.WireEncoder(), wire.WireDecoder()
+    frame_type, payload = roundtrip_frame(encoder.encode_batch(t, writes))
+    assert frame_type == wire.BATCH
+    got_t, got_writes = decoder.decode_batch(payload)
+    assert got_t == t
+    assert got_writes == list(writes)
+
+
+@settings(max_examples=100, deadline=None)
+@given(t=timestamps, chunks=st.lists(batches, min_size=2, max_size=6))
+def test_batch_stream_roundtrip_shares_one_key_table(t, chunks):
+    """A sequence of batches on one connection decodes exactly, and
+    names are only ever defined once."""
+    encoder, decoder = wire.WireEncoder(), wire.WireDecoder()
+    defined: set[str] = set()
+    for writes in chunks:
+        _, payload = roundtrip_frame(encoder.encode_batch(t, writes))
+        _, defs, _, _ = wire.decode_pickled(payload)
+        for _, name in defs:
+            assert name not in defined, "name re-defined on same connection"
+            defined.add(name)
+        _, got = decoder.decode_batch(payload)
+        assert got == list(writes)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    t=timestamps,
+    event_type=st.sampled_from(["registered", "removed", "recovered", "tv"]),
+    subject=st.one_of(st.none(), variable_names),
+    only=st.one_of(st.none(), st.lists(variable_names, max_size=8)),
+)
+def test_event_roundtrip(t, event_type, subject, only):
+    encoder, decoder = wire.WireEncoder(), wire.WireDecoder()
+    frame_type, payload = roundtrip_frame(
+        encoder.encode_event(t, event_type, subject, only))
+    assert frame_type == wire.EVENT
+    got_t, got_type, got_subject, got_only = decoder.decode_event(payload)
+    assert (got_t, got_type, got_subject) == (t, event_type, subject)
+    assert got_only == (sorted(only) if only is not None else None)
+
+
+def test_interning_shrinks_repeat_batches():
+    encoder = wire.WireEncoder()
+    writes = [(f"home-0001/sensor-{i}/temp", 21.5) for i in range(16)]
+    first = encoder.encode_batch(0.0, writes)
+    second = encoder.encode_batch(1.0, writes)
+    assert len(second) < len(first) / 2
+
+
+# -- framing under arbitrary chunking ------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(
+    payloads=st.lists(st.binary(max_size=64), min_size=1, max_size=8),
+    cuts=st.lists(st.integers(min_value=1, max_value=32), max_size=16),
+    data=st.data(),
+)
+def test_frame_reader_reassembles_any_chunking(payloads, cuts, data):
+    frame_types = [
+        data.draw(st.sampled_from(sorted(wire.FRAME_NAMES)))
+        for _ in payloads
+    ]
+    stream = b"".join(
+        wire.encode_frame(ft, p) for ft, p in zip(frame_types, payloads))
+    reader = wire.FrameReader()
+    decoded: list[tuple[int, bytes]] = []
+    position = 0
+    for cut in cuts:
+        reader.feed(stream[position:position + cut])
+        position += cut
+        decoded.extend(reader.frames())
+    reader.feed(stream[position:])
+    decoded.extend(reader.frames())
+    reader.at_eof()
+    assert decoded == list(zip(frame_types, payloads))
+
+
+@settings(max_examples=100, deadline=None)
+@given(payload=st.binary(max_size=64), drop=st.integers(min_value=1, max_value=8))
+def test_truncated_frame_rejected_at_eof(payload, drop):
+    frame = wire.encode_frame(wire.BATCH, payload)
+    reader = wire.FrameReader()
+    reader.feed(frame[:max(1, len(frame) - drop)])
+    list(reader.frames())
+    with pytest.raises(WireError, match="mid-frame"):
+        reader.at_eof()
+
+
+@settings(max_examples=50, deadline=None)
+@given(bad_type=st.integers(min_value=0, max_value=255).filter(
+    lambda b: b not in wire.FRAME_NAMES))
+def test_unknown_frame_type_rejected(bad_type):
+    reader = wire.FrameReader()
+    reader.feed(struct.pack("<IB", 0, bad_type))
+    with pytest.raises(WireError, match="unknown frame type"):
+        list(reader.frames())
+    with pytest.raises(WireError):
+        wire.encode_frame(bad_type, b"")
+
+
+def test_oversized_length_prefix_rejected():
+    reader = wire.FrameReader()
+    reader.feed(struct.pack("<IB", wire.MAX_FRAME + 1, wire.BATCH))
+    with pytest.raises(WireError, match="MAX_FRAME"):
+        list(reader.frames())
+
+
+def test_undecodable_payloads_rejected():
+    decoder = wire.WireDecoder()
+    with pytest.raises(WireError):
+        decoder.decode_batch(b"\xff not json")
+    with pytest.raises(WireError):
+        decoder.decode_batch(b'{"wrong": "shape"}')
+    with pytest.raises(WireError):
+        decoder.decode_event(b"[1,2]")
+    with pytest.raises(WireError):
+        wire.decode_pickled(b"\x80\x05 garbage")
+
+
+# -- key-table resync ----------------------------------------------------------
+
+def test_undefined_key_id_rejected():
+    encoder = wire.WireEncoder()
+    stale = wire.WireDecoder()
+    first = encoder.encode_batch(0.0, [("kitchen/temp", 20)])
+    # warm decoder consumes the defs; the stale one never sees them
+    warm = wire.WireDecoder()
+    warm.decode_batch(roundtrip_frame(first)[1])
+    second = encoder.encode_batch(1.0, [("kitchen/temp", 21)])
+    with pytest.raises(WireError, match="never defined"):
+        stale.decode_batch(roundtrip_frame(second)[1])
+
+
+def test_key_table_resync_after_reconnect():
+    encoder = wire.WireEncoder()
+    old_decoder = wire.WireDecoder()
+    old_decoder.decode_batch(
+        roundtrip_frame(encoder.encode_batch(0.0, [("a/x", 1), ("a/y", 2)]))[1])
+
+    # Reconnect: encoder resets, the new connection's decoder starts
+    # empty, and the first batch re-defines everything it names.
+    encoder.reset()
+    new_decoder = wire.WireDecoder()
+    _, writes = new_decoder.decode_batch(
+        roundtrip_frame(encoder.encode_batch(5.0, [("a/y", 3), ("a/z", 4)]))[1])
+    assert writes == [("a/y", 3), ("a/z", 4)]
+
+
+# -- call plumbing -------------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(
+    req_id=st.integers(min_value=0, max_value=2**31),
+    method=st.sampled_from(["barrier", "rule_truth", "coalesce_safe"]),
+    t=timestamps,
+    args=st.lists(st.one_of(st.none(), st.integers(), st.text(max_size=8)),
+                  max_size=4),
+)
+def test_call_result_roundtrip(req_id, method, t, args):
+    _, payload = roundtrip_frame(wire.encode_call(req_id, method, t, args))
+    assert wire.decode_call(payload) == (req_id, method, t, list(args))
+    _, payload = roundtrip_frame(wire.encode_result(req_id, args))
+    assert wire.decode_result(payload) == (req_id, list(args))
+
+
+def test_error_frame_carries_typed_exception():
+    from repro.errors import WorkerCrashed
+    original = WorkerCrashed(2, -9, "drain")
+    _, payload = roundtrip_frame(wire.encode_error(17, original, "tb text"))
+    req_id, exc, tb = wire.decode_pickled(payload)
+    assert req_id == 17 and tb == "tb text"
+    assert isinstance(exc, WorkerCrashed)
+    assert (exc.shard_id, exc.exitcode) == (2, -9)
+
+
+def test_unpicklable_exception_degrades_to_wire_error():
+    class Hostile(Exception):
+        def __reduce__(self):
+            raise TypeError("nope")
+
+    _, payload = roundtrip_frame(wire.encode_error(3, Hostile("x"), "tb"))
+    req_id, exc, _ = wire.decode_pickled(payload)
+    assert req_id == 3
+    assert isinstance(exc, WireError)
+    assert "Hostile" in str(exc)
+
+
+def test_value_tagging_roundtrips_frozensets():
+    tagged = wire.encode_value(frozenset({"b", "a"}))
+    assert tagged == {"set": ["a", "b"]}
+    assert wire.decode_value(tagged) == frozenset({"a", "b"})
+    assert wire.decode_value(3.5) == 3.5

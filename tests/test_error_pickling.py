@@ -1,0 +1,107 @@
+"""The exception taxonomy must pickle round-trip exactly.
+
+The process-distribution layer (:mod:`repro.cluster.worker`) forwards
+worker-side failures to the parent as pickled payloads; an exception
+that loses its type, message or attributes in transit surfaces as an
+opaque ``TypeError`` in the wrong process.  This suite walks *every*
+public exception class in :mod:`repro.errors` (plus
+:class:`~repro.sim.faults.SimulatedCrash`, which deliberately lives
+outside the taxonomy) so a newly added class cannot regress silently.
+"""
+
+import inspect
+import pickle
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    ActionError,
+    CadelSyntaxError,
+    InconsistentRuleError,
+    ReproError,
+    UnresolvedConflictError,
+    WorkerCrashed,
+)
+from repro.sim.faults import SimulatedCrash
+
+# Classes whose __init__ signature differs from a single message string;
+# everything else is constructed as cls("message").
+SAMPLE_ARGS = {
+    ActionError: ("uuid:tv-1", "PowerOn", "no such action"),
+    CadelSyntaxError: ("unexpected token", "turn on the", 12),
+    InconsistentRuleError: ("rule-7", "temp > 30 and temp < 10"),
+    UnresolvedConflictError: (["rule-a", "rule-b"], "uuid:aircon-1"),
+    WorkerCrashed: (3, -9, "killed during drain"),
+    SimulatedCrash: ("wal-torn-append",),
+}
+
+
+def public_exception_classes():
+    """Every exception class defined by repro.errors, plus the
+    simulated-crash escape hatch."""
+    classes = [
+        obj
+        for _, obj in sorted(vars(errors_module).items())
+        if inspect.isclass(obj)
+        and issubclass(obj, BaseException)
+        and obj.__module__ == errors_module.__name__
+    ]
+    classes.append(SimulatedCrash)
+    return classes
+
+
+def build(cls):
+    args = SAMPLE_ARGS.get(cls, ("something went wrong",))
+    return cls(*args)
+
+
+@pytest.mark.parametrize(
+    "cls", public_exception_classes(), ids=lambda cls: cls.__name__
+)
+def test_round_trips_through_pickle(cls):
+    original = build(cls)
+    clone = pickle.loads(pickle.dumps(original))
+    assert type(clone) is cls
+    assert str(clone) == str(original)
+    # Every instance attribute the constructor recorded must survive.
+    assert vars(clone) == vars(original)
+
+
+@pytest.mark.parametrize(
+    "cls", public_exception_classes(), ids=lambda cls: cls.__name__
+)
+def test_round_trips_at_every_protocol(cls):
+    original = build(cls)
+    for protocol in range(2, pickle.HIGHEST_PROTOCOL + 1):
+        clone = pickle.loads(pickle.dumps(original, protocol))
+        assert type(clone) is cls
+        assert str(clone) == str(original)
+
+
+def test_taxonomy_membership_is_as_documented():
+    """SimulatedCrash must stay outside ReproError (a simulated power
+    cut must never be swallowed by the engine's dispatch guard), and
+    every repro.errors class must stay inside it."""
+    assert not issubclass(SimulatedCrash, ReproError)
+    for cls in public_exception_classes():
+        if cls is not SimulatedCrash:
+            assert issubclass(cls, ReproError), cls.__name__
+
+
+def test_attributes_survive_decorated_messages():
+    """The classes that decorate their stored message must rebuild from
+    raw parts, not re-decorate on unpickle."""
+    syntax = pickle.loads(pickle.dumps(
+        CadelSyntaxError("unexpected token", "turn on the", 12)))
+    assert syntax.text == "turn on the"
+    assert syntax.position == 12
+    assert str(syntax).count("^") == 1  # pointer not duplicated
+
+    conflict = pickle.loads(pickle.dumps(
+        UnresolvedConflictError(["a", "b"], "uuid:dev")))
+    assert conflict.rule_names == ["a", "b"]
+    assert conflict.device == "uuid:dev"
+
+    crash = pickle.loads(pickle.dumps(SimulatedCrash("drain-apply")))
+    assert crash.site == "drain-apply"
